@@ -1,0 +1,92 @@
+// Command gridsim runs the discrete-event grid simulator: it executes
+// a probe measurement campaign against a synthetic EGEE-like
+// infrastructure and optionally evaluates the three submission
+// strategies against the live grid.
+//
+// Usage:
+//
+//	gridsim [-sites 24] [-seed 1] [-probes 1000] [-out trace.csv] [-strategies]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridstrat"
+	"gridstrat/internal/core"
+	"gridstrat/internal/gridsim"
+)
+
+func main() {
+	sites := flag.Int("sites", 24, "number of computing elements")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	probes := flag.Int("probes", 1000, "probe jobs to collect")
+	out := flag.String("out", "", "write the probe trace as CSV to this file")
+	strategies := flag.Bool("strategies", false, "also run the three client strategies against the live grid")
+	tasks := flag.Int("tasks", 100, "tasks per strategy with -strategies")
+	flag.Parse()
+
+	g, err := gridstrat.NewGrid(gridstrat.DefaultGrid(*sites, *seed))
+	if err != nil {
+		fail(err)
+	}
+	tr, err := gridstrat.RunProbes(g, gridstrat.DefaultProbeConfig(*probes), fmt.Sprintf("sim-%d", *seed))
+	if err != nil {
+		fail(err)
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("campaign: %d probes over %.1f simulated hours\n", st.Probes, g.Engine.Now()/3600)
+	fmt.Printf("latency: mean=%.0fs median=%.0fs std=%.0fs rho=%.3f\n",
+		st.MeanBody, st.Median, st.StdBody, st.Rho)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := gridstrat.WriteTraceCSV(f, tr); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+
+	if !*strategies {
+		return
+	}
+
+	m, err := gridstrat.ModelFromTrace(tr)
+	if err != nil {
+		fail(err)
+	}
+	tInf, single := gridstrat.OptimizeSingle(m)
+	mTInf, multi := gridstrat.OptimizeMultiple(m, 4)
+	p, delayed := gridstrat.OptimizeDelayed(m)
+	fmt.Printf("\nmodel says: single EJ=%.0fs (t∞=%.0fs) | multiple b=4 EJ=%.0fs | delayed EJ=%.0fs (t0=%.0fs t∞=%.0fs)\n",
+		single.EJ, tInf, multi.EJ, delayed.EJ, p.T0, p.TInf)
+
+	fmt.Println("\nreplaying against the live grid:")
+	specs := []gridsim.StrategySpec{
+		{Kind: gridsim.StrategySingle, TInf: tInf},
+		{Kind: gridsim.StrategyMultiple, TInf: mTInf, B: 4},
+		{Kind: gridsim.StrategyDelayed, Delayed: core.DelayedParams{T0: p.T0, TInf: p.TInf}},
+	}
+	for _, spec := range specs {
+		outc, err := gridsim.RunStrategy(g, spec, *tasks, 200, 1)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %-8s mean J=%.0fs std=%.0fs submissions/task=%.2f N‖=%.2f (%d tasks, %d abandoned)\n",
+			spec.Kind, outc.MeanJ, outc.StdJ, outc.MeanSubmissions, outc.MeanParallel,
+			outc.Tasks, outc.TimedOutTasks)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gridsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,204 @@
+// Command gridstrat evaluates and optimizes submission strategies
+// over a probe trace.
+//
+// Usage:
+//
+//	gridstrat optimize -trace t.csv [-strategy single|multiple|delayed|cost|auto] [-b 4] [-budget 2]
+//	gridstrat evaluate -trace t.csv -strategy single -tinf 600
+//	gridstrat evaluate -trace t.csv -strategy multiple -b 4 -tinf 600
+//	gridstrat evaluate -trace t.csv -strategy delayed -t0 340 -tinf 480
+//	gridstrat stats    -trace t.csv
+//
+// The trace file must be in the library's CSV format (see tracegen).
+// A dataset name (e.g. 2006-IX) can be passed instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridstrat"
+	"gridstrat/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace CSV file or paper dataset name")
+	strategy := fs.String("strategy", "auto", "single, multiple, delayed, cost or auto")
+	b := fs.Int("b", 2, "collection size for the multiple strategy")
+	t0 := fs.Float64("t0", 0, "delayed strategy t0 (s)")
+	tInf := fs.Float64("tinf", 0, "timeout t-inf (s)")
+	budget := fs.Float64("budget", 2, "parallel-copy budget for -strategy auto")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *tracePath == "" {
+		usage()
+	}
+
+	tr, err := loadTrace(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd {
+	case "stats":
+		st := tr.ComputeStats()
+		fmt.Printf("trace %s: %d probes, %d completed, %d outliers (rho=%.3f)\n",
+			st.Name, st.Probes, st.Completed, st.Outliers, st.Rho)
+		fmt.Printf("latency: mean=%.0fs median=%.0fs std=%.0fs censored-mean=%.0fs\n",
+			st.MeanBody, st.Median, st.StdBody, st.MeanCensored)
+		return
+	case "analyze":
+		analyze(tr)
+		return
+	case "optimize", "evaluate", "deadline":
+		// handled below
+	default:
+		usage()
+	}
+
+	m, err := gridstrat.ModelFromTrace(tr)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd {
+	case "evaluate":
+		evaluate(m, *strategy, *b, *t0, *tInf)
+	case "deadline":
+		requirePositive("tinf", *tInf) // reused as the deadline value
+		rep, err := gridstrat.CompareDeadline(m, *tInf, *b)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("P(start before %.0fs) and tail latency:\n", rep.Deadline)
+		for _, e := range []gridstrat.DeadlineEntry{rep.Single, rep.Multiple, rep.Delayed} {
+			fmt.Printf("  %-28s P=%.3f  P95=%.0fs  N‖=%.2f\n", e.Label, e.Probability, e.P95, e.Parallel)
+		}
+	default:
+		optimizeCmd(m, *strategy, *b, *budget)
+	}
+}
+
+func loadTrace(path string) (*gridstrat.Trace, error) {
+	if _, err := os.Stat(path); err != nil {
+		// Not a file: try a paper dataset name.
+		if tr, derr := gridstrat.SynthesizeDataset(path); derr == nil {
+			return tr, nil
+		}
+		return nil, fmt.Errorf("%q is neither a readable file nor a known dataset", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return gridstrat.ReadTraceCSV(f)
+}
+
+func evaluate(m gridstrat.Model, strategy string, b int, t0, tInf float64) {
+	switch strategy {
+	case "single":
+		requirePositive("tinf", tInf)
+		fmt.Printf("single(t∞=%.0fs): EJ=%.1fs σJ=%.1fs\n",
+			tInf, gridstrat.EJSingle(m, tInf), gridstrat.SigmaSingle(m, tInf))
+	case "multiple":
+		requirePositive("tinf", tInf)
+		fmt.Printf("multiple(b=%d, t∞=%.0fs): EJ=%.1fs σJ=%.1fs\n",
+			b, tInf, gridstrat.EJMultiple(m, b, tInf), gridstrat.SigmaMultiple(m, b, tInf))
+	case "delayed":
+		requirePositive("t0", t0)
+		requirePositive("tinf", tInf)
+		ev, err := gridstrat.DelayedEvaluate(m, gridstrat.DelayedParams{T0: t0, TInf: tInf})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("delayed(t0=%.0fs, t∞=%.0fs): EJ=%.1fs σJ=%.1fs N‖=%.3f\n",
+			t0, tInf, ev.EJ, ev.Sigma, ev.Parallel)
+	default:
+		fail(fmt.Errorf("evaluate needs -strategy single, multiple or delayed"))
+	}
+}
+
+func optimizeCmd(m gridstrat.Model, strategy string, b int, budget float64) {
+	switch strategy {
+	case "single":
+		tInf, ev := gridstrat.OptimizeSingle(m)
+		fmt.Printf("optimal single: t∞=%.0fs EJ=%.1fs σJ=%.1fs\n", tInf, ev.EJ, ev.Sigma)
+	case "multiple":
+		tInf, ev := gridstrat.OptimizeMultiple(m, b)
+		fmt.Printf("optimal multiple(b=%d): t∞=%.0fs EJ=%.1fs σJ=%.1fs\n", b, tInf, ev.EJ, ev.Sigma)
+	case "delayed":
+		p, ev := gridstrat.OptimizeDelayed(m)
+		fmt.Printf("optimal delayed: t0=%.0fs t∞=%.0fs EJ=%.1fs σJ=%.1fs N‖=%.3f\n",
+			p.T0, p.TInf, ev.EJ, ev.Sigma, ev.Parallel)
+	case "cost":
+		r, err := gridstrat.RecommendCheapest(m)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("cheapest for the grid:", r)
+	case "auto":
+		r, err := gridstrat.Recommend(m, budget)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("best under N‖ ≤ %.2f: %s\n", budget, r)
+	default:
+		fail(fmt.Errorf("unknown strategy %q", strategy))
+	}
+}
+
+// analyze prints a distribution-fitting and stationarity report of the
+// trace's latency body.
+func analyze(tr *gridstrat.Trace) {
+	lat := tr.Latencies()
+	if len(lat) == 0 {
+		fail(fmt.Errorf("trace has no completed probes"))
+	}
+	fmt.Printf("fitting %d non-outlier latencies:\n", len(lat))
+	fmt.Printf("%-12s %14s %10s %10s\n", "family", "log-lik", "KS", "KS p-val")
+	for _, r := range stats.FitBest(lat) {
+		fmt.Printf("%-12s %14.1f %10.4f %10.4f\n",
+			r.Name, r.LogLik, r.KS, stats.KSPValue(r.KS, len(lat)))
+	}
+
+	rep, err := gridstrat.AnalyzeStationarity(tr, 2*3600)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nstationarity (2h windows): %d windows, mean drift %.1f%%, rho drift %.3f\n",
+		rep.Windows, rep.MeanDrift*100, rep.RhoDrift)
+	fmt.Printf("Mann–Kendall trend: tau=%.2f p=%.3f, Theil–Sen slope %.2fs/window\n",
+		rep.MeanTrend.Tau, rep.MeanTrend.PValue, rep.TrendSlope)
+	if rep.MeanTrend.PValue < 0.05 {
+		fmt.Println("warning: significant latency trend — retune (t0, t∞) frequently (paper §7.2)")
+	}
+}
+
+func requirePositive(name string, v float64) {
+	if v <= 0 {
+		fail(fmt.Errorf("flag -%s must be positive", name))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gridstrat stats    -trace <file|dataset>
+  gridstrat analyze  -trace <file|dataset>
+  gridstrat deadline -trace <file|dataset> -tinf <deadline-s> [-b N]
+  gridstrat optimize -trace <file|dataset> [-strategy single|multiple|delayed|cost|auto] [-b N] [-budget X]
+  gridstrat evaluate -trace <file|dataset> -strategy <s> [-b N] [-t0 S] [-tinf S]`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gridstrat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command tracegen emits the calibrated synthetic probe traces that
+// stand in for the paper's EGEE measurement campaigns.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -dataset 2006-IX [-format csv|json] [-out file]
+//	tracegen -all -dir traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gridstrat"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available datasets with their calibration targets")
+	dataset := flag.String("dataset", "", "dataset to generate (e.g. 2006-IX)")
+	format := flag.String("format", "csv", "output format: csv, json or gwf")
+	out := flag.String("out", "", "output file (default stdout)")
+	all := flag.Bool("all", false, "generate every dataset")
+	dir := flag.String("dir", "traces", "output directory with -all")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-9s %9s %8s %9s %7s %7s\n", "name", "mean<10^4", "sigmaR", "mean+10^4", "rho", "probes")
+		for _, s := range gridstrat.PaperDatasets() {
+			fmt.Printf("%-9s %8.0fs %7.0fs %8.0fs %7.3f %7d\n",
+				s.Name, s.MeanBody, s.StdBody, s.MeanCensored, s.Rho(), s.Probes)
+		}
+	case *all:
+		if err := writeAll(*dir, *format); err != nil {
+			fail(err)
+		}
+	case *dataset != "":
+		tr, err := gridstrat.SynthesizeDataset(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := write(w, tr, *format); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeAll(dir, format string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	set, err := gridstrat.SynthesizeAll()
+	if err != nil {
+		return err
+	}
+	for name, tr := range set.Traces {
+		fname := strings.ReplaceAll(name, "/", "-") + "." + format
+		f, err := os.Create(filepath.Join(dir, fname))
+		if err != nil {
+			return err
+		}
+		if err := write(f, tr, format); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d probes)\n", filepath.Join(dir, fname), tr.Len())
+	}
+	return nil
+}
+
+func write(w io.Writer, tr *gridstrat.Trace, format string) error {
+	switch format {
+	case "csv":
+		return gridstrat.WriteTraceCSV(w, tr)
+	case "json":
+		return gridstrat.WriteTraceJSON(w, tr)
+	case "gwf":
+		return gridstrat.WriteTraceGWF(w, tr)
+	default:
+		return fmt.Errorf("unknown format %q (want csv, json or gwf)", format)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a latency model from a probe trace and compare the
+// three submission strategies of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridstrat"
+)
+
+func main() {
+	// 1. Get a probe trace. Here: the synthetic reproduction of the
+	// paper's 2006-IX EGEE campaign; in production this would be your
+	// own probe measurements loaded with gridstrat.ReadTraceCSV.
+	tr, err := gridstrat.SynthesizeDataset("2006-IX")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("trace %s: %d probes, mean latency %.0fs (σ=%.0fs), %.1f%% outliers\n\n",
+		st.Name, st.Probes, st.MeanBody, st.StdBody, st.Rho*100)
+
+	// 2. Build the latency model F̃R(t) = (1-ρ)·FR(t).
+	m, err := gridstrat.ModelFromTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Optimize each strategy.
+	tInf, single := gridstrat.OptimizeSingle(m)
+	fmt.Printf("single resubmission:  t∞=%4.0fs            EJ=%.0fs σ=%.0fs\n",
+		tInf, single.EJ, single.Sigma)
+
+	for _, b := range []int{2, 5} {
+		tb, ev := gridstrat.OptimizeMultiple(m, b)
+		fmt.Printf("multiple (b=%d):       t∞=%4.0fs            EJ=%.0fs σ=%.0fs\n",
+			b, tb, ev.EJ, ev.Sigma)
+	}
+
+	p, delayed := gridstrat.OptimizeDelayed(m)
+	fmt.Printf("delayed resubmission: t0=%4.0fs t∞=%4.0fs  EJ=%.0fs σ=%.0fs N‖=%.2f\n\n",
+		p.T0, p.TInf, delayed.EJ, delayed.Sigma, delayed.Parallel)
+
+	// 4. Ask the advisor: fastest under a 1.5-copy budget, and
+	// cheapest for the infrastructure.
+	fast, err := gridstrat.Recommend(m, 1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheap, err := gridstrat.RecommendCheapest(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fastest under N‖ ≤ 1.5: ", fast)
+	fmt.Println("cheapest for the grid:  ", cheap)
+}

@@ -1,0 +1,250 @@
+// Package gridstrat is a library for modeling and optimizing user
+// job-submission strategies on production grids, reproducing
+// "Modeling User Submission Strategies on Production Grids" (Lingrand,
+// Montagnat, Glatard — HPDC 2009).
+//
+// The paper's setting: on a large production grid (EGEE), the latency
+// R between submitting a job and its execution start is high, heavy-
+// tailed and polluted by an outlier ratio ρ of jobs that never start.
+// Users fight this with client-side strategies. This library models
+// three of them on top of the cumulative latency histogram
+// F̃R(t) = (1-ρ)·FR(t):
+//
+//   - single resubmission: cancel and resubmit at a timeout t∞;
+//   - multiple submission: submit b copies, cancel the rest when one
+//     starts, resubmit the collection at t∞;
+//   - delayed resubmission: submit a copy every t0 without cancelling
+//     until each copy's own t∞ (at most two copies in flight when
+//     t0 < t∞ ≤ 2·t0).
+//
+// For each strategy it computes the expected total latency EJ, its
+// standard deviation σJ, the average parallel-copy count N‖, and the
+// infrastructure cost Δcost = N‖·EJ/EJ(single optimum), and finds the
+// optimal parameters. Latency models come from probe traces (exact
+// step-function analytics), from parametric distributions, or from the
+// bundled discrete-event grid simulator.
+//
+// # Quick start
+//
+//	tr, _ := gridstrat.SynthesizeDataset("2006-IX")
+//	m, _ := gridstrat.ModelFromTrace(tr)
+//	tInf, ev := gridstrat.OptimizeSingle(m)       // Eq. 1 optimum
+//	p, dev := gridstrat.OptimizeDelayed(m)        // Eq. 5 optimum
+//	cc, _ := gridstrat.NewCostContext(m)
+//	res := cc.OptimizeDelayedCost()               // min Δcost (Eq. 6)
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the reproduction map of every table and figure in the paper.
+package gridstrat
+
+import (
+	"io"
+
+	"gridstrat/internal/core"
+	"gridstrat/internal/experiments"
+	"gridstrat/internal/gridsim"
+	"gridstrat/internal/stats"
+	"gridstrat/internal/trace"
+)
+
+// --- Traces and datasets ---
+
+// Trace is a probe-job workload trace (see internal/trace).
+type Trace = trace.Trace
+
+// ProbeRecord is one probe observation in a Trace.
+type ProbeRecord = trace.ProbeRecord
+
+// Status is a probe terminal state.
+type Status = trace.Status
+
+// Probe terminal states.
+const (
+	StatusCompleted = trace.StatusCompleted
+	StatusOutlier   = trace.StatusOutlier
+	StatusFault     = trace.StatusFault
+	StatusCancelled = trace.StatusCancelled
+)
+
+// DefaultTimeout is the paper's probe censoring bound (10,000 s).
+const DefaultTimeout = trace.DefaultTimeout
+
+// DatasetSpec describes one of the paper's trace sets.
+type DatasetSpec = trace.DatasetSpec
+
+// TraceSet is a named collection of traces.
+type TraceSet = trace.Set
+
+// PaperDatasets lists the paper's trace sets with their Table 1
+// calibration targets.
+func PaperDatasets() []DatasetSpec { return trace.PaperDatasets }
+
+// SynthesizeDataset generates the named paper dataset (e.g.
+// "2006-IX", "2007-51").
+func SynthesizeDataset(name string) (*Trace, error) {
+	spec, err := trace.LookupDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Synthesize(spec)
+}
+
+// SynthesizeAll generates every paper dataset plus the pooled
+// "2007/08" aggregate.
+func SynthesizeAll() (*TraceSet, error) { return trace.SynthesizeAll() }
+
+// ReadTraceCSV / WriteTraceCSV serialize traces in the library's CSV
+// format.
+func ReadTraceCSV(r io.Reader) (*Trace, error)  { return trace.ReadCSV(r) }
+func WriteTraceCSV(w io.Writer, t *Trace) error { return trace.WriteCSV(w, t) }
+
+// ReadTraceJSON / WriteTraceJSON serialize traces as JSON.
+func ReadTraceJSON(r io.Reader) (*Trace, error)  { return trace.ReadJSON(r) }
+func WriteTraceJSON(w io.Writer, t *Trace) error { return trace.WriteJSON(w, t) }
+
+// --- Latency models ---
+
+// Model is the latency law F̃R consumed by all strategy formulas.
+type Model = core.Model
+
+// EmpiricalModel is an exact trace-driven Model.
+type EmpiricalModel = core.EmpiricalModel
+
+// ParametricModel is a Model over an analytic latency distribution.
+type ParametricModel = core.ParametricModel
+
+// Distribution is a univariate continuous distribution (see
+// internal/stats for the provided families and fitting routines).
+type Distribution = stats.Distribution
+
+// ModelFromTrace builds the empirical latency model of a trace.
+func ModelFromTrace(t *Trace) (*EmpiricalModel, error) { return core.ModelFromTrace(t) }
+
+// NewEmpiricalModelFromLatencies builds a model from raw non-outlier
+// latencies plus an outlier ratio and timeout.
+func NewEmpiricalModelFromLatencies(latencies []float64, rho, timeout float64) (*EmpiricalModel, error) {
+	e, err := stats.NewECDF(latencies)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEmpiricalModel(e, rho, timeout)
+}
+
+// NewParametricModel wraps a latency distribution with an outlier
+// ratio and upper bound.
+func NewParametricModel(d Distribution, rho, timeout float64) (*ParametricModel, error) {
+	return core.NewParametricModel(d, rho, timeout)
+}
+
+// --- Strategies ---
+
+// Evaluation is a strategy outcome: EJ, σJ and N‖.
+type Evaluation = core.Evaluation
+
+// DelayedParams are the delayed-resubmission knobs (t0, t∞).
+type DelayedParams = core.DelayedParams
+
+// SimResult is a Monte Carlo outcome.
+type SimResult = core.SimResult
+
+// EJSingle evaluates Eq. 1; SigmaSingle Eq. 2.
+func EJSingle(m Model, tInf float64) float64    { return core.EJSingle(m, tInf) }
+func SigmaSingle(m Model, tInf float64) float64 { return core.SigmaSingle(m, tInf) }
+
+// EJMultiple evaluates Eq. 3; SigmaMultiple Eq. 4.
+func EJMultiple(m Model, b int, tInf float64) float64    { return core.EJMultiple(m, b, tInf) }
+func SigmaMultiple(m Model, b int, tInf float64) float64 { return core.SigmaMultiple(m, b, tInf) }
+
+// EJDelayed evaluates the exact delayed-resubmission expectation (the
+// quantity approximated by the paper's Eq. 5); SigmaDelayed its σ.
+func EJDelayed(m Model, p DelayedParams) float64    { return core.EJDelayed(m, p) }
+func SigmaDelayed(m Model, p DelayedParams) float64 { return core.SigmaDelayed(m, p) }
+
+// NParallelExpected returns E[N‖] of the delayed strategy (§6.1).
+func NParallelExpected(m Model, p DelayedParams) float64 { return core.NParallelExpected(m, p) }
+
+// DelayedEvaluate bundles EJ, σJ and E[N‖] at fixed parameters.
+func DelayedEvaluate(m Model, p DelayedParams) (Evaluation, error) {
+	return core.DelayedEvaluate(m, p)
+}
+
+// OptimizeSingle minimizes Eq. 1 over t∞.
+func OptimizeSingle(m Model) (tInf float64, ev Evaluation) { return core.OptimizeSingle(m) }
+
+// OptimizeMultiple minimizes Eq. 3 over t∞ for fixed b.
+func OptimizeMultiple(m Model, b int) (tInf float64, ev Evaluation) {
+	return core.OptimizeMultiple(m, b)
+}
+
+// OptimizeDelayed minimizes the delayed expectation over (t0, t∞).
+func OptimizeDelayed(m Model) (DelayedParams, Evaluation) { return core.OptimizeDelayed(m) }
+
+// OptimizeDelayedRatio minimizes over t0 with t∞/t0 fixed (§6.2).
+func OptimizeDelayedRatio(m Model, ratio float64) (DelayedParams, Evaluation) {
+	return core.OptimizeDelayedRatio(m, ratio)
+}
+
+// --- Cost criterion (Eq. 6) ---
+
+// CostContext anchors Δcost on the single-resubmission optimum.
+type CostContext = core.CostContext
+
+// CostResult is a Δcost minimization outcome.
+type CostResult = core.CostResult
+
+// NewCostContext optimizes the single-resubmission baseline of m.
+func NewCostContext(m Model) (*CostContext, error) { return core.NewCostContext(m) }
+
+// --- Monte Carlo validation ---
+
+// SimulateSingle, SimulateMultiple and SimulateDelayed replay the
+// strategies against latencies sampled from the model.
+func SimulateSingle(m Model, tInf float64, runs int, rng Rand) (SimResult, error) {
+	return core.SimulateSingle(m, tInf, runs, rng)
+}
+func SimulateMultiple(m Model, b int, tInf float64, runs int, rng Rand) (SimResult, error) {
+	return core.SimulateMultiple(m, b, tInf, runs, rng)
+}
+func SimulateDelayed(m Model, p DelayedParams, runs int, rng Rand) (SimResult, error) {
+	return core.SimulateDelayed(m, p, runs, rng)
+}
+
+// --- Grid simulator ---
+
+// GridConfig configures the discrete-event grid simulator.
+type GridConfig = gridsim.GridConfig
+
+// Grid is a live grid simulation.
+type Grid = gridsim.Grid
+
+// ProbeConfig drives a constant-load probe campaign.
+type ProbeConfig = gridsim.ProbeConfig
+
+// DefaultGrid returns a biomed-VO-like simulated infrastructure.
+func DefaultGrid(sites int, seed int64) GridConfig { return gridsim.DefaultGrid(sites, seed) }
+
+// NewGrid builds a grid simulation.
+func NewGrid(cfg GridConfig) (*Grid, error) { return gridsim.New(cfg) }
+
+// RunProbes executes a probe measurement campaign against a simulated
+// grid, returning a trace.
+func RunProbes(g *Grid, cfg ProbeConfig, name string) (*Trace, error) {
+	return gridsim.RunProbes(g, cfg, name)
+}
+
+// DefaultProbeConfig mirrors the paper's campaign shape.
+func DefaultProbeConfig(total int) ProbeConfig { return gridsim.DefaultProbeConfig(total) }
+
+// --- Experiments ---
+
+// Experiments is a handle over the paper's full evaluation.
+type Experiments = experiments.Context
+
+// NewExperiments synthesizes all datasets and prepares the experiment
+// harness that regenerates every table and figure.
+func NewExperiments() (*Experiments, error) { return experiments.NewContext() }
+
+// WriteAllExperiments regenerates every table and figure into dir.
+func WriteAllExperiments(c *Experiments, dir string, progress io.Writer) error {
+	return experiments.WriteAll(c, dir, progress)
+}

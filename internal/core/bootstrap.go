@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gridstrat/internal/stats"
+)
+
+// BootstrapCI is a percentile bootstrap confidence interval for a
+// statistic of the latency model.
+type BootstrapCI struct {
+	Point     float64 // statistic on the original model
+	Lo, Hi    float64 // percentile interval bounds
+	Level     float64 // confidence level, e.g. 0.95
+	Resamples int
+}
+
+// BootstrapModel draws one bootstrap replicate of an empirical model:
+// non-outlier latencies resampled with replacement and the outlier
+// count redrawn binomially. This quantifies how much a week's worth of
+// probes pins down the strategy statistics (the estimation concern of
+// the paper's §7.2).
+func BootstrapModel(m *EmpiricalModel, rng *rand.Rand) (*EmpiricalModel, error) {
+	e := m.ECDF()
+	n := e.N()
+	resampled := make([]float64, n)
+	for i := range resampled {
+		resampled[i] = e.Rand(rng)
+	}
+	ne, err := stats.NewECDF(resampled)
+	if err != nil {
+		return nil, err
+	}
+	// Redraw the outlier count binomially over the full probe
+	// population: the completed count n is (1-ρ) of the probes.
+	total := int(float64(n)/(1-m.Rho()) + 0.5)
+	outliers := 0
+	for i := 0; i < total; i++ {
+		if rng.Float64() < m.Rho() {
+			outliers++
+		}
+	}
+	rho := float64(outliers) / float64(total)
+	if rho >= 1 {
+		rho = 1 - 1.0/float64(total)
+	}
+	return NewEmpiricalModel(ne, rho, m.UpperBound())
+}
+
+// BootstrapStatistic computes a percentile bootstrap CI for any
+// model statistic (e.g. the EJ of a fixed strategy configuration).
+func BootstrapStatistic(m *EmpiricalModel, stat func(Model) float64,
+	resamples int, level float64, rng *rand.Rand) (BootstrapCI, error) {
+	if resamples < 10 {
+		return BootstrapCI{}, fmt.Errorf("core: need >= 10 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return BootstrapCI{}, fmt.Errorf("core: confidence level %v outside (0, 1)", level)
+	}
+	values := make([]float64, 0, resamples)
+	for i := 0; i < resamples; i++ {
+		bm, err := BootstrapModel(m, rng)
+		if err != nil {
+			return BootstrapCI{}, err
+		}
+		values = append(values, stat(bm))
+	}
+	sort.Float64s(values)
+	alpha := (1 - level) / 2
+	return BootstrapCI{
+		Point:     stat(m),
+		Lo:        stats.Percentile(values, alpha),
+		Hi:        stats.Percentile(values, 1-alpha),
+		Level:     level,
+		Resamples: resamples,
+	}, nil
+}
+
+// BootstrapDelayedEJ is a convenience wrapper: the CI of EJ for a
+// fixed delayed configuration.
+func BootstrapDelayedEJ(m *EmpiricalModel, p DelayedParams,
+	resamples int, level float64, rng *rand.Rand) (BootstrapCI, error) {
+	if err := p.Validate(); err != nil {
+		return BootstrapCI{}, err
+	}
+	return BootstrapStatistic(m, func(bm Model) float64 {
+		return EJDelayed(bm, p)
+	}, resamples, level, rng)
+}
+
+// BootstrapSingleEJ is the CI of EJ for a fixed single-resubmission
+// timeout.
+func BootstrapSingleEJ(m *EmpiricalModel, tInf float64,
+	resamples int, level float64, rng *rand.Rand) (BootstrapCI, error) {
+	if tInf <= 0 {
+		return BootstrapCI{}, fmt.Errorf("core: non-positive timeout %v", tInf)
+	}
+	return BootstrapStatistic(m, func(bm Model) float64 {
+		return EJSingle(bm, tInf)
+	}, resamples, level, rng)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+)
+
+// SingleCDF returns the distribution function of the total latency J
+// under single resubmission with timeout tInf: with k full windows
+// elapsed, P(J > t) = q^k · (1 - F̃R(t - k·t∞)).
+func SingleCDF(m Model, tInf float64) func(t float64) float64 {
+	return MultipleCDF(m, 1, tInf)
+}
+
+// MultipleCDF returns the distribution function of J under the
+// multiple-submission strategy: the per-round law has CDF
+// G_b = 1-(1-F̃R)^b and rounds renew every t∞.
+func MultipleCDF(m Model, b int, tInf float64) func(t float64) float64 {
+	checkB(b)
+	q := math.Pow(1-m.Ftilde(tInf), float64(b))
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		k := math.Floor(t / tInf)
+		u := t - k*tInf
+		survivalRound := math.Pow(1-m.Ftilde(u), float64(b))
+		return 1 - math.Pow(q, k)*survivalRound
+	}
+}
+
+// DelayedCDF returns the distribution function of J under the delayed
+// strategy (the complement of DelayedSurvival).
+func DelayedCDF(m Model, p DelayedParams) func(t float64) float64 {
+	return func(t float64) float64 {
+		return 1 - DelayedSurvival(m, p, t)
+	}
+}
+
+// ExpectedMax returns E[max(J₁…J_n)] for n i.i.d. copies of a
+// non-negative random variable with the given CDF, via
+// ∫₀^∞ (1 - F(t)ⁿ) dt. The integration horizon doubles until the
+// integrand falls below 1e-12 (the strategy CDFs approach 1
+// geometrically, so this terminates).
+//
+// This is the per-wave makespan of a bag-of-tasks application: a wave
+// of n tasks finishes when its slowest task starts+runs.
+func ExpectedMax(cdf func(float64) float64, n int, hint float64) float64 {
+	if n < 1 {
+		panic("core: ExpectedMax needs n >= 1")
+	}
+	if hint <= 0 {
+		hint = 1
+	}
+	integrand := func(t float64) float64 {
+		return 1 - math.Pow(cdf(t), float64(n))
+	}
+	// Find the effective support.
+	hi := hint
+	for integrand(hi) > 1e-12 {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	// Composite Simpson on [0, hi] with resolution tied to hint.
+	panels := 4096
+	h := hi / float64(panels)
+	sum := integrand(0) + integrand(hi)
+	for i := 1; i < panels; i++ {
+		x := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * integrand(x)
+		} else {
+			sum += 2 * integrand(x)
+		}
+	}
+	return sum * h / 3
+}

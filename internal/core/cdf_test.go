@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gridstrat/internal/stats"
+)
+
+// cdfVsMC checks a strategy CDF against the empirical distribution of
+// Monte Carlo replays via the KS distance.
+func cdfVsMC(t *testing.T, name string, cdf func(float64) float64, draw func(*rand.Rand) float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(33))
+	const n = 40000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = draw(rng)
+	}
+	sort.Float64s(sample)
+	maxD := 0.0
+	for i, x := range sample {
+		d := math.Abs(float64(i+1)/n - cdf(x))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD > 1.95/math.Sqrt(n) {
+		t.Errorf("%s: KS distance %v between analytic CDF and simulation", name, maxD)
+	}
+}
+
+func TestSingleCDFMatchesSimulation(t *testing.T) {
+	m := testEmpirical(t)
+	tInf := 500.0
+	cdf := SingleCDF(m, tInf)
+	cdfVsMC(t, "single", cdf, func(rng *rand.Rand) float64 {
+		j := 0.0
+		for {
+			l := m.Sample(rng)
+			if l < tInf {
+				return j + l
+			}
+			j += tInf
+		}
+	})
+}
+
+func TestMultipleCDFMatchesSimulation(t *testing.T) {
+	m := testEmpirical(t)
+	tInf, b := 600.0, 3
+	cdf := MultipleCDF(m, b, tInf)
+	cdfVsMC(t, "multiple", cdf, func(rng *rand.Rand) float64 {
+		j := 0.0
+		for {
+			best := math.Inf(1)
+			for k := 0; k < b; k++ {
+				if l := m.Sample(rng); l < best {
+					best = l
+				}
+			}
+			if best < tInf {
+				return j + best
+			}
+			j += tInf
+		}
+	})
+}
+
+func TestDelayedCDFMatchesSimulation(t *testing.T) {
+	m := testEmpirical(t)
+	p := DelayedParams{T0: 300, TInf: 450}
+	cdf := DelayedCDF(m, p)
+	cdfVsMC(t, "delayed", cdf, func(rng *rand.Rand) float64 {
+		j, _, _ := runDelayedOnce(m, p, rng)
+		return j
+	})
+}
+
+func TestCDFsIntegrateToEJ(t *testing.T) {
+	// ∫(1-FJ) over the support must equal the closed-form EJ.
+	m := testEmpirical(t)
+	tInf := 500.0
+	cdf := SingleCDF(m, tInf)
+	got := ExpectedMax(cdf, 1, tInf)
+	want := EJSingle(m, tInf)
+	if math.Abs(got-want) > 0.005*want {
+		t.Fatalf("∫(1-FJ) = %v vs EJ = %v", got, want)
+	}
+
+	b := 4
+	cdfB := MultipleCDF(m, b, tInf)
+	got = ExpectedMax(cdfB, 1, tInf)
+	want = EJMultiple(m, b, tInf)
+	if math.Abs(got-want) > 0.005*want {
+		t.Fatalf("multiple: ∫(1-FJ) = %v vs EJ = %v", got, want)
+	}
+
+	p := DelayedParams{T0: 339, TInf: 485}
+	got = ExpectedMax(DelayedCDF(m, p), 1, p.T0)
+	want = EJDelayed(m, p)
+	if math.Abs(got-want) > 0.005*want {
+		t.Fatalf("delayed: ∫(1-FJ) = %v vs EJ = %v", got, want)
+	}
+}
+
+func TestExpectedMaxKnownLaws(t *testing.T) {
+	// Uniform(0,1): E[max of n] = n/(n+1).
+	u := stats.NewUniform(0, 1)
+	for _, n := range []int{1, 2, 5, 20} {
+		got := ExpectedMax(u.CDF, n, 1)
+		want := float64(n) / float64(n+1)
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("uniform max(%d) = %v, want %v", n, got, want)
+		}
+	}
+	// Exponential(λ): E[max of n] = H_n/λ.
+	e := stats.NewExponential(0.01)
+	h := 0.0
+	for n := 1; n <= 10; n++ {
+		h += 1.0 / float64(n)
+		got := ExpectedMax(e.CDF, n, 100)
+		want := h / 0.01
+		if math.Abs(got-want) > 0.005*want {
+			t.Errorf("exponential max(%d) = %v, want %v", n, got, want)
+		}
+	}
+	mustPanicCore(t, func() { ExpectedMax(u.CDF, 0, 1) })
+}
+
+func TestExpectedMaxGrowsWithN(t *testing.T) {
+	m := testEmpirical(t)
+	cdf := MultipleCDF(m, 2, 600)
+	prev := 0.0
+	for _, n := range []int{1, 5, 25, 100} {
+		v := ExpectedMax(cdf, n, 600)
+		if v <= prev {
+			t.Fatalf("E[max] not increasing at n=%d: %v <= %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEq5AgreesInFloorRegime(t *testing.T) {
+	// With F̃(t0) = 0 all three delayed routes coincide.
+	m, err := NewParametricModel(mustShift(t, 400), 0.0, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DelayedParams{T0: 300, TInf: 550}
+	exact := EJDelayed(m, p)
+	eq5 := EJDelayedPaperEq5(m, p)
+	if math.Abs(exact-eq5) > 0.02*exact {
+		t.Fatalf("Eq5 %v vs exact %v with F̃(t0)=0", eq5, exact)
+	}
+}
+
+func TestEq5FiniteOnEmpirical(t *testing.T) {
+	m := testEmpirical(t)
+	for _, p := range []DelayedParams{
+		{T0: 250, TInf: 400},
+		{T0: 339, TInf: 485},
+	} {
+		v := EJDelayedPaperEq5(m, p)
+		if math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+			t.Fatalf("Eq5 gave %v at %+v", v, p)
+		}
+		// Same order of magnitude as the exact value (the printed
+		// formula carries typos, so only a loose band is asserted).
+		exact := EJDelayed(m, p)
+		if v < 0.3*exact || v > 3*exact {
+			t.Fatalf("Eq5 %v implausibly far from exact %v", v, exact)
+		}
+	}
+	if !math.IsInf(EJDelayedPaperEq5(m, DelayedParams{T0: -1, TInf: 5}), 1) {
+		t.Fatal("invalid params should give +Inf")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	m := testEmpirical(t)
+	rng := rand.New(rand.NewSource(44))
+	p := DelayedParams{T0: 300, TInf: 450}
+	ci, err := BootstrapDelayedEJ(m, p, 200, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Lo <= ci.Point && ci.Point <= ci.Hi) {
+		t.Fatalf("point %v outside interval [%v, %v]", ci.Point, ci.Lo, ci.Hi)
+	}
+	// With ~1900 completed probes the CI is tight but not degenerate.
+	width := (ci.Hi - ci.Lo) / ci.Point
+	if width <= 0 || width > 0.5 {
+		t.Fatalf("suspicious CI width %.1f%%", width*100)
+	}
+
+	ciS, err := BootstrapSingleEJ(m, 500, 100, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ciS.Lo < ciS.Hi) {
+		t.Fatal("degenerate single CI")
+	}
+
+	// Error paths.
+	if _, err := BootstrapDelayedEJ(m, DelayedParams{T0: -1, TInf: 2}, 50, 0.95, rng); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+	if _, err := BootstrapSingleEJ(m, -5, 50, 0.95, rng); err == nil {
+		t.Fatal("invalid timeout should fail")
+	}
+	if _, err := BootstrapStatistic(m, func(Model) float64 { return 1 }, 5, 0.95, rng); err == nil {
+		t.Fatal("too few resamples should fail")
+	}
+	if _, err := BootstrapStatistic(m, func(Model) float64 { return 1 }, 50, 1.5, rng); err == nil {
+		t.Fatal("bad level should fail")
+	}
+}
+
+func TestBootstrapModelPreservesShape(t *testing.T) {
+	m := testEmpirical(t)
+	rng := rand.New(rand.NewSource(55))
+	bm, err := BootstrapModel(m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.ECDF().N() != m.ECDF().N() {
+		t.Fatalf("resample size %d != %d", bm.ECDF().N(), m.ECDF().N())
+	}
+	if math.Abs(bm.Rho()-m.Rho()) > 0.05 {
+		t.Fatalf("bootstrap rho %v far from %v", bm.Rho(), m.Rho())
+	}
+	// Means should be close (resampling noise only).
+	if math.Abs(bm.ECDF().Mean()-m.ECDF().Mean()) > 0.15*m.ECDF().Mean() {
+		t.Fatalf("bootstrap mean %v far from %v", bm.ECDF().Mean(), m.ECDF().Mean())
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gridstrat/internal/optimize"
+)
+
+// CostContext anchors the paper's §7 cost criterion: every strategy is
+// charged Δcost = N‖ · EJ(strategy) / EJ(single at its optimum), so
+// the single-resubmission strategy costs exactly 1 and anything below
+// 1 loads the grid *less* than plain resubmission while finishing
+// sooner.
+type CostContext struct {
+	Model      Model
+	RefTimeout float64 // optimal single-resubmission t∞
+	RefEJ      float64 // EJ of single resubmission at RefTimeout
+}
+
+// NewCostContext optimizes the single-resubmission baseline once and
+// fixes it as the cost reference.
+func NewCostContext(m Model) (*CostContext, error) {
+	tInf, ev := OptimizeSingle(m)
+	if math.IsInf(ev.EJ, 1) || ev.EJ <= 0 {
+		return nil, fmt.Errorf("core: cannot establish cost reference (EJ=%v)", ev.EJ)
+	}
+	return &CostContext{Model: m, RefTimeout: tInf, RefEJ: ev.EJ}, nil
+}
+
+// Delta returns Eq. 6 for an arbitrary (EJ, N‖) pair.
+func (c *CostContext) Delta(ej, nParallel float64) float64 {
+	return nParallel * ej / c.RefEJ
+}
+
+// DeltaMultiple optimizes the multiple-submission strategy for
+// collection size b and returns its optimal timeout, evaluation and
+// Δcost = b·EJ(b)/EJ(1).
+func (c *CostContext) DeltaMultiple(b int) (tInf float64, ev Evaluation, delta float64) {
+	tInf, ev = OptimizeMultiple(c.Model, b)
+	return tInf, ev, c.Delta(ev.EJ, float64(b))
+}
+
+// DeltaDelayed evaluates the delayed strategy at p and its Δcost =
+// E[N‖]·EJ(p)/EJ(1).
+func (c *CostContext) DeltaDelayed(p DelayedParams) (Evaluation, float64, error) {
+	ev, err := DelayedEvaluate(c.Model, p)
+	if err != nil {
+		return Evaluation{}, 0, err
+	}
+	return ev, c.Delta(ev.EJ, ev.Parallel), nil
+}
+
+// CostResult is the outcome of a Δcost minimization.
+type CostResult struct {
+	Params DelayedParams
+	Eval   Evaluation
+	Delta  float64
+}
+
+// OptimizeDelayedCost minimizes Δcost over (t0, t∞) with
+// t0 < t∞ <= 2·t0, then rounds to integer seconds and polishes on the
+// integer lattice — the paper restricts Table 5 to integer parameter
+// values because sub-second resubmission control is not realistic.
+func (c *CostContext) OptimizeDelayedCost() CostResult {
+	ub := c.Model.UpperBound()
+	obj := func(t0, ratio float64) float64 {
+		p := DelayedParams{T0: t0, TInf: ratio * t0}
+		if p.Validate() != nil {
+			return math.Inf(1)
+		}
+		ej, _ := delayedMoments(c.Model, p)
+		if math.IsInf(ej, 1) {
+			return math.Inf(1)
+		}
+		return c.Delta(ej, nParallelExpectedCells(c.Model, p, costScanCells))
+	}
+	r := optimize.MinimizeRobust2D(obj, ub*1e-3, ub/2, 1.0005, 2.0)
+
+	// Integer polish around the continuous optimum.
+	best := CostResult{Delta: math.Inf(1)}
+	t0c := math.Round(r.X)
+	tInfc := math.Round(r.X * r.Y)
+	for dt0 := -3.0; dt0 <= 3; dt0++ {
+		for dti := -3.0; dti <= 3; dti++ {
+			p := DelayedParams{T0: t0c + dt0, TInf: tInfc + dti}
+			if p.Validate() != nil {
+				continue
+			}
+			ev, delta, err := c.DeltaDelayed(p)
+			if err != nil {
+				continue
+			}
+			if delta < best.Delta {
+				best = CostResult{Params: p, Eval: ev, Delta: delta}
+			}
+		}
+	}
+	if math.IsInf(best.Delta, 1) {
+		// Integer lattice around the optimum was infeasible (tiny t0);
+		// fall back to the continuous point.
+		p := DelayedParams{T0: r.X, TInf: r.X * r.Y}
+		ev, delta, err := c.DeltaDelayed(p)
+		if err == nil {
+			best = CostResult{Params: p, Eval: ev, Delta: delta}
+		}
+	}
+	return best
+}
+
+// costScanCells trades N‖ precision for speed inside optimization
+// loops; final evaluations always use the full resolution.
+const costScanCells = 96
+
+// nParallelExpectedCells is NParallelExpected with a configurable cell
+// count (see ExpectDelayed).
+func nParallelExpectedCells(m Model, p DelayedParams, cells int) float64 {
+	if err := p.Validate(); err != nil {
+		return math.NaN()
+	}
+	q := 1 - m.Ftilde(p.TInf)
+	if q >= 1 {
+		return math.NaN()
+	}
+	sum := 0.0
+	prevG := 1.0
+	h := p.T0 / float64(cells)
+	for j := 0; ; j++ {
+		base := float64(j) * p.T0
+		for i := 1; i <= cells; i++ {
+			t := base + float64(i)*h
+			gt := DelayedSurvival(m, p, t)
+			if mass := prevG - gt; mass > 0 {
+				sum += mass * NParallelGivenLatency(t-h/2, p)
+			}
+			prevG = gt
+		}
+		if prevG < 1e-12 || j > 10000 {
+			break
+		}
+	}
+	return sum
+}
+
+// StabilityResult reports the paper's Table 5 robustness probe: the
+// worst Δcost when the optimal integer (t0, t∞) is perturbed by up to
+// ±radius seconds.
+type StabilityResult struct {
+	MaxDelta    float64
+	MaxRelDiff  float64 // (MaxDelta - Delta*) / Delta*
+	Evaluations int
+}
+
+// CostStability evaluates Δcost on every feasible integer perturbation
+// of p within the given radius and reports the maximum.
+func (c *CostContext) CostStability(p DelayedParams, radius int) StabilityResult {
+	if radius < 0 {
+		panic(fmt.Sprintf("core: negative stability radius %d", radius))
+	}
+	_, refDelta, err := c.DeltaDelayed(p)
+	if err != nil {
+		return StabilityResult{MaxDelta: math.NaN(), MaxRelDiff: math.NaN()}
+	}
+	res := StabilityResult{MaxDelta: refDelta}
+	for dt0 := -radius; dt0 <= radius; dt0++ {
+		for dti := -radius; dti <= radius; dti++ {
+			q := DelayedParams{T0: p.T0 + float64(dt0), TInf: p.TInf + float64(dti)}
+			if q.Validate() != nil {
+				continue
+			}
+			_, delta, err := c.DeltaDelayed(q)
+			if err != nil {
+				continue
+			}
+			res.Evaluations++
+			if delta > res.MaxDelta {
+				res.MaxDelta = delta
+			}
+		}
+	}
+	if refDelta > 0 {
+		res.MaxRelDiff = (res.MaxDelta - refDelta) / refDelta
+	}
+	return res
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gridstrat/internal/optimize"
+)
+
+// DelayedParams are the two knobs of the delayed-resubmission strategy
+// (paper §6): a copy of the job is submitted every T0 seconds while
+// nothing has started, and each copy is canceled TInf seconds after
+// its own submission. The constraint T0 < TInf <= 2·T0 keeps at most
+// two copies in flight.
+type DelayedParams struct {
+	T0   float64
+	TInf float64
+}
+
+// Validate checks 0 < T0 < TInf <= 2·T0.
+func (p DelayedParams) Validate() error {
+	if !(p.T0 > 0) {
+		return fmt.Errorf("core: delayed t0 must be positive, got %v", p.T0)
+	}
+	if !(p.T0 < p.TInf) {
+		return fmt.Errorf("core: delayed requires t0 < t∞, got t0=%v t∞=%v", p.T0, p.TInf)
+	}
+	if p.TInf > 2*p.T0 {
+		return fmt.Errorf("core: delayed requires t∞ <= 2·t0 (at most 2 copies), got t0=%v t∞=%v", p.T0, p.TInf)
+	}
+	return nil
+}
+
+// Ratio returns TInf/T0.
+func (p DelayedParams) Ratio() float64 { return p.TInf / p.T0 }
+
+// DelayedSurvival returns the exact survival function of the total
+// latency J under the delayed strategy: P(J > t).
+//
+// With copies submitted at s_k = (k-1)·T0 while nothing runs, and copy
+// k canceled at s_k + TInf, "no copy started by t" factorizes over the
+// copies submitted by t:
+//
+//	P(J > t) = Π_k (1 - F̃R(min(t - s_k, t∞))),
+//
+// where copies whose window fully elapsed contribute the constant
+// q = 1 - F̃R(t∞). Because TInf <= 2·T0, at most two factors are ever
+// partial, so this costs O(1) per evaluation.
+func DelayedSurvival(m Model, p DelayedParams, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	j := int(math.Floor(t / p.T0)) // interval index: t ∈ [j·T0, (j+1)·T0)
+	if j == 0 {
+		return 1 - m.Ftilde(t)
+	}
+	q := 1 - m.Ftilde(p.TInf)
+	u := t - float64(j)*p.T0
+	if u < p.TInf-p.T0 {
+		// Copies j and j+1 are both racing.
+		return math.Pow(q, float64(j-1)) *
+			(1 - m.Ftilde(u+p.T0)) * (1 - m.Ftilde(u))
+	}
+	// Copy j was canceled at (j-1)·T0 + TInf; only copy j+1 races.
+	return math.Pow(q, float64(j)) * (1 - m.Ftilde(u))
+}
+
+// delayedMoments returns E[J] and E[J²] of the delayed strategy in
+// closed form. Substituting u = t - j·T0 in the survival integral
+// makes every interval integral independent of j, so the series in j
+// is geometric:
+//
+//	E[J]  = IA + (C + q·D)/(1-q)
+//	E[J²] = 2·[IA2 + (Cu + q·Du)/(1-q) + T0·(C + q·D)/(1-q)²]
+//
+// with IA = ∫₀^{T0}(1-F̃), C = ∫₀^{TInf-T0}(1-F̃(u+T0))(1-F̃(u))du,
+// D = ∫_{TInf-T0}^{T0}(1-F̃), and IA2, Cu, Du their u-weighted twins.
+// Every integral is exact for the empirical model.
+func delayedMoments(m Model, p DelayedParams) (ej, ej2 float64) {
+	q := 1 - m.Ftilde(p.TInf)
+	if q >= 1 {
+		return math.Inf(1), math.Inf(1)
+	}
+	t0, w := p.T0, p.TInf-p.T0
+
+	ia := m.IntOneMinusFPow(t0, 1)
+	ia2 := m.IntUOneMinusFPow(t0, 1)
+	c := m.IntProdOneMinusF(w, t0)
+	cu := m.IntUProdOneMinusF(w, t0)
+	d := ia - m.IntOneMinusFPow(w, 1)
+	du := ia2 - m.IntUOneMinusFPow(w, 1)
+
+	ej = ia + (c+q*d)/(1-q)
+	ej2 = 2 * (ia2 + (cu+q*du)/(1-q) + t0*(c+q*d)/((1-q)*(1-q)))
+	return ej, ej2
+}
+
+// EJDelayed returns the exact expected total latency of the delayed
+// strategy (the quantity the paper's Eq. 5 approximates; see
+// EJDelayedPaper for the paper's own formula). It returns +Inf for
+// invalid parameters or a timeout with no success probability.
+func EJDelayed(m Model, p DelayedParams) float64 {
+	if p.Validate() != nil {
+		return math.Inf(1)
+	}
+	ej, _ := delayedMoments(m, p)
+	return ej
+}
+
+// SigmaDelayed returns the exact standard deviation of the total
+// latency of the delayed strategy.
+func SigmaDelayed(m Model, p DelayedParams) float64 {
+	if p.Validate() != nil {
+		return math.Inf(1)
+	}
+	ej, ej2 := delayedMoments(m, p)
+	if math.IsInf(ej, 1) {
+		return math.Inf(1)
+	}
+	v := ej2 - ej*ej
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// NParallelGivenLatency returns N‖(l): the time-averaged number of
+// copies in the system over a run whose total latency was l (paper
+// §6.1). The case split follows the interval structure: after the
+// first T0 with one copy, each full T0-period contributes TInf of
+// copy-seconds (two copies while the older one lives, one after its
+// cancellation), plus the partial last period.
+func NParallelGivenLatency(l float64, p DelayedParams) float64 {
+	if l <= 0 {
+		return 1
+	}
+	n := int(math.Floor(l / p.T0))
+	if n == 0 {
+		return 1
+	}
+	t0, tInf := p.T0, p.TInf
+	fn := float64(n)
+	if l < (fn-1)*t0+tInf {
+		// Interval I0: the older copy is still alive at l.
+		return (t0 + (fn-1)*tInf + 2*(l-fn*t0)) / l
+	}
+	// Interval I1: the older copy was canceled at (n-1)·T0 + TInf.
+	return (t0 + (fn-1)*tInf + 2*(tInf-t0) + (l - (fn-1)*t0 - tInf)) / l
+}
+
+// delayedExpectCells is the number of integration cells per T0-period
+// used by ExpectDelayed; the cell *masses* are exact (survival
+// differences), only the variation of g within a cell is approximated.
+const delayedExpectCells = 1024
+
+// ExpectDelayed returns E[g(J)] for the delayed strategy by exact-mass
+// Stieltjes summation over the survival function: each cell of width
+// T0/delayedExpectCells carries probability G(a)-G(b), evaluated at
+// the cell midpoint. The series over periods stops when the residual
+// tail mass drops below 1e-12.
+func ExpectDelayed(m Model, p DelayedParams, g func(l float64) float64) float64 {
+	if err := p.Validate(); err != nil {
+		return math.NaN()
+	}
+	q := 1 - m.Ftilde(p.TInf)
+	if q >= 1 {
+		return math.NaN()
+	}
+	sum := 0.0
+	prevG := 1.0
+	h := p.T0 / delayedExpectCells
+	for j := 0; ; j++ {
+		base := float64(j) * p.T0
+		for i := 1; i <= delayedExpectCells; i++ {
+			t := base + float64(i)*h
+			gt := DelayedSurvival(m, p, t)
+			mass := prevG - gt
+			if mass > 0 {
+				sum += mass * g(t-h/2)
+			}
+			prevG = gt
+		}
+		if prevG < 1e-12 {
+			break
+		}
+		if j > 10000 {
+			// q extremely close to 1: accept the truncation.
+			break
+		}
+	}
+	return sum
+}
+
+// NParallelExpected returns E[N‖(J)]: the average number of parallel
+// copies the delayed strategy keeps in the system, to be compared with
+// b for the multiple-submission strategy.
+func NParallelExpected(m Model, p DelayedParams) float64 {
+	return ExpectDelayed(m, p, func(l float64) float64 {
+		return NParallelGivenLatency(l, p)
+	})
+}
+
+// DelayedEvaluate bundles the exact EJ, σJ and E[N‖] of the delayed
+// strategy at the given parameters.
+func DelayedEvaluate(m Model, p DelayedParams) (Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	ej, ej2 := delayedMoments(m, p)
+	if math.IsInf(ej, 1) {
+		return Evaluation{}, fmt.Errorf("core: delayed strategy diverges at t0=%v t∞=%v (no success mass)", p.T0, p.TInf)
+	}
+	v := ej2 - ej*ej
+	if v < 0 {
+		v = 0
+	}
+	return Evaluation{
+		EJ:       ej,
+		Sigma:    math.Sqrt(v),
+		Parallel: NParallelExpected(m, p),
+	}, nil
+}
+
+// EJDelayedPaper evaluates the expected latency using the paper's own
+// interval formulas for FJ (§6, the pre-derivation CDF definitions
+// feeding Eq. 5), integrated as EJ = ∫(1-FJ).
+//
+// Note: the paper's I0-interval formula P(J<t) = P(J<n·t0) +
+// q^{n-1}·(A + B - A·B) with A = F̃(t-(n-1)t0) - F̃(t0), B = F̃(t-n·t0)
+// over-counts runs where copy n started before t0 — in those runs copy
+// n+1 is never submitted, yet B credits it. The exact union is
+// A + B·(1-F̃(t-(n-1)t0)). The paper's FJ therefore sits slightly
+// above the exact law and EJDelayedPaper slightly below EJDelayed;
+// both are exposed so the gap can be measured (see EXPERIMENTS.md).
+func EJDelayedPaper(m Model, p DelayedParams) float64 {
+	if p.Validate() != nil {
+		return math.Inf(1)
+	}
+	q := 1 - m.Ftilde(p.TInf)
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	t0, tInf := p.T0, p.TInf
+	ft0 := m.Ftilde(t0)
+
+	// EJ = ∫ (1-FJ). First interval [0, t0): FJ = F̃.
+	ej := m.IntOneMinusFPow(t0, 1)
+
+	// Walk intervals I0_n, I1_n keeping the running base FJ value, on
+	// a uniform grid (trapezoid); the paper's formulas are not exactly
+	// integrable over a step ECDF because of the A·B product term.
+	const cells = 2048
+	base := ft0 // FJ at n·t0 for n=1
+	for n := 1; ; n++ {
+		fn := float64(n)
+		qn1 := math.Pow(q, fn-1)
+
+		// I0_n = [n·t0, (n-1)·t0 + tInf].
+		a0, b0 := fn*t0, (fn-1)*t0+tInf
+		h := (b0 - a0) / cells
+		prev := paperI0(m, base, qn1, ft0, a0, fn, t0)
+		for i := 1; i <= cells; i++ {
+			t := a0 + float64(i)*h
+			cur := paperI0(m, base, qn1, ft0, t, fn, t0)
+			ej += h * (clamp01(1-prev) + clamp01(1-cur)) / 2
+			prev = cur
+		}
+		endI0 := paperI0(m, base, qn1, ft0, b0, fn, t0)
+
+		// I1_n = [(n-1)·t0 + tInf, (n+1)·t0].
+		a1, b1 := b0, (fn+1)*t0
+		qn := qn1 * q
+		h = (b1 - a1) / cells
+		prev = endI0 + qn*m.Ftilde(a1-fn*t0)
+		for i := 1; i <= cells; i++ {
+			t := a1 + float64(i)*h
+			cur := endI0 + qn*m.Ftilde(t-fn*t0)
+			ej += h * (clamp01(1-prev) + clamp01(1-cur)) / 2
+			prev = cur
+		}
+		base = endI0 + qn*ft0 // FJ at (n+1)·t0
+
+		if 1-base < 1e-12 || qn < 1e-14 {
+			// Residual tail: bound by geometric decay q per period of
+			// length t0.
+			if q < 1 {
+				ej += clamp01(1-base) * t0 / (1 - q)
+			}
+			break
+		}
+		if n > 10000 {
+			break
+		}
+	}
+	return ej
+}
+
+// paperI0 evaluates the paper's I0-interval CDF formula at t.
+func paperI0(m Model, base, qn1, ft0, t, fn, t0 float64) float64 {
+	a := m.Ftilde(t-(fn-1)*t0) - ft0
+	b := m.Ftilde(t - fn*t0)
+	return base + qn1*(a+b-a*b)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// OptimizeDelayed minimizes the exact EJ over (t0, t∞) subject to
+// t0 < t∞ <= 2·t0 (paper Figure 5's surface minimum). The search is
+// over the rectangle (t0, ratio) to keep the feasible set box-shaped.
+func OptimizeDelayed(m Model) (DelayedParams, Evaluation) {
+	ub := m.UpperBound()
+	obj := func(t0, ratio float64) float64 {
+		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
+	}
+	r := optimize.MinimizeRobust2D(obj, ub*1e-3, ub/2, 1.0005, 2.0)
+	p := DelayedParams{T0: r.X, TInf: r.X * r.Y}
+	ev, err := DelayedEvaluate(m, p)
+	if err != nil {
+		// The optimizer landed on an infeasible edge; fall back to a
+		// safely interior point.
+		p = DelayedParams{T0: ub / 20, TInf: ub / 20 * 1.4}
+		ev, _ = DelayedEvaluate(m, p)
+	}
+	return p, ev
+}
+
+// OptimizeDelayedRatio minimizes EJ over t0 with t∞ = ratio·t0 fixed
+// (the paper's §6.2 per-ratio optimization, Table 3).
+func OptimizeDelayedRatio(m Model, ratio float64) (DelayedParams, Evaluation) {
+	if ratio <= 1 || ratio > 2 {
+		panic(fmt.Sprintf("core: delayed ratio must be in (1, 2], got %v", ratio))
+	}
+	ub := m.UpperBound()
+	obj := func(t0 float64) float64 {
+		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
+	}
+	r := optimize.GridScan1D(obj, ub*1e-3, ub/2, 400, 4)
+	p := DelayedParams{T0: r.X, TInf: ratio * r.X}
+	ev, err := DelayedEvaluate(m, p)
+	if err != nil {
+		return p, Evaluation{EJ: math.Inf(1), Sigma: math.Inf(1), Parallel: 1}
+	}
+	return p, ev
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+)
+
+// EJDelayedPaperEq5 evaluates the paper's Equation 5 *verbatim* — the
+// closed-form expression printed in §6 — using a density f̃R obtained
+// by finite differences of F̃R on a uniform grid.
+//
+// Together with EJDelayedPaper (the paper's interval CDF definitions)
+// and EJDelayed (the exact law of the strategy), this gives three
+// views of the same quantity:
+//
+//   - EJDelayed: exact, validated by Monte Carlo;
+//   - EJDelayedPaper: the paper's FJ, which over-counts success mass
+//     by F̃(t0)·F̃(t-n·t0) per interval (a union/conditioning slip);
+//   - EJDelayedPaperEq5: the printed Eq. 5, whose derivation from the
+//     paper's fJ carries further term-level typos.
+//
+// The three are exposed so EXPERIMENTS.md can quantify the gaps; all
+// agree in the F̃(t0) → 0 regime.
+func EJDelayedPaperEq5(m Model, p DelayedParams) float64 {
+	if p.Validate() != nil {
+		return math.Inf(1)
+	}
+	ftInf := m.Ftilde(p.TInf)
+	if ftInf <= 0 {
+		return math.Inf(1)
+	}
+	t0, tInf := p.T0, p.TInf
+	w := tInf - t0
+	ft0 := m.Ftilde(t0)
+
+	// Tabulate F̃ on a uniform grid over [0, t∞] and differentiate for
+	// the density-weighted integrals; n chosen so the grid resolves
+	// ECDF steps of typical traces.
+	const n = 8192
+	dx := tInf / n
+	f := make([]float64, n+1) // F̃ at grid nodes
+	for i := 0; i <= n; i++ {
+		f[i] = m.Ftilde(float64(i) * dx)
+	}
+	// Midpoint density over cell i: (F(x_{i+1})-F(x_i))/dx, located at
+	// the cell center. Integrals ∫ g(u)·f̃(u) du become Σ g(mid)·ΔF.
+	intUf := func(T float64) float64 { // ∫₀ᵀ u f̃(u) du
+		sum := 0.0
+		cells := int(T / dx)
+		for i := 0; i < cells && i < n; i++ {
+			mid := (float64(i) + 0.5) * dx
+			sum += mid * (f[i+1] - f[i])
+		}
+		return sum
+	}
+	intProd := func(T float64, withU bool) float64 { // ∫₀ᵀ [u]·f̃(u+t0)f̃(u) du
+		sum := 0.0
+		cells := int(T / dx)
+		shift := int(t0 / dx)
+		for i := 0; i < cells && i < n; i++ {
+			j := i + shift
+			if j+1 > n {
+				break
+			}
+			d1 := (f[i+1] - f[i]) / dx
+			d2 := (f[j+1] - f[j]) / dx
+			v := d1 * d2 * dx
+			if withU {
+				v *= (float64(i) + 0.5) * dx
+			}
+			sum += v
+		}
+		return sum
+	}
+
+	// Equation 5, term by term, in the paper's printed order.
+	ej := intUf(tInf) / ftInf
+	ej += ft0 / ftInf * intUf(w)
+	ej += t0 / ftInf
+	ej += t0 * m.Ftilde(w) / ftInf
+	ej += t0 * ft0 * m.Ftilde(w) / (ftInf * ftInf)
+	ej -= t0
+	ej += intUf(w)
+	ej -= t0 / (ftInf * ftInf) * intProd(w, false)
+	ej -= 1 / ftInf * intProd(w, true)
+	return ej
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridstrat/internal/stats"
+)
+
+// MixtureModel pools several latency regimes with weights: the law of
+// a job submitted into a randomly drawn regime. It models
+// non-stationary periods — e.g. one regime per weekday window, weighted
+// by submission volume — while still exposing the exact Model
+// interface, so every strategy formula applies unchanged.
+//
+// F̃(t) = Σ wᵢ·F̃ᵢ(t) is exact; the power/product integrals are not
+// linear in F̃ and are evaluated by chunked adaptive quadrature over
+// the pooled F̃.
+type MixtureModel struct {
+	models  []Model
+	weights []float64 // normalized
+	cum     []float64
+	rho     float64
+	ub      float64
+}
+
+// NewMixtureModel pools models with (not necessarily normalized)
+// positive weights.
+func NewMixtureModel(models []Model, weights []float64) (*MixtureModel, error) {
+	if len(models) == 0 || len(models) != len(weights) {
+		return nil, fmt.Errorf("core: mixture needs matching non-empty slices, got %d/%d",
+			len(models), len(weights))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("core: mixture weight %d invalid: %v", i, w)
+		}
+		if models[i] == nil {
+			return nil, errors.New("core: nil model in mixture")
+		}
+		total += w
+	}
+	m := &MixtureModel{
+		models:  append([]Model(nil), models...),
+		weights: make([]float64, len(weights)),
+		cum:     make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		m.weights[i] = w / total
+		acc += w / total
+		m.cum[i] = acc
+		m.rho += m.weights[i] * models[i].Rho()
+		m.ub = math.Max(m.ub, models[i].UpperBound())
+	}
+	m.cum[len(m.cum)-1] = 1
+	return m, nil
+}
+
+// Regimes returns the number of pooled regimes.
+func (m *MixtureModel) Regimes() int { return len(m.models) }
+
+func (m *MixtureModel) Ftilde(t float64) float64 {
+	sum := 0.0
+	for i, mm := range m.models {
+		sum += m.weights[i] * mm.Ftilde(t)
+	}
+	return sum
+}
+
+func (m *MixtureModel) Rho() float64        { return m.rho }
+func (m *MixtureModel) UpperBound() float64 { return m.ub }
+
+func (m *MixtureModel) IntOneMinusFPow(T float64, b int) float64 {
+	checkB(b)
+	if T <= 0 {
+		return 0
+	}
+	if b == 1 {
+		// Linear case: exact via the component integrals.
+		sum := 0.0
+		for i, mm := range m.models {
+			sum += m.weights[i] * mm.IntOneMinusFPow(T, 1)
+		}
+		return sum
+	}
+	f := func(u float64) float64 { return math.Pow(1-m.Ftilde(u), float64(b)) }
+	return chunkedAdaptive(f, T, 1e-10*T)
+}
+
+func (m *MixtureModel) IntUOneMinusFPow(T float64, b int) float64 {
+	checkB(b)
+	if T <= 0 {
+		return 0
+	}
+	if b == 1 {
+		sum := 0.0
+		for i, mm := range m.models {
+			sum += m.weights[i] * mm.IntUOneMinusFPow(T, 1)
+		}
+		return sum
+	}
+	f := func(u float64) float64 { return u * math.Pow(1-m.Ftilde(u), float64(b)) }
+	return chunkedAdaptive(f, T, 1e-10*T*T)
+}
+
+func (m *MixtureModel) IntProdOneMinusF(T, shift float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := func(u float64) float64 {
+		return (1 - m.Ftilde(u+shift)) * (1 - m.Ftilde(u))
+	}
+	return chunkedAdaptive(f, T, 1e-10*T)
+}
+
+func (m *MixtureModel) IntUProdOneMinusF(T, shift float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := func(u float64) float64 {
+		return u * (1 - m.Ftilde(u+shift)) * (1 - m.Ftilde(u))
+	}
+	return chunkedAdaptive(f, T, 1e-10*T*T)
+}
+
+func (m *MixtureModel) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := 0
+	for i < len(m.cum)-1 && u > m.cum[i] {
+		i++
+	}
+	return m.models[i].Sample(rng)
+}
+
+// Discretize converts any Model into an EmpiricalModel by tabulating n
+// stratified quantiles of FR (inverting F̃ numerically) while
+// preserving ρ and the upper bound. Quadrature-backed models (mixtures,
+// parametric laws) pay ~ms per strategy evaluation; their discretized
+// twin evaluates in exact closed form in microseconds, which is the
+// right representation to hand to the optimizers.
+func Discretize(m Model, n int) (*EmpiricalModel, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: discretization needs n >= 2, got %d", n)
+	}
+	rho := m.Rho()
+	scale := 1 - rho
+	if scale <= 0 {
+		return nil, errors.New("core: cannot discretize a model with rho >= 1")
+	}
+	ub := m.UpperBound()
+	// FR(t) = F̃(t)/(1-ρ); invert at stratified midpoints.
+	frAt := func(t float64) float64 { return m.Ftilde(t) / scale }
+	top := frAt(ub)
+	sample := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n) * top
+		lo, hi := 0.0, ub
+		for iter := 0; iter < 60; iter++ {
+			mid := 0.5 * (lo + hi)
+			if frAt(mid) < p {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		sample[i] = 0.5 * (lo + hi)
+	}
+	e, err := stats.NewECDF(sample)
+	if err != nil {
+		return nil, err
+	}
+	return NewEmpiricalModel(e, rho, ub)
+}
+
+// RegimeEvaluation is a strategy's performance in one regime of a
+// mixture.
+type RegimeEvaluation struct {
+	Weight float64
+	EJ     float64
+}
+
+// EvaluateAcrossRegimes evaluates fixed delayed parameters in every
+// regime separately, returning the per-regime EJ and the
+// volume-weighted average — what a user with fixed (t0, t∞) actually
+// experiences across a non-stationary period. Contrast with
+// EJDelayed(mixture), which models a job landing in a random regime:
+// the two differ exactly when regimes differ (Jensen-style gap).
+func EvaluateAcrossRegimes(m *MixtureModel, p DelayedParams) ([]RegimeEvaluation, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	out := make([]RegimeEvaluation, len(m.models))
+	avg := 0.0
+	for i, mm := range m.models {
+		ej := EJDelayed(mm, p)
+		out[i] = RegimeEvaluation{Weight: m.weights[i], EJ: ej}
+		avg += m.weights[i] * ej
+	}
+	return out, avg, nil
+}

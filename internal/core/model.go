@@ -1,0 +1,226 @@
+// Package core implements the probabilistic submission-strategy models
+// of "Modeling User Submission Strategies on Production Grids"
+// (Lingrand, Montagnat, Glatard — HPDC 2009).
+//
+// All three strategies are functionals of the cumulative latency
+// histogram F̃R(t) = (1-ρ)·FR(t), where FR is the CDF of non-outlier
+// latencies and ρ the outlier ratio:
+//
+//   - single resubmission with timeout t∞ (paper §4, Eq. 1–2),
+//   - multiple submission of b copies (paper §5, Eq. 3–4),
+//   - delayed resubmission with delay t0 and timeout t∞ (paper §6),
+//     including the average parallel-job count N‖ (§6.1) and the cost
+//     criterion Δcost (§7, Eq. 6).
+//
+// The latency model is abstracted by the Model interface with an exact
+// empirical implementation (step-function integrals over a trace ECDF,
+// no discretization error) and a parametric implementation (closed-form
+// or quadrature over any stats.Distribution), so every formula can be
+// cross-validated three ways: exact analytics, quadrature, and Monte
+// Carlo simulation of the actual client behaviour.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridstrat/internal/stats"
+	"gridstrat/internal/trace"
+)
+
+// Inf marks an outlier latency in samples drawn from a Model: the job
+// never starts within any practical horizon and must be resubmitted.
+var Inf = math.Inf(1)
+
+// Model is the latency law F̃R consumed by every strategy formula.
+type Model interface {
+	// Ftilde returns F̃R(t) = (1-ρ)·FR(t) = P(R < t), the probability
+	// that a submitted job starts before t.
+	Ftilde(t float64) float64
+	// Rho returns the outlier ratio ρ.
+	Rho() float64
+	// UpperBound returns the largest useful timeout (the probe
+	// censoring bound); optimizers bracket searches with it.
+	UpperBound() float64
+	// IntOneMinusFPow returns ∫₀ᵀ (1 - F̃R(u))^b du.
+	IntOneMinusFPow(T float64, b int) float64
+	// IntUOneMinusFPow returns ∫₀ᵀ u·(1 - F̃R(u))^b du.
+	IntUOneMinusFPow(T float64, b int) float64
+	// IntProdOneMinusF returns ∫₀ᵀ (1-F̃R(u+shift))·(1-F̃R(u)) du, the
+	// cross term of the delayed-resubmission survival function.
+	IntProdOneMinusF(T, shift float64) float64
+	// IntUProdOneMinusF returns ∫₀ᵀ u·(1-F̃R(u+shift))·(1-F̃R(u)) du.
+	IntUProdOneMinusF(T, shift float64) float64
+	// Sample draws one job latency: Inf with probability ρ, otherwise
+	// a draw from FR.
+	Sample(rng *rand.Rand) float64
+}
+
+// --- Empirical model ---
+
+// EmpiricalModel is the exact trace-driven Model: FR is the ECDF of
+// completed-probe latencies and every integral is evaluated exactly on
+// the step function.
+type EmpiricalModel struct {
+	ecdf    *stats.ECDF
+	rho     float64
+	timeout float64
+}
+
+// NewEmpiricalModel wraps an ECDF of non-outlier latencies with an
+// outlier ratio and censoring bound.
+func NewEmpiricalModel(ecdf *stats.ECDF, rho, timeout float64) (*EmpiricalModel, error) {
+	if ecdf == nil {
+		return nil, errors.New("core: nil ECDF")
+	}
+	if rho < 0 || rho >= 1 || math.IsNaN(rho) {
+		return nil, fmt.Errorf("core: outlier ratio %v outside [0, 1)", rho)
+	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("core: non-positive timeout %v", timeout)
+	}
+	return &EmpiricalModel{ecdf: ecdf, rho: rho, timeout: timeout}, nil
+}
+
+// ModelFromTrace builds the empirical latency model of a probe trace.
+func ModelFromTrace(t *trace.Trace) (*EmpiricalModel, error) {
+	e, err := t.ECDF()
+	if err != nil {
+		return nil, fmt.Errorf("core: building model from trace %q: %w", t.Name, err)
+	}
+	return NewEmpiricalModel(e, t.OutlierRatio(), t.Timeout)
+}
+
+// ECDF exposes the underlying empirical CDF (read-only use).
+func (m *EmpiricalModel) ECDF() *stats.ECDF { return m.ecdf }
+
+func (m *EmpiricalModel) Ftilde(t float64) float64 { return (1 - m.rho) * m.ecdf.Eval(t) }
+func (m *EmpiricalModel) Rho() float64             { return m.rho }
+func (m *EmpiricalModel) UpperBound() float64      { return m.timeout }
+
+func (m *EmpiricalModel) IntOneMinusFPow(T float64, b int) float64 {
+	return m.ecdf.IntegralOneMinusFPow(T, 1-m.rho, b)
+}
+
+func (m *EmpiricalModel) IntUOneMinusFPow(T float64, b int) float64 {
+	return m.ecdf.IntegralUOneMinusFPow(T, 1-m.rho, b)
+}
+
+func (m *EmpiricalModel) IntProdOneMinusF(T, shift float64) float64 {
+	return m.ecdf.IntegralProdOneMinusF(T, shift, 1-m.rho)
+}
+
+func (m *EmpiricalModel) IntUProdOneMinusF(T, shift float64) float64 {
+	return m.ecdf.IntegralUProdOneMinusF(T, shift, 1-m.rho)
+}
+
+func (m *EmpiricalModel) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < m.rho {
+		return Inf
+	}
+	return m.ecdf.Rand(rng)
+}
+
+// --- Parametric model ---
+
+// ParametricModel is a Model over an analytic latency distribution;
+// integrals use adaptive quadrature. It exists to validate the exact
+// empirical path against closed forms (e.g. exponential latencies) and
+// to run what-if studies without a trace.
+type ParametricModel struct {
+	dist    stats.Distribution
+	rho     float64
+	timeout float64
+}
+
+// NewParametricModel wraps a latency distribution with an outlier
+// ratio and an upper bound for optimizer brackets.
+func NewParametricModel(d stats.Distribution, rho, timeout float64) (*ParametricModel, error) {
+	if d == nil {
+		return nil, errors.New("core: nil distribution")
+	}
+	if rho < 0 || rho >= 1 || math.IsNaN(rho) {
+		return nil, fmt.Errorf("core: outlier ratio %v outside [0, 1)", rho)
+	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("core: non-positive timeout %v", timeout)
+	}
+	return &ParametricModel{dist: d, rho: rho, timeout: timeout}, nil
+}
+
+// Distribution exposes the underlying latency law.
+func (m *ParametricModel) Distribution() stats.Distribution { return m.dist }
+
+func (m *ParametricModel) Ftilde(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return (1 - m.rho) * m.dist.CDF(t)
+}
+func (m *ParametricModel) Rho() float64        { return m.rho }
+func (m *ParametricModel) UpperBound() float64 { return m.timeout }
+
+func (m *ParametricModel) IntOneMinusFPow(T float64, b int) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := func(u float64) float64 {
+		return math.Pow(1-m.Ftilde(u), float64(b))
+	}
+	return chunkedAdaptive(f, T, 1e-10*T)
+}
+
+func (m *ParametricModel) IntUOneMinusFPow(T float64, b int) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := func(u float64) float64 {
+		return u * math.Pow(1-m.Ftilde(u), float64(b))
+	}
+	return chunkedAdaptive(f, T, 1e-10*T*T)
+}
+
+// chunkedAdaptive integrates f over [0, T] in geometrically growing
+// chunks. Latency integrands concentrate in the first percent of large
+// timeouts, where a single top-level adaptive pass can sample past the
+// feature and terminate spuriously; per-chunk adaptivity cannot.
+func chunkedAdaptive(f func(float64) float64, T, tol float64) float64 {
+	total := 0.0
+	lo := 0.0
+	step := T / 1024
+	for lo < T {
+		hi := math.Min(T, math.Max(2*lo, step))
+		total += stats.AdaptiveSimpson(f, lo, hi, tol/12)
+		lo = hi
+	}
+	return total
+}
+
+func (m *ParametricModel) IntProdOneMinusF(T, shift float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := func(u float64) float64 {
+		return (1 - m.Ftilde(u+shift)) * (1 - m.Ftilde(u))
+	}
+	return chunkedAdaptive(f, T, 1e-10*T)
+}
+
+func (m *ParametricModel) IntUProdOneMinusF(T, shift float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := func(u float64) float64 {
+		return u * (1 - m.Ftilde(u+shift)) * (1 - m.Ftilde(u))
+	}
+	return chunkedAdaptive(f, T, 1e-10*T*T)
+}
+
+func (m *ParametricModel) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < m.rho {
+		return Inf
+	}
+	return m.dist.Rand(rng)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SimResult summarizes a Monte Carlo simulation of a strategy: the
+// realized mean and standard deviation of the total latency J, the
+// standard error of the mean, the average number of job submissions
+// per task (infrastructure load in absolute submissions), and the
+// average time-weighted parallel-copy count N‖.
+type SimResult struct {
+	Runs            int
+	EJ              float64
+	Sigma           float64
+	StdErr          float64
+	MeanSubmissions float64
+	MeanParallel    float64
+}
+
+// ErrNoSuccessMass is returned when the timeout leaves no probability
+// of a job starting, so every strategy would loop forever.
+var ErrNoSuccessMass = errors.New("core: F̃R(t∞) = 0, strategy cannot terminate")
+
+func checkSimInputs(m Model, tInf float64, runs int) error {
+	if runs <= 0 {
+		return fmt.Errorf("core: runs must be positive, got %d", runs)
+	}
+	if m.Ftilde(tInf) <= 0 {
+		return ErrNoSuccessMass
+	}
+	return nil
+}
+
+// SimulateSingle replays the single-resubmission strategy: submit,
+// cancel at tInf, resubmit, until a job starts. It validates Eq. 1–2.
+func SimulateSingle(m Model, tInf float64, runs int, rng *rand.Rand) (SimResult, error) {
+	if err := checkSimInputs(m, tInf, runs); err != nil {
+		return SimResult{}, err
+	}
+	var sum, sum2, subs float64
+	for i := 0; i < runs; i++ {
+		var j float64
+		for {
+			subs++
+			l := m.Sample(rng)
+			if l < tInf {
+				j += l
+				break
+			}
+			j += tInf
+		}
+		sum += j
+		sum2 += j * j
+	}
+	return newSimResult(runs, sum, sum2, subs/float64(runs), 1), nil
+}
+
+// SimulateMultiple replays the multiple-submission strategy: a
+// collection of b copies is submitted, all canceled when one starts;
+// the whole collection is resubmitted at tInf if none started. It
+// validates Eq. 3–4.
+func SimulateMultiple(m Model, b int, tInf float64, runs int, rng *rand.Rand) (SimResult, error) {
+	checkB(b)
+	if err := checkSimInputs(m, tInf, runs); err != nil {
+		return SimResult{}, err
+	}
+	var sum, sum2, subs float64
+	for i := 0; i < runs; i++ {
+		var j float64
+		for {
+			subs += float64(b)
+			best := math.Inf(1)
+			for k := 0; k < b; k++ {
+				if l := m.Sample(rng); l < best {
+					best = l
+				}
+			}
+			if best < tInf {
+				j += best
+				break
+			}
+			j += tInf
+		}
+		sum += j
+		sum2 += j * j
+	}
+	return newSimResult(runs, sum, sum2, subs/float64(runs), float64(b)), nil
+}
+
+// SimulateDelayed replays the delayed-resubmission strategy exactly as
+// figure 4 of the paper describes it: a copy is submitted every T0
+// while nothing has started, each copy is canceled TInf after its own
+// submission, and everything is canceled the moment one copy starts.
+// N‖ is measured as copy-seconds in the system divided by J.
+func SimulateDelayed(m Model, p DelayedParams, runs int, rng *rand.Rand) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if err := checkSimInputs(m, p.TInf, runs); err != nil {
+		return SimResult{}, err
+	}
+	var sum, sum2, subs, par float64
+	for i := 0; i < runs; i++ {
+		j, submitted, copySeconds := runDelayedOnce(m, p, rng)
+		sum += j
+		sum2 += j * j
+		subs += float64(submitted)
+		par += copySeconds / j
+	}
+	r := newSimResult(runs, sum, sum2, subs/float64(runs), par/float64(runs))
+	return r, nil
+}
+
+// runDelayedOnce simulates one task under the delayed strategy and
+// returns its total latency J, the number of copies submitted, and the
+// total copy-seconds spent in the system before J.
+func runDelayedOnce(m Model, p DelayedParams, rng *rand.Rand) (j float64, submitted int, copySeconds float64) {
+	best := math.Inf(1) // earliest start among submitted copies
+	var submitTimes []float64
+	for k := 0; ; k++ {
+		sub := float64(k) * p.T0
+		if best <= sub {
+			break // a copy already started; no further submissions
+		}
+		l := m.Sample(rng)
+		submitted++
+		submitTimes = append(submitTimes, sub)
+		if l < p.TInf {
+			if s := sub + l; s < best {
+				best = s
+			}
+		}
+	}
+	j = best
+	for _, sub := range submitTimes {
+		// A copy occupies the system from its submission until its own
+		// cancellation at sub+TInf, or until J when a copy starts and
+		// the client cancels everything.
+		end := math.Min(sub+p.TInf, j)
+		if end > sub {
+			copySeconds += end - sub
+		}
+	}
+	return j, submitted, copySeconds
+}
+
+func newSimResult(runs int, sum, sum2, meanSubs, meanPar float64) SimResult {
+	n := float64(runs)
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return SimResult{
+		Runs:            runs,
+		EJ:              mean,
+		Sigma:           math.Sqrt(variance),
+		StdErr:          math.Sqrt(variance / n),
+		MeanSubmissions: meanSubs,
+		MeanParallel:    meanPar,
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// EJMultiple evaluates Eq. 3: the expected total latency of the
+// multiple-submission strategy with a collection of b copies and
+// timeout tInf,
+//
+//	EJ(t∞) = ∫₀^t∞ (1-F̃R(u))^b du ÷ (1 - (1-F̃R(t∞))^b).
+//
+// The whole collection is resubmitted at t∞ when no copy has started,
+// so the denominator is the per-round success probability. b = 1
+// recovers the single-resubmission Eq. 1.
+func EJMultiple(m Model, b int, tInf float64) float64 {
+	checkB(b)
+	if tInf <= 0 {
+		return math.Inf(1)
+	}
+	success := 1 - math.Pow(1-m.Ftilde(tInf), float64(b))
+	if success <= 0 {
+		return math.Inf(1)
+	}
+	return m.IntOneMinusFPow(tInf, b) / success
+}
+
+// SigmaMultiple evaluates Eq. 4: the standard deviation of the total
+// latency of the multiple-submission strategy.
+func SigmaMultiple(m Model, b int, tInf float64) float64 {
+	checkB(b)
+	if tInf <= 0 {
+		return math.Inf(1)
+	}
+	qb := math.Pow(1-m.Ftilde(tInf), float64(b))
+	success := 1 - qb
+	if success <= 0 {
+		return math.Inf(1)
+	}
+	i0 := m.IntOneMinusFPow(tInf, b)  // ∫ (1-F̃)^b
+	i1 := m.IntUOneMinusFPow(tInf, b) // ∫ u(1-F̃)^b
+	variance := 2*i1/success +
+		2*tInf*qb*i0/(success*success) -
+		(i0*i0)/(success*success)
+	if variance < 0 {
+		// Numerical cancellation can drive a tiny negative value.
+		variance = 0
+	}
+	return math.Sqrt(variance)
+}
+
+// OptimizeMultiple minimizes EJ over the timeout for a fixed
+// collection size b, returning the optimal t∞ and the evaluation at
+// the optimum (σJ included, Parallel = b).
+func OptimizeMultiple(m Model, b int) (tInf float64, ev Evaluation) {
+	checkB(b)
+	r := optimizeTimeout(m, func(t float64) float64 { return EJMultiple(m, b, t) })
+	return r.X, Evaluation{
+		EJ:       r.F,
+		Sigma:    SigmaMultiple(m, b, r.X),
+		Parallel: float64(b),
+	}
+}
+
+// MultipleCurve tabulates EJ(t∞) for one collection size over n
+// uniformly spaced timeouts up to hi — the data behind Figure 2.
+func MultipleCurve(m Model, b int, hi float64, n int) (timeouts, ej []float64) {
+	checkB(b)
+	if n < 2 || hi <= 0 {
+		panic(fmt.Sprintf("core: invalid curve spec hi=%v n=%d", hi, n))
+	}
+	timeouts = make([]float64, n)
+	ej = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := hi * float64(i+1) / float64(n)
+		timeouts[i] = t
+		ej[i] = EJMultiple(m, b, t)
+	}
+	return timeouts, ej
+}
+
+func checkB(b int) {
+	if b < 1 {
+		panic(fmt.Sprintf("core: collection size b must be >= 1, got %d", b))
+	}
+}

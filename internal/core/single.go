@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gridstrat/internal/optimize"
+)
+
+// Evaluation is the outcome of evaluating a strategy at fixed
+// parameters: the expected total latency including resubmissions, its
+// standard deviation, and the average number of parallel job copies
+// the strategy keeps in the system.
+type Evaluation struct {
+	EJ       float64 // expectation of total latency J
+	Sigma    float64 // standard deviation of J
+	Parallel float64 // average number of parallel copies (N‖; b for multiple)
+}
+
+// EJSingle evaluates Eq. 1 of the paper: the expected total latency of
+// the single-resubmission strategy with timeout tInf,
+//
+//	EJ(t∞) = (1/F̃R(t∞)) · ∫₀^t∞ (1 - F̃R(u)) du.
+//
+// It returns +Inf when F̃R(t∞) = 0 (the timeout gives no chance of
+// success, so the expectation diverges).
+func EJSingle(m Model, tInf float64) float64 {
+	return EJMultiple(m, 1, tInf)
+}
+
+// SigmaSingle evaluates Eq. 2: the standard deviation of the total
+// latency under single resubmission with timeout tInf.
+func SigmaSingle(m Model, tInf float64) float64 {
+	return SigmaMultiple(m, 1, tInf)
+}
+
+// OptimizeSingle minimizes EJ over the timeout t∞ and returns the
+// optimum with the matching σJ. The scan covers (0, m.UpperBound()]
+// with a multimodality-robust grid search refined to sub-second
+// precision.
+func OptimizeSingle(m Model) (tInf float64, ev Evaluation) {
+	tInf, ev = OptimizeMultiple(m, 1)
+	return tInf, ev
+}
+
+// timeoutLowerBracket returns a small positive lower bound for timeout
+// searches: below the first latency quantile EJ is guaranteed +Inf.
+func timeoutLowerBracket(m Model) float64 {
+	lo := m.UpperBound() * 1e-4
+	if lo <= 0 {
+		lo = 1e-6
+	}
+	return lo
+}
+
+// optimizeTimeout scans EJ(t∞) for a fixed evaluator. Shared by the
+// single and multiple strategies.
+func optimizeTimeout(m Model, eval func(tInf float64) float64) optimize.Result1D {
+	lo := timeoutLowerBracket(m)
+	hi := m.UpperBound()
+	if !(lo < hi) {
+		panic(fmt.Sprintf("core: degenerate timeout bracket [%v, %v]", lo, hi))
+	}
+	obj := func(t float64) float64 {
+		v := eval(t)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	// EJ(t∞) profiles are piecewise smooth but can be multimodal in
+	// b (Table 2 optima jump between basins), so grid-scan first.
+	return optimize.GridScan1D(obj, lo, hi, 400, 4)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtDelayedRoutes(t *testing.T) {
+	tab, err := ExtDelayedRoutes(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		exact := cell(t, row[3])
+		mc := cell(t, row[4])
+		// Exact route must track Monte Carlo within MC noise (~1%).
+		if diff := (exact - mc) / mc; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: exact %v vs MC %v", row[0], exact, mc)
+		}
+		// The paper-CDF route sits at or below the exact value.
+		if gap := cell(t, row[7]); gap > 0.5 {
+			t.Errorf("%s: paper-CDF gap %v%% should be <= 0", row[0], gap)
+		}
+	}
+}
+
+func TestExtBootstrap(t *testing.T) {
+	tab, err := ExtBootstrap(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		lo, point, hi := cell(t, row[2]), cell(t, row[1]), cell(t, row[3])
+		if !(lo <= point && point <= hi) {
+			t.Errorf("%s: point %v outside [%v, %v]", row[0], point, lo, hi)
+		}
+		// A full week of probes pins EJ to within tens of percent.
+		if width := cell(t, row[4]); width > 50 {
+			t.Errorf("%s: CI width %v%% too wide", row[0], width)
+		}
+	}
+}
+
+func TestExtMakespan(t *testing.T) {
+	tab, err := ExtMakespan(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		single := cell(t, strings.TrimSuffix(row[1], "h"))
+		b5 := cell(t, strings.TrimSuffix(row[3], "h"))
+		if !(b5 < single) {
+			t.Errorf("%s: b=5 makespan %vh not below single %vh", row[0], b5, single)
+		}
+		// Replication dominates on the makespan metric.
+		if !strings.HasPrefix(row[5], "multiple") {
+			t.Errorf("%s: best strategy %q, expected a multiple variant", row[0], row[5])
+		}
+	}
+}
+
+func TestExtStationarity(t *testing.T) {
+	tab, err := ExtStationarity(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	strongTrends := 0
+	for _, row := range tab.Rows {
+		if cell(t, row[5]) < 0.01 {
+			strongTrends++
+		}
+	}
+	// The synthetic traces are i.i.d.: at most an occasional false
+	// positive is acceptable.
+	if strongTrends > 2 {
+		t.Fatalf("%d/13 datasets flagged with strong trends", strongTrends)
+	}
+}

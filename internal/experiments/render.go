@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the calibrated synthetic trace sets: Tables
+// 1–6 and Figures 1–8 of "Modeling User Submission Strategies on
+// Production Grids" (HPDC'09). Each artifact is produced as a
+// plain-text table or a gnuplot-ready data series so the shapes can be
+// compared directly with the published ones (see EXPERIMENTS.md for
+// the paper-vs-measured record).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	ID      string // e.g. "table1"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render lays the table out with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample of a curve.
+type Point struct{ X, Y float64 }
+
+// Curve is a named series of points.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a set of curves sharing axes.
+type Figure struct {
+	ID     string // e.g. "figure2"
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+	Notes  []string
+}
+
+// AddCurve appends a curve.
+func (f *Figure) AddCurve(label string, pts []Point) {
+	f.Curves = append(f.Curves, Curve{Label: label, Points: pts})
+}
+
+// Render emits a gnuplot-style data block per curve: comment header,
+// two columns, blank-line separated.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, "\n# curve: %s\n", c.Label)
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%g\t%g\n", p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// fmtS formats seconds with no decimals (the paper's style).
+func fmtS(v float64) string { return fmt.Sprintf("%.0fs", v) }
+
+// fmtF formats a float with the given decimals.
+func fmtF(v float64, dec int) string { return fmt.Sprintf("%.*f", dec, v) }
+
+// fmtPct formats a ratio as a signed percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }

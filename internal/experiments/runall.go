@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Artifact is a rendered experiment output.
+type Artifact struct {
+	ID      string
+	Content string
+}
+
+// RunAll regenerates every table and figure, in paper order. Progress
+// lines go to progress (pass io.Discard to silence).
+func RunAll(c *Context, progress io.Writer) ([]Artifact, error) {
+	type gen struct {
+		id  string
+		run func() (string, error)
+	}
+	gens := []gen{
+		{"table1", func() (string, error) { return renderTable(Table1(c)) }},
+		{"figure1", func() (string, error) { return renderFigure(Figure1(c)) }},
+		{"table2", func() (string, error) { return renderTable(Table2(c)) }},
+		{"figure2", func() (string, error) { return renderFigure(Figure2(c)) }},
+		{"figure3", func() (string, error) { return renderFigure(Figure3(c)) }},
+		{"figure4", func() (string, error) { return renderTable(Figure4(c)) }},
+		{"figure5", func() (string, error) { return renderFigure(Figure5(c)) }},
+		{"table3", func() (string, error) { return renderTable(Table3(c)) }},
+		{"figure6", func() (string, error) { return renderFigure(Figure6(c)) }},
+		{"figure7", func() (string, error) { return renderTable(Figure7(c)) }},
+		{"figure8", func() (string, error) { return renderFigure(Figure8(c)) }},
+		{"table4", func() (string, error) { return renderTable(Table4(c)) }},
+		{"table5", func() (string, error) { return renderTable(Table5(c)) }},
+		{"table6", func() (string, error) { return renderTable(Table6(c)) }},
+		// Extensions beyond the paper's printed evaluation.
+		{"ext1-delayed-routes", func() (string, error) { return renderTable(ExtDelayedRoutes(c)) }},
+		{"ext2-bootstrap", func() (string, error) { return renderTable(ExtBootstrap(c)) }},
+		{"ext3-makespan", func() (string, error) { return renderTable(ExtMakespan(c)) }},
+		{"ext4-stationarity", func() (string, error) { return renderTable(ExtStationarity(c)) }},
+	}
+	var out []Artifact
+	for _, g := range gens {
+		fmt.Fprintf(progress, "generating %s...\n", g.id)
+		content, err := g.run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.id, err)
+		}
+		out = append(out, Artifact{ID: g.id, Content: content})
+	}
+	return out, nil
+}
+
+// WriteAll runs everything and writes one file per artifact into dir
+// (tables as .txt, figures as .dat).
+func WriteAll(c *Context, dir string, progress io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	arts, err := RunAll(c, progress)
+	if err != nil {
+		return err
+	}
+	for _, a := range arts {
+		ext := ".txt"
+		if a.Content != "" && a.Content[0] == '#' {
+			ext = ".dat"
+		}
+		path := filepath.Join(dir, a.ID+ext)
+		if err := os.WriteFile(path, []byte(a.Content), 0o644); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", path, err)
+		}
+		fmt.Fprintf(progress, "wrote %s\n", path)
+	}
+	return nil
+}
+
+func renderTable(t *Table, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	if err := checkRows(t); err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}
+
+func renderFigure(f *Figure, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	if len(f.Curves) == 0 {
+		return "", fmt.Errorf("experiments: %s has no curves", f.ID)
+	}
+	return f.Render(), nil
+}

@@ -1,0 +1,55 @@
+package gridsim
+
+import "fmt"
+
+// DowntimeConfig adds site outages to the simulation: a CE
+// periodically stops starting jobs (scheduled maintenance, middleware
+// crashes), which is one of the mechanisms fattening the latency tail
+// on production grids — queued jobs silently wait out the outage.
+type DowntimeConfig struct {
+	MTBF float64 // mean time between failures (s); 0 disables outages
+	MTTR float64 // mean time to repair (s)
+}
+
+// Validate checks the downtime configuration.
+func (d DowntimeConfig) Validate() error {
+	if d.MTBF < 0 || d.MTTR < 0 {
+		return fmt.Errorf("gridsim: negative downtime parameters %+v", d)
+	}
+	if d.MTBF > 0 && d.MTTR <= 0 {
+		return fmt.Errorf("gridsim: MTBF set but MTTR is %v", d.MTTR)
+	}
+	return nil
+}
+
+// EnableDowntime turns on exponential up/down cycling for every site.
+// Call it once, right after New and before running the simulation.
+func (g *Grid) EnableDowntime(cfg DowntimeConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.MTBF == 0 {
+		return nil
+	}
+	for i := range g.sites {
+		g.scheduleOutage(i, cfg)
+	}
+	return nil
+}
+
+func (g *Grid) scheduleOutage(siteIdx int, cfg DowntimeConfig) {
+	s := g.sites[siteIdx]
+	up := g.rng.ExpFloat64() * cfg.MTBF
+	g.Engine.Schedule(up, func() {
+		s.down = true
+		repair := g.rng.ExpFloat64() * cfg.MTTR
+		g.Engine.Schedule(repair, func() {
+			s.down = false
+			g.tryStart(s) // drain the queue that built up
+			g.scheduleOutage(siteIdx, cfg)
+		})
+	})
+}
+
+// SiteDown reports whether site i is currently in an outage.
+func (g *Grid) SiteDown(i int) bool { return g.sites[i].down }

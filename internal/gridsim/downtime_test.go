@@ -1,0 +1,172 @@
+package gridsim
+
+import (
+	"testing"
+)
+
+func TestDowntimeValidation(t *testing.T) {
+	if (DowntimeConfig{MTBF: -1}).Validate() == nil {
+		t.Fatal("negative MTBF should fail")
+	}
+	if (DowntimeConfig{MTBF: 100, MTTR: 0}).Validate() == nil {
+		t.Fatal("MTBF without MTTR should fail")
+	}
+	if (DowntimeConfig{}).Validate() != nil {
+		t.Fatal("zero config is valid (disabled)")
+	}
+	g, err := New(DefaultGrid(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnableDowntime(DowntimeConfig{MTBF: -1, MTTR: 5}); err == nil {
+		t.Fatal("EnableDowntime must validate")
+	}
+	if err := g.EnableDowntime(DowntimeConfig{}); err != nil {
+		t.Fatal("disabled downtime should be accepted")
+	}
+}
+
+func TestDowntimeOccurs(t *testing.T) {
+	g, err := New(DefaultGrid(6, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnableDowntime(DowntimeConfig{MTBF: 2000, MTTR: 600}); err != nil {
+		t.Fatal(err)
+	}
+	sawDown := false
+	for step := 0; step < 200 && !sawDown; step++ {
+		g.Engine.Run(g.Engine.Now() + 120)
+		for i := 0; i < g.NumSites(); i++ {
+			if g.SiteDown(i) {
+				sawDown = true
+			}
+		}
+	}
+	if !sawDown {
+		t.Fatal("no outage observed despite MTBF=2000s over 24000s")
+	}
+	// Jobs keep their slot caps through outages, and the grid still
+	// makes progress overall.
+	g.Engine.Run(g.Engine.Now() + 50000)
+	for i := 0; i < g.NumSites(); i++ {
+		running, _ := g.SiteOccupancy(i)
+		if running > g.Config().Sites[i].Slots {
+			t.Fatalf("site %d over capacity during downtime test", i)
+		}
+	}
+	if g.Started == 0 {
+		t.Fatal("grid made no progress with downtime enabled")
+	}
+}
+
+func TestDowntimeFattensTail(t *testing.T) {
+	campaign := func(withDowntime bool) float64 {
+		g, err := New(DefaultGrid(8, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withDowntime {
+			if err := g.EnableDowntime(DowntimeConfig{MTBF: 4000, MTTR: 2500}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := RunProbes(g, DefaultProbeConfig(400), "dt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.ComputeStats().MeanBody
+	}
+	base := campaign(false)
+	down := campaign(true)
+	if !(down > base) {
+		t.Fatalf("downtime should raise mean latency: %v vs %v", down, base)
+	}
+}
+
+func TestLeastLoadedSites(t *testing.T) {
+	g, err := New(DefaultGrid(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Engine.Run(5000)
+	sites := g.LeastLoadedSites(3)
+	if len(sites) != 3 {
+		t.Fatalf("%d sites", len(sites))
+	}
+	seen := map[int]bool{}
+	for _, s := range sites {
+		if seen[s] {
+			t.Fatal("duplicate site")
+		}
+		seen[s] = true
+	}
+	// Clamping.
+	if len(g.LeastLoadedSites(0)) != 1 {
+		t.Fatal("k<1 should clamp to 1")
+	}
+	if len(g.LeastLoadedSites(99)) != g.NumSites() {
+		t.Fatal("k>sites should clamp")
+	}
+}
+
+func TestSubmitToSitePanicsOutOfRange(t *testing.T) {
+	g, err := New(DefaultGrid(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.SubmitToSite(99, 1)
+}
+
+func TestRunKDistributed(t *testing.T) {
+	g, err := New(DefaultGrid(16, 37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Engine.Run(5000)
+
+	out, err := RunKDistributed(g, 4, 50, 100, 1, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks == 0 {
+		t.Fatal("no K-distributed tasks completed")
+	}
+	if out.MeanSubmissions < 4 {
+		t.Fatalf("submissions %v below K", out.MeanSubmissions)
+	}
+	if out.MeanJ <= 0 {
+		t.Fatalf("mean J %v", out.MeanJ)
+	}
+
+	// K=4 should beat K=1 on mean latency (Subramani et al's result)
+	// on a comparable fresh grid.
+	g2, err := New(DefaultGrid(16, 37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Engine.Run(5000)
+	out1, err := RunKDistributed(g2, 1, 50, 100, 1, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Tasks > 0 && out.Tasks > 0 && out.MeanJ > out1.MeanJ*1.25 {
+		t.Fatalf("K=4 (J=%v) should not be much worse than K=1 (J=%v)", out.MeanJ, out1.MeanJ)
+	}
+
+	// Input validation.
+	if _, err := RunKDistributed(g, 0, 10, 10, 1, 100); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := RunKDistributed(g, 2, 0, 10, 1, 100); err == nil {
+		t.Fatal("tasks=0 should fail")
+	}
+	if _, err := RunKDistributed(g, 2, 10, 10, 1, -5); err == nil {
+		t.Fatal("negative tInf should fail")
+	}
+}

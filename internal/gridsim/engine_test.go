@@ -1,0 +1,262 @@
+package gridsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { order = append(order, d) })
+	}
+	e.Run(10)
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("executed %d events", len(order))
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("processed counter %d", e.Processed())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++ })
+	e.Schedule(100, func() { ran++ })
+	e.Run(10)
+	if ran != 1 || e.Pending() != 1 {
+		t.Fatalf("ran=%d pending=%d", ran, e.Pending())
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock at %v", e.Now())
+	}
+	e.Drain()
+	if ran != 2 || e.Now() != 100 {
+		t.Fatalf("drain failed: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 5 {
+			e.Schedule(1, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run(100)
+	if hits != 5 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if e.Now() != 4 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineRejectsNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestEngineEventAtHorizonRuns(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(10, func() { ran = true })
+	e.Run(10)
+	if !ran {
+		t.Fatal("event exactly at horizon should run")
+	}
+}
+
+func TestDefaultGridValidates(t *testing.T) {
+	cfg := DefaultGrid(12, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Sites) != 12 {
+		t.Fatalf("%d sites", len(cfg.Sites))
+	}
+	if cfg0 := DefaultGrid(0, 1); len(cfg0.Sites) != 24 {
+		t.Fatal("default site count should be 24")
+	}
+}
+
+func TestGridConfigValidation(t *testing.T) {
+	base := DefaultGrid(3, 1)
+
+	bad := base
+	bad.Sites = nil
+	if bad.Validate() == nil {
+		t.Fatal("no sites should fail")
+	}
+
+	bad = base
+	bad.WMSDelay = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil WMS delay should fail")
+	}
+
+	bad = base
+	bad.Diurnal = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("diurnal out of range should fail")
+	}
+
+	bad = DefaultGrid(3, 1)
+	bad.Sites[1].Slots = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero slots should fail")
+	}
+
+	bad = DefaultGrid(3, 1)
+	bad.Sites[0].BackgroundInterArrival = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero inter-arrival should fail")
+	}
+
+	bad = DefaultGrid(3, 1)
+	bad.Sites[2].DispatchFault = 1
+	if bad.Validate() == nil {
+		t.Fatal("fault probability 1 should fail")
+	}
+
+	if _, err := New(GridConfig{}); err == nil {
+		t.Fatal("New must validate")
+	}
+}
+
+func TestGridSlotCapRespected(t *testing.T) {
+	g, err := New(DefaultGrid(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the grid for a while, checking occupancy at intervals.
+	for step := 0; step < 50; step++ {
+		g.Engine.Run(g.Engine.Now() + 600)
+		for i := 0; i < g.NumSites(); i++ {
+			running, _ := g.SiteOccupancy(i)
+			if running > g.Config().Sites[i].Slots {
+				t.Fatalf("site %d runs %d jobs with %d slots", i, running, g.Config().Sites[i].Slots)
+			}
+			if running < 0 {
+				t.Fatalf("site %d negative occupancy", i)
+			}
+		}
+	}
+}
+
+func TestGridDeterminism(t *testing.T) {
+	run := func() (int64, int64, float64) {
+		g, err := New(DefaultGrid(8, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Engine.Run(20000)
+		return g.Started, g.Finished, g.Engine.Now()
+	}
+	s1, f1, n1 := run()
+	s2, f2, n2 := run()
+	if s1 != s2 || f1 != f2 || n1 != n2 {
+		t.Fatalf("non-deterministic: (%d,%d,%v) vs (%d,%d,%v)", s1, f1, n1, s2, f2, n2)
+	}
+	if s1 == 0 {
+		t.Fatal("nothing started in 20,000 s of simulation")
+	}
+}
+
+func TestUserJobLifecycle(t *testing.T) {
+	g, err := New(DefaultGrid(6, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started, finished := 0, 0
+	var latencies []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		j := g.Submit(30 + rng.Float64()*60)
+		j.OnStart = func(job *Job) {
+			started++
+			latencies = append(latencies, job.Latency())
+		}
+		j.OnFinish = func(job *Job) {
+			if job.State == JobDone {
+				finished++
+			}
+		}
+		g.Engine.Run(g.Engine.Now() + 2000)
+	}
+	g.Engine.Run(g.Engine.Now() + 50000)
+	if started == 0 {
+		t.Fatal("no user jobs started")
+	}
+	for _, l := range latencies {
+		if l < 30 { // WMS floor is ≈60 s + queue time
+			t.Fatalf("latency %v below middleware floor", l)
+		}
+	}
+	if finished > started {
+		t.Fatalf("finished %d > started %d", finished, started)
+	}
+}
+
+func TestCancelPreventsStart(t *testing.T) {
+	g, err := New(DefaultGrid(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := g.Submit(10)
+	startFired := false
+	j.OnStart = func(*Job) { startFired = true }
+	g.Cancel(j)
+	g.Engine.Run(g.Engine.Now() + 50000)
+	if startFired {
+		t.Fatal("cancelled job started anyway")
+	}
+	if j.State != JobCancelled {
+		t.Fatalf("state %v", j.State)
+	}
+	if g.Cancelled != 1 {
+		t.Fatalf("cancelled counter %d", g.Cancelled)
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	if StrategySingle.String() != "single" ||
+		StrategyMultiple.String() != "multiple" ||
+		StrategyDelayed.String() != "delayed" {
+		t.Fatal("strategy names wrong")
+	}
+	if StrategyKind(42).String() != "strategy(42)" {
+		t.Fatal("unknown strategy format")
+	}
+}

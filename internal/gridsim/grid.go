@@ -1,0 +1,367 @@
+package gridsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridstrat/internal/stats"
+)
+
+// SiteConfig describes one computing element (a site gateway with a
+// batch queue).
+type SiteConfig struct {
+	Name  string
+	Slots int // worker slots behind this CE
+
+	// Background load from other VOs: Poisson arrivals of batch jobs
+	// with the given mean inter-arrival time (seconds) and runtime
+	// distribution. Arrival intensity is modulated diurnally to create
+	// the non-stationarity production grids exhibit.
+	BackgroundInterArrival float64
+	BackgroundRuntime      stats.Distribution
+
+	// DispatchFault is the probability that a job sent to this CE is
+	// silently lost (configuration problems, middleware version skew):
+	// it never starts and only the client timeout recovers it.
+	DispatchFault float64
+	// QueueFault is the probability that a queued job is killed by the
+	// local batch system (detected after a delay, surfacing as an
+	// error to the client).
+	QueueFault float64
+}
+
+// GridConfig describes the simulated infrastructure.
+type GridConfig struct {
+	Sites []SiteConfig
+
+	// WMSDelay is the middleware overhead between submission and
+	// arrival at a CE queue: credential delegation, match-making,
+	// file-name resolution, dispatch. This is the latency floor.
+	WMSDelay stats.Distribution
+	// InfoStaleness is the age (seconds) of the occupancy information
+	// the WMS ranks sites with; stale information produces the
+	// mis-scheduling bursts that fatten the latency tail.
+	InfoStaleness float64
+	// Diurnal is the relative amplitude (0..1) of the sinusoidal
+	// modulation of background arrivals over a 24 h period.
+	Diurnal float64
+	// Seed drives all randomness in the simulation.
+	Seed int64
+}
+
+// DefaultGrid returns a biomed-VO-like configuration: a few dozen
+// heterogeneous sites, minute-scale middleware overhead, and enough
+// background churn to produce heavy-tailed probe latencies.
+func DefaultGrid(sites int, seed int64) GridConfig {
+	if sites <= 0 {
+		sites = 24
+	}
+	cfg := GridConfig{
+		WMSDelay:      stats.NewShifted(stats.NewLogNormal(3.6, 0.55), 60), // ≈100–180 s
+		InfoStaleness: 300,
+		Diurnal:       0.35,
+		Seed:          seed,
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for i := 0; i < sites; i++ {
+		slots := 8 << uint(rng.Intn(4)) // 8..64 slots
+		cfg.Sites = append(cfg.Sites, SiteConfig{
+			Name:                   fmt.Sprintf("ce%02d", i),
+			Slots:                  slots,
+			BackgroundInterArrival: 40 + rng.Float64()*160,
+			BackgroundRuntime:      stats.NewShifted(stats.NewLogNormal(6.2, 1.1), 30),
+			DispatchFault:          0.01 + rng.Float64()*0.05,
+			QueueFault:             0.005 + rng.Float64()*0.02,
+		})
+	}
+	return cfg
+}
+
+// Validate checks the configuration for obvious inconsistencies.
+func (c GridConfig) Validate() error {
+	if len(c.Sites) == 0 {
+		return fmt.Errorf("gridsim: no sites configured")
+	}
+	if c.WMSDelay == nil {
+		return fmt.Errorf("gridsim: nil WMS delay distribution")
+	}
+	if c.Diurnal < 0 || c.Diurnal >= 1 {
+		return fmt.Errorf("gridsim: diurnal amplitude %v outside [0, 1)", c.Diurnal)
+	}
+	for i, s := range c.Sites {
+		if s.Slots <= 0 {
+			return fmt.Errorf("gridsim: site %d (%s) has no slots", i, s.Name)
+		}
+		if s.BackgroundInterArrival <= 0 {
+			return fmt.Errorf("gridsim: site %d (%s) non-positive inter-arrival", i, s.Name)
+		}
+		if s.BackgroundRuntime == nil {
+			return fmt.Errorf("gridsim: site %d (%s) nil runtime distribution", i, s.Name)
+		}
+		if s.DispatchFault < 0 || s.DispatchFault >= 1 || s.QueueFault < 0 || s.QueueFault >= 1 {
+			return fmt.Errorf("gridsim: site %d (%s) fault probabilities out of range", i, s.Name)
+		}
+	}
+	return nil
+}
+
+// JobState is the lifecycle position of a simulated job.
+type JobState int
+
+const (
+	JobSubmitted JobState = iota // handed to the WMS
+	JobQueued                    // waiting in a CE batch queue
+	JobRunning                   // occupying a slot
+	JobDone                      // finished its runtime
+	JobLost                      // silently dropped (dispatch fault)
+	JobKilled                    // killed by the batch system (queue fault)
+	JobCancelled                 // canceled by the client
+)
+
+// Job is one simulated grid job.
+type Job struct {
+	ID       int64
+	State    JobState
+	Site     int     // index into GridConfig.Sites once dispatched
+	Submit   float64 // submission instant
+	Start    float64 // execution start instant (if it ran)
+	Runtime  float64 // requested execution duration
+	Done     float64 // terminal instant
+	OnStart  func(*Job)
+	OnFinish func(*Job)
+}
+
+// Latency returns the submission-to-start latency, the paper's R.
+func (j *Job) Latency() float64 { return j.Start - j.Submit }
+
+// site is the runtime state of one CE.
+type site struct {
+	cfg     SiteConfig
+	running int
+	queue   []*Job // FIFO batch queue
+
+	// occupancySnapshot is the queue+running count the WMS last saw;
+	// refreshed every InfoStaleness seconds.
+	occupancySnapshot int
+
+	// down marks an outage window: queued jobs wait, nothing starts.
+	down bool
+}
+
+// Grid is a live simulation instance.
+type Grid struct {
+	Engine *Engine
+	cfg    GridConfig
+	rng    *rand.Rand
+	sites  []*site
+	nextID int64
+
+	// Counters for conservation checks and metrics.
+	Submitted int64
+	Started   int64
+	Finished  int64
+	Lost      int64
+	Killed    int64
+	Cancelled int64
+}
+
+// New builds a grid simulation from the configuration.
+func New(cfg GridConfig) (*Grid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		Engine: NewEngine(),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, sc := range cfg.Sites {
+		g.sites = append(g.sites, &site{cfg: sc})
+	}
+	g.startBackground()
+	g.refreshSnapshots()
+	return g, nil
+}
+
+// Config returns the grid configuration.
+func (g *Grid) Config() GridConfig { return g.cfg }
+
+// startBackground schedules the first background arrival at each site.
+func (g *Grid) startBackground() {
+	for i := range g.sites {
+		g.scheduleBackgroundArrival(i)
+	}
+	// Pre-fill queues so measurement does not start on an empty grid:
+	// every site begins with its slots busy and a partial queue.
+	for i, s := range g.sites {
+		idx := i
+		backlog := s.cfg.Slots + g.rng.Intn(s.cfg.Slots*2+1)
+		for k := 0; k < backlog; k++ {
+			j := g.newJob(s.cfg.BackgroundRuntime.Rand(g.rng) * (0.3 + 0.7*g.rng.Float64()))
+			g.enqueue(idx, j)
+		}
+	}
+}
+
+func (g *Grid) scheduleBackgroundArrival(siteIdx int) {
+	s := g.sites[siteIdx]
+	// Diurnal modulation of the Poisson rate.
+	phase := 2 * math.Pi * g.Engine.Now() / 86400
+	rate := (1 + g.cfg.Diurnal*math.Sin(phase)) / s.cfg.BackgroundInterArrival
+	gap := g.rng.ExpFloat64() / rate
+	g.Engine.Schedule(gap, func() {
+		j := g.newJob(s.cfg.BackgroundRuntime.Rand(g.rng))
+		g.enqueue(siteIdx, j)
+		g.scheduleBackgroundArrival(siteIdx)
+	})
+}
+
+// refreshSnapshots periodically copies true occupancy into the stale
+// view the WMS ranks with.
+func (g *Grid) refreshSnapshots() {
+	for _, s := range g.sites {
+		s.occupancySnapshot = s.running + len(s.queue)
+	}
+	stale := g.cfg.InfoStaleness
+	if stale <= 0 {
+		stale = 60
+	}
+	g.Engine.Schedule(stale, g.refreshSnapshots)
+}
+
+func (g *Grid) newJob(runtime float64) *Job {
+	g.nextID++
+	return &Job{ID: g.nextID, Runtime: runtime, Submit: g.Engine.Now(), Site: -1}
+}
+
+// Submit hands a user job with the given runtime to the WMS. The
+// returned job's OnStart/OnFinish hooks (set by the caller before the
+// WMS delay elapses) observe its lifecycle.
+func (g *Grid) Submit(runtime float64) *Job {
+	j := g.newJob(runtime)
+	g.Submitted++
+	j.State = JobSubmitted
+	delay := g.cfg.WMSDelay.Rand(g.rng)
+	g.Engine.Schedule(delay, func() {
+		if j.State == JobCancelled {
+			return
+		}
+		g.dispatch(j)
+	})
+	return j
+}
+
+// dispatch match-makes the job onto a CE using the stale occupancy
+// snapshot: choose among the lowest-occupancy sites with tie noise.
+func (g *Grid) dispatch(j *Job) {
+	best, bestScore := 0, math.Inf(1)
+	for i, s := range g.sites {
+		score := float64(s.occupancySnapshot)/float64(s.cfg.Slots) + 0.25*g.rng.Float64()
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	s := g.sites[best]
+	if g.rng.Float64() < s.cfg.DispatchFault {
+		// Silently lost: the client only learns via its own timeout.
+		j.State = JobLost
+		j.Site = best
+		j.Done = g.Engine.Now()
+		g.Lost++
+		return
+	}
+	g.enqueue(best, j)
+}
+
+// enqueue places the job in the site's FIFO batch queue and starts it
+// immediately if a slot is free.
+func (g *Grid) enqueue(siteIdx int, j *Job) {
+	s := g.sites[siteIdx]
+	j.Site = siteIdx
+	j.State = JobQueued
+	if g.rng.Float64() < s.cfg.QueueFault {
+		// The batch system will kill it after a detection delay.
+		delay := 30 + g.rng.ExpFloat64()*600
+		g.Engine.Schedule(delay, func() {
+			if j.State != JobQueued {
+				return
+			}
+			j.State = JobKilled
+			j.Done = g.Engine.Now()
+			g.Killed++
+			g.removeFromQueue(s, j)
+			if j.OnFinish != nil {
+				j.OnFinish(j)
+			}
+		})
+	}
+	s.queue = append(s.queue, j)
+	g.tryStart(s)
+}
+
+func (g *Grid) removeFromQueue(s *site, j *Job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// tryStart fills free slots from the FIFO queue.
+func (g *Grid) tryStart(s *site) {
+	for !s.down && s.running < s.cfg.Slots && len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.State != JobQueued {
+			continue // killed or cancelled while waiting
+		}
+		s.running++
+		j.State = JobRunning
+		j.Start = g.Engine.Now()
+		g.Started++
+		if j.OnStart != nil {
+			j.OnStart(j)
+		}
+		g.Engine.Schedule(j.Runtime, func() {
+			s.running--
+			if j.State == JobRunning {
+				j.State = JobDone
+				j.Done = g.Engine.Now()
+				g.Finished++
+				if j.OnFinish != nil {
+					j.OnFinish(j)
+				}
+			}
+			g.tryStart(s)
+		})
+	}
+}
+
+// Cancel withdraws a job: a queued or in-WMS job never starts; a
+// running job's slot is reclaimed when its runtime event fires.
+func (g *Grid) Cancel(j *Job) {
+	switch j.State {
+	case JobSubmitted, JobQueued:
+		if j.State == JobQueued && j.Site >= 0 {
+			g.removeFromQueue(g.sites[j.Site], j)
+		}
+		j.State = JobCancelled
+		j.Done = g.Engine.Now()
+		g.Cancelled++
+	case JobRunning:
+		j.State = JobCancelled
+		j.Done = g.Engine.Now()
+		g.Cancelled++
+	}
+}
+
+// SiteOccupancy returns (running, queued) for site i — for tests and
+// metrics.
+func (g *Grid) SiteOccupancy(i int) (running, queued int) {
+	return g.sites[i].running, len(g.sites[i].queue)
+}
+
+// NumSites returns the number of configured sites.
+func (g *Grid) NumSites() int { return len(g.sites) }

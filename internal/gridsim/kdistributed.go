@@ -1,0 +1,150 @@
+package gridsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the K-distributed scheme of Subramani et al.
+// (HPDC'02), which the paper discusses as related work: each job is
+// submitted to the K least-loaded sites *directly* (bypassing central
+// match-making), and the extra copies are canceled when one starts.
+// It serves as a baseline against the paper's client-side strategies,
+// which need no knowledge of site occupancy.
+
+// LeastLoadedSites returns the indices of the k sites with the lowest
+// occupancy according to the WMS's (stale) snapshot, normalized by
+// slot count — the information a K-distributed scheduler would act on.
+func (g *Grid) LeastLoadedSites(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(g.sites) {
+		k = len(g.sites)
+	}
+	idx := make([]int, len(g.sites))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa := g.sites[idx[a]]
+		sb := g.sites[idx[b]]
+		ra := float64(sa.occupancySnapshot) / float64(sa.cfg.Slots)
+		rb := float64(sb.occupancySnapshot) / float64(sb.cfg.Slots)
+		if ra != rb {
+			return ra < rb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// SubmitToSite places a job at a specific CE, paying only the
+// middleware delay (no match-making): the direct-submission mode the
+// K-distributed scheme assumes.
+func (g *Grid) SubmitToSite(siteIdx int, runtime float64) *Job {
+	if siteIdx < 0 || siteIdx >= len(g.sites) {
+		panic(fmt.Sprintf("gridsim: site index %d out of range", siteIdx))
+	}
+	j := g.newJob(runtime)
+	g.Submitted++
+	j.State = JobSubmitted
+	delay := g.cfg.WMSDelay.Rand(g.rng)
+	g.Engine.Schedule(delay, func() {
+		if j.State == JobCancelled {
+			return
+		}
+		s := g.sites[siteIdx]
+		if g.rng.Float64() < s.cfg.DispatchFault {
+			j.State = JobLost
+			j.Site = siteIdx
+			j.Done = g.Engine.Now()
+			g.Lost++
+			return
+		}
+		g.enqueue(siteIdx, j)
+	})
+	return j
+}
+
+// RunKDistributed executes `tasks` sequential tasks under the
+// K-distributed scheme: K copies on the K least-loaded sites, all
+// canceled when one starts, the whole set resubmitted at tInf.
+func RunKDistributed(g *Grid, k, tasks, maxRounds int, runtime, tInf float64) (StrategyOutcome, error) {
+	if k < 1 {
+		return StrategyOutcome{}, fmt.Errorf("gridsim: K must be >= 1, got %d", k)
+	}
+	if tasks <= 0 || maxRounds <= 0 || tInf <= 0 {
+		return StrategyOutcome{}, fmt.Errorf("gridsim: invalid run parameters tasks=%d rounds=%d tInf=%v",
+			tasks, maxRounds, tInf)
+	}
+	var out StrategyOutcome
+	var sum, sum2, subs, par float64
+	for i := 0; i < tasks; i++ {
+		start := g.Engine.Now()
+		started := false
+		var startAt float64
+		submissions := 0
+		copySeconds := 0.0
+
+		for round := 0; round < maxRounds && !started; round++ {
+			roundStart := g.Engine.Now()
+			targets := g.LeastLoadedSites(k)
+			jobsThisRound := make([]*Job, 0, len(targets))
+			for _, siteIdx := range targets {
+				j := g.SubmitToSite(siteIdx, runtime)
+				submissions++
+				j.OnStart = func(job *Job) {
+					if !started {
+						started = true
+						startAt = job.Start
+					}
+				}
+				jobsThisRound = append(jobsThisRound, j)
+			}
+			g.Engine.Run(roundStart + tInf)
+			if started {
+				for _, j := range jobsThisRound {
+					if j.State != JobRunning {
+						g.Cancel(j)
+					}
+					copySeconds += math.Min(startAt, roundStart+tInf) - roundStart
+				}
+				break
+			}
+			for _, j := range jobsThisRound {
+				g.Cancel(j)
+				copySeconds += tInf
+			}
+			if g.Engine.Now() < roundStart+tInf {
+				g.Engine.Schedule(roundStart+tInf-g.Engine.Now(), func() {})
+				g.Engine.Run(roundStart + tInf)
+			}
+		}
+		if !started {
+			out.TimedOutTasks++
+			continue
+		}
+		j := startAt - start
+		out.Tasks++
+		sum += j
+		sum2 += j * j
+		subs += float64(submissions)
+		if j > 0 {
+			par += copySeconds / j
+		}
+	}
+	if out.Tasks > 0 {
+		n := float64(out.Tasks)
+		out.MeanJ = sum / n
+		variance := sum2/n - out.MeanJ*out.MeanJ
+		if variance < 0 {
+			variance = 0
+		}
+		out.StdJ = math.Sqrt(variance)
+		out.MeanSubmissions = subs / n
+		out.MeanParallel = par / n
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package gridsim
+
+import (
+	"fmt"
+	"math"
+
+	"gridstrat/internal/trace"
+)
+
+// ProbeConfig drives a constant-load probe measurement campaign, the
+// methodology of §3.2 of the paper: a fixed number of near-zero-length
+// probe jobs is kept in flight, each new probe submitted when another
+// terminates, with a client-side timeout marking outliers.
+type ProbeConfig struct {
+	InFlight int     // constant number of concurrent probes
+	Total    int     // probes to collect
+	Timeout  float64 // client timeout (the paper's 10,000 s)
+	Runtime  float64 // probe execution duration (≈0: /bin/hostname)
+}
+
+// DefaultProbeConfig mirrors the paper's campaign shape.
+func DefaultProbeConfig(total int) ProbeConfig {
+	return ProbeConfig{InFlight: 25, Total: total, Timeout: trace.DefaultTimeout, Runtime: 1}
+}
+
+// RunProbes executes a probe campaign against the grid and returns the
+// collected trace. The grid keeps serving background load while the
+// campaign runs.
+func RunProbes(g *Grid, cfg ProbeConfig, name string) (*trace.Trace, error) {
+	if cfg.InFlight <= 0 || cfg.Total <= 0 {
+		return nil, fmt.Errorf("gridsim: probe campaign needs positive InFlight and Total, got %+v", cfg)
+	}
+	if cfg.Timeout <= 0 {
+		return nil, fmt.Errorf("gridsim: non-positive probe timeout %v", cfg.Timeout)
+	}
+	tr := &trace.Trace{Name: name, Timeout: cfg.Timeout}
+	launched := 0
+	id := 0
+
+	var launch func()
+	launch = func() {
+		if launched >= cfg.Total {
+			return
+		}
+		launched++
+		recID := id
+		id++
+		j := g.Submit(cfg.Runtime)
+		submitted := g.Engine.Now()
+		settled := false
+
+		record := func(latency float64, st trace.Status) {
+			if settled {
+				return
+			}
+			settled = true
+			tr.Records = append(tr.Records, trace.ProbeRecord{
+				ID:      recID,
+				Submit:  submitted,
+				Latency: latency,
+				Status:  st,
+			})
+			launch() // keep the in-flight count constant
+		}
+
+		j.OnStart = func(job *Job) {
+			record(job.Latency(), trace.StatusCompleted)
+		}
+		j.OnFinish = func(job *Job) {
+			if job.State == JobKilled {
+				record(job.Done-job.Submit, trace.StatusFault)
+			}
+		}
+		// Client-side timeout: cancel and record an outlier. The probe
+		// may have started just before; record() is idempotent.
+		g.Engine.Schedule(cfg.Timeout, func() {
+			if !settled {
+				g.Cancel(j)
+				record(cfg.Timeout, trace.StatusOutlier)
+			}
+		})
+	}
+
+	for i := 0; i < cfg.InFlight && i < cfg.Total; i++ {
+		launch()
+	}
+	// Run in chunks and stop as soon as the campaign completes: the
+	// background load reschedules itself forever, so running straight
+	// to the worst-case horizon would simulate months of idle grid.
+	// Every probe resolves within Timeout of its submission and
+	// submissions chain, so Total·Timeout bounds the campaign.
+	horizon := g.Engine.Now() + float64(cfg.Total+cfg.InFlight)*cfg.Timeout
+	chunk := cfg.Timeout / 4
+	for len(tr.Records) < cfg.Total && g.Engine.Pending() > 0 && g.Engine.Now() < horizon {
+		g.Engine.Run(math.Min(horizon, g.Engine.Now()+chunk))
+	}
+	if len(tr.Records) < cfg.Total {
+		return nil, fmt.Errorf("gridsim: campaign stalled at %d/%d probes", len(tr.Records), cfg.Total)
+	}
+	tr.Records = tr.Records[:cfg.Total]
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

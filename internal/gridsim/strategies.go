@@ -1,0 +1,218 @@
+package gridsim
+
+import (
+	"fmt"
+	"math"
+
+	"gridstrat/internal/core"
+)
+
+// StrategyKind selects a client-side submission strategy.
+type StrategyKind int
+
+const (
+	// StrategySingle cancels and resubmits at t∞ (paper §4).
+	StrategySingle StrategyKind = iota
+	// StrategyMultiple submits b copies, cancels the rest when one
+	// starts, resubmits the collection at t∞ (paper §5).
+	StrategyMultiple
+	// StrategyDelayed submits a copy every t0 without cancelling until
+	// each copy's own t∞ (paper §6).
+	StrategyDelayed
+)
+
+func (k StrategyKind) String() string {
+	switch k {
+	case StrategySingle:
+		return "single"
+	case StrategyMultiple:
+		return "multiple"
+	case StrategyDelayed:
+		return "delayed"
+	}
+	return fmt.Sprintf("strategy(%d)", int(k))
+}
+
+// StrategySpec fully parameterizes a client strategy.
+type StrategySpec struct {
+	Kind    StrategyKind
+	TInf    float64            // timeout (all strategies)
+	B       int                // collection size (multiple)
+	Delayed core.DelayedParams // t0/t∞ (delayed; TInf ignored)
+}
+
+// Validate checks the spec.
+func (s StrategySpec) Validate() error {
+	switch s.Kind {
+	case StrategySingle:
+		if s.TInf <= 0 {
+			return fmt.Errorf("gridsim: single strategy needs positive t∞, got %v", s.TInf)
+		}
+	case StrategyMultiple:
+		if s.TInf <= 0 {
+			return fmt.Errorf("gridsim: multiple strategy needs positive t∞, got %v", s.TInf)
+		}
+		if s.B < 1 {
+			return fmt.Errorf("gridsim: multiple strategy needs b >= 1, got %d", s.B)
+		}
+	case StrategyDelayed:
+		return s.Delayed.Validate()
+	default:
+		return fmt.Errorf("gridsim: unknown strategy kind %d", s.Kind)
+	}
+	return nil
+}
+
+// TaskResult is the outcome of running one task under a strategy.
+type TaskResult struct {
+	J           float64 // total latency: submission of first copy → first start
+	Submissions int     // copies submitted in total
+	CopySeconds float64 // copy-time spent in the system before J
+}
+
+// StrategyOutcome aggregates task results.
+type StrategyOutcome struct {
+	Tasks           int
+	MeanJ           float64
+	StdJ            float64
+	MeanSubmissions float64
+	MeanParallel    float64 // mean of CopySeconds/J
+	TimedOutTasks   int     // tasks that never started within the budget
+}
+
+// RunStrategy executes `tasks` sequential tasks under the strategy
+// against the live grid and aggregates outcomes. Each task is given at
+// most maxRounds strategy rounds before being abandoned (counted in
+// TimedOutTasks) so a dead grid cannot hang the simulation.
+func RunStrategy(g *Grid, spec StrategySpec, tasks, maxRounds int, runtime float64) (StrategyOutcome, error) {
+	if err := spec.Validate(); err != nil {
+		return StrategyOutcome{}, err
+	}
+	if tasks <= 0 || maxRounds <= 0 {
+		return StrategyOutcome{}, fmt.Errorf("gridsim: tasks and maxRounds must be positive")
+	}
+	var out StrategyOutcome
+	var sum, sum2, subs, par float64
+	for i := 0; i < tasks; i++ {
+		res, ok := runOneTask(g, spec, maxRounds, runtime)
+		if !ok {
+			out.TimedOutTasks++
+			continue
+		}
+		out.Tasks++
+		sum += res.J
+		sum2 += res.J * res.J
+		subs += float64(res.Submissions)
+		if res.J > 0 {
+			par += res.CopySeconds / res.J
+		}
+	}
+	if out.Tasks > 0 {
+		n := float64(out.Tasks)
+		out.MeanJ = sum / n
+		variance := sum2/n - out.MeanJ*out.MeanJ
+		if variance < 0 {
+			variance = 0
+		}
+		out.StdJ = math.Sqrt(variance)
+		out.MeanSubmissions = subs / n
+		out.MeanParallel = par / n
+	}
+	return out, nil
+}
+
+// runOneTask drives a single task to its first start.
+func runOneTask(g *Grid, spec StrategySpec, maxRounds int, runtime float64) (TaskResult, bool) {
+	start := g.Engine.Now()
+	var res TaskResult
+	started := false
+	var startAt float64
+
+	type liveJob struct {
+		job    *Job
+		sub    float64
+		cancel float64 // scheduled cancellation instant
+	}
+	var live []*liveJob
+
+	noteStart := func(at float64) {
+		if !started {
+			started = true
+			startAt = at
+			for _, lj := range live {
+				if lj.job.State != JobRunning {
+					g.Cancel(lj.job)
+				}
+				end := math.Min(lj.cancel, at)
+				if end > lj.sub {
+					res.CopySeconds += end - lj.sub
+				}
+			}
+		}
+	}
+
+	submit := func(cancelAfter float64) *liveJob {
+		j := g.Submit(runtime)
+		lj := &liveJob{job: j, sub: g.Engine.Now(), cancel: g.Engine.Now() + cancelAfter}
+		res.Submissions++
+		j.OnStart = func(job *Job) { noteStart(job.Start) }
+		g.Engine.Schedule(cancelAfter, func() {
+			if !started && (j.State == JobSubmitted || j.State == JobQueued) {
+				g.Cancel(j)
+			}
+		})
+		live = append(live, lj)
+		return lj
+	}
+
+	switch spec.Kind {
+	case StrategySingle, StrategyMultiple:
+		b := 1
+		if spec.Kind == StrategyMultiple {
+			b = spec.B
+		}
+		for round := 0; round < maxRounds && !started; round++ {
+			roundStart := g.Engine.Now()
+			live = live[:0]
+			for k := 0; k < b; k++ {
+				submit(spec.TInf)
+			}
+			g.Engine.Run(roundStart + spec.TInf)
+			if !started {
+				// Round timed out: count the full windows as load.
+				for _, lj := range live {
+					res.CopySeconds += spec.TInf
+					if lj.job.State != JobRunning {
+						g.Cancel(lj.job)
+					}
+				}
+				// Advance the clock to the exact round boundary.
+				if g.Engine.Now() < roundStart+spec.TInf {
+					g.Engine.Schedule(roundStart+spec.TInf-g.Engine.Now(), func() {})
+					g.Engine.Run(roundStart + spec.TInf)
+				}
+			}
+		}
+	case StrategyDelayed:
+		p := spec.Delayed
+		for k := 0; k < maxRounds && !started; k++ {
+			submit(p.TInf)
+			next := g.Engine.Now() + p.T0
+			g.Engine.Run(next)
+			if !started && g.Engine.Now() < next {
+				g.Engine.Schedule(next-g.Engine.Now(), func() {})
+				g.Engine.Run(next)
+			}
+		}
+		if !started {
+			// Let the last copies play out their windows.
+			g.Engine.Run(g.Engine.Now() + p.TInf)
+		}
+	}
+
+	if !started {
+		return res, false
+	}
+	res.J = startAt - start
+	return res, true
+}

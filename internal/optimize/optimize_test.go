@@ -1,0 +1,183 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.7) * (x - 3.7) }
+	r := GoldenSection(f, 0, 10, 1e-10)
+	if math.Abs(r.X-3.7) > 1e-8 {
+		t.Fatalf("argmin %v, want 3.7", r.X)
+	}
+	if r.F > 1e-15 {
+		t.Fatalf("min value %v", r.F)
+	}
+	if r.Evals <= 0 {
+		t.Fatal("evals not counted")
+	}
+}
+
+func TestGoldenSectionBoundaryMin(t *testing.T) {
+	// Monotone increasing: minimum at the left edge.
+	r := GoldenSection(func(x float64) float64 { return x }, 2, 9, 1e-9)
+	if math.Abs(r.X-2) > 1e-6 {
+		t.Fatalf("argmin %v, want 2", r.X)
+	}
+}
+
+func TestBrentMatchesGolden(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) + x*x/50 }
+	g := GoldenSection(f, 0, 8, 1e-12)
+	b := Brent(f, 0, 8, 1e-12)
+	if math.Abs(g.X-b.X) > 1e-6 {
+		t.Fatalf("golden %v vs brent %v", g.X, b.X)
+	}
+	if b.Evals >= g.Evals {
+		t.Logf("brent used %d evals vs golden %d (expected fewer, not fatal)", b.Evals, g.Evals)
+	}
+}
+
+func TestBrentSharpValley(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 1.234567) }
+	r := Brent(f, -5, 5, 1e-12)
+	if math.Abs(r.X-1.234567) > 1e-6 {
+		t.Fatalf("argmin %v", r.X)
+	}
+}
+
+func TestGridScan1DMultimodal(t *testing.T) {
+	// Two valleys: x=2 (depth -1) and x=7 (depth -3). Golden section
+	// may fall in the wrong one; the grid scan must find x=7.
+	f := func(x float64) float64 {
+		return -1*math.Exp(-(x-2)*(x-2)) - 3*math.Exp(-(x-7)*(x-7))
+	}
+	r := GridScan1D(f, 0, 10, 100, 3)
+	if math.Abs(r.X-7) > 0.01 {
+		t.Fatalf("argmin %v, want ~7", r.X)
+	}
+}
+
+func TestGridScan1DPlateauInf(t *testing.T) {
+	// Infeasible region marked +Inf left of 4.
+	f := func(x float64) float64 {
+		if x < 4 {
+			return math.Inf(1)
+		}
+		return (x - 5) * (x - 5)
+	}
+	r := GridScan1D(f, 0, 10, 50, 4)
+	if math.Abs(r.X-5) > 0.01 {
+		t.Fatalf("argmin %v, want 5", r.X)
+	}
+	if math.IsInf(r.F, 1) {
+		t.Fatal("failed to escape infeasible plateau")
+	}
+}
+
+func TestGridScan2D(t *testing.T) {
+	f := func(x, y float64) float64 {
+		return (x-1.5)*(x-1.5) + (y+2.5)*(y+2.5)
+	}
+	r := GridScan2D(f, -10, 10, -10, 10, 30, 30, 4)
+	if math.Abs(r.X-1.5) > 0.01 || math.Abs(r.Y+2.5) > 0.01 {
+		t.Fatalf("argmin (%v, %v)", r.X, r.Y)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x, y float64) float64 {
+		return (1-x)*(1-x) + 100*(y-x*x)*(y-x*x)
+	}
+	r := NelderMead(f, -1.2, 1, 0.5, 1e-14, 2000)
+	if math.Abs(r.X-1) > 1e-3 || math.Abs(r.Y-1) > 1e-3 {
+		t.Fatalf("argmin (%v, %v), want (1,1)", r.X, r.Y)
+	}
+}
+
+func TestNelderMeadWithInfeasibleRegion(t *testing.T) {
+	// Constrained: feasible iff x < y < 2x (the delayed-strategy
+	// constraint shape), minimize distance to (3, 4.5).
+	f := func(x, y float64) float64 {
+		if !(x < y && y < 2*x) {
+			return math.Inf(1)
+		}
+		return (x-3)*(x-3) + (y-4.5)*(y-4.5)
+	}
+	r := NelderMead(f, 3.1, 4.0, 0.2, 1e-12, 1000)
+	if math.Abs(r.X-3) > 1e-3 || math.Abs(r.Y-4.5) > 1e-3 {
+		t.Fatalf("argmin (%v, %v), want (3, 4.5)", r.X, r.Y)
+	}
+}
+
+func TestMinimizeRobust2D(t *testing.T) {
+	// Multimodal with the global basin off-center.
+	f := func(x, y float64) float64 {
+		return -2*math.Exp(-((x-7)*(x-7)+(y-3)*(y-3))/4) -
+			1*math.Exp(-((x-2)*(x-2)+(y-8)*(y-8))/4)
+	}
+	r := MinimizeRobust2D(f, 0, 10, 0, 10)
+	if math.Abs(r.X-7) > 0.05 || math.Abs(r.Y-3) > 0.05 {
+		t.Fatalf("argmin (%v, %v), want (7, 3)", r.X, r.Y)
+	}
+}
+
+func TestOptimizerFindsQuadraticMinProperty(t *testing.T) {
+	f := func(rawC float64) bool {
+		c := math.Mod(math.Abs(rawC), 8) + 1 // minimum in (1, 9)
+		obj := func(x float64) float64 { return (x - c) * (x - c) }
+		g := GoldenSection(obj, 0, 10, 1e-10)
+		b := Brent(obj, 0, 10, 1e-10)
+		s := GridScan1D(obj, 0, 10, 64, 5)
+		return math.Abs(g.X-c) < 1e-6 && math.Abs(b.X-c) < 1e-6 && math.Abs(s.X-c) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	id2 := func(x, y float64) float64 { return x + y }
+	for _, fn := range []func(){
+		func() { GoldenSection(id, 5, 5, 1e-8) },
+		func() { Brent(id, 2, 1, 1e-8) },
+		func() { GridScan1D(id, 0, 1, 1, 0) },
+		func() { GridScan2D(id2, 0, 0, 0, 1, 10, 10, 1) },
+		func() { NelderMead(id2, 0, 0, -1, 1e-8, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkGoldenSection(b *testing.B) {
+	f := func(x float64) float64 { return (x - 3.7) * (x - 3.7) }
+	for i := 0; i < b.N; i++ {
+		GoldenSection(f, 0, 10, 1e-10)
+	}
+}
+
+func BenchmarkBrent(b *testing.B) {
+	f := func(x float64) float64 { return (x - 3.7) * (x - 3.7) }
+	for i := 0; i < b.N; i++ {
+		Brent(f, 0, 10, 1e-10)
+	}
+}
+
+func BenchmarkNelderMead(b *testing.B) {
+	f := func(x, y float64) float64 {
+		return (1-x)*(1-x) + 100*(y-x*x)*(y-x*x)
+	}
+	for i := 0; i < b.N; i++ {
+		NelderMead(f, -1.2, 1, 0.5, 1e-12, 500)
+	}
+}

@@ -1,0 +1,431 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution is a univariate continuous probability distribution.
+//
+// Implementations must guarantee CDF is non-decreasing with limits 0
+// and 1, Quantile is the (generalized) inverse of CDF, and Rand draws
+// i.i.d. samples using only the supplied source.
+type Distribution interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile, p in [0, 1].
+	Quantile(p float64) float64
+	// Rand draws one sample using rng.
+	Rand(rng *rand.Rand) float64
+	// Mean returns the expectation (may be +Inf).
+	Mean() float64
+	// Var returns the variance (may be +Inf).
+	Var() float64
+}
+
+// Std returns the standard deviation of d.
+func Std(d Distribution) float64 { return math.Sqrt(d.Var()) }
+
+// quantileBisect inverts a CDF by bisection on [lo, hi]. It is the
+// fallback used by distributions without a closed-form quantile. The
+// bracket is widened geometrically if it does not already contain p.
+func quantileBisect(cdf func(float64) float64, p, lo, hi float64) float64 {
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	for cdf(hi) < p {
+		lo = hi
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return hi
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// --- Exponential ---
+
+// Exponential is the exponential distribution with rate λ > 0.
+type Exponential struct{ Rate float64 }
+
+// NewExponential returns an exponential distribution with the given
+// rate; it panics if rate <= 0.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("stats: exponential rate must be positive, got %v", rate))
+	}
+	return Exponential{Rate: rate}
+}
+
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+func (e Exponential) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Rate
+}
+
+func (e Exponential) Rand(rng *rand.Rand) float64 { return rng.ExpFloat64() / e.Rate }
+func (e Exponential) Mean() float64               { return 1 / e.Rate }
+func (e Exponential) Var() float64                { return 1 / (e.Rate * e.Rate) }
+
+// --- Uniform ---
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct{ A, B float64 }
+
+// NewUniform returns a uniform distribution on [a, b]; it panics unless
+// a < b.
+func NewUniform(a, b float64) Uniform {
+	if !(a < b) {
+		panic(fmt.Sprintf("stats: uniform requires a < b, got [%v, %v]", a, b))
+	}
+	return Uniform{A: a, B: b}
+}
+
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x > u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	}
+	return (x - u.A) / (u.B - u.A)
+}
+
+func (u Uniform) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return u.A
+	case p >= 1:
+		return u.B
+	}
+	return u.A + p*(u.B-u.A)
+}
+
+func (u Uniform) Rand(rng *rand.Rand) float64 { return u.A + rng.Float64()*(u.B-u.A) }
+func (u Uniform) Mean() float64               { return 0.5 * (u.A + u.B) }
+func (u Uniform) Var() float64                { d := u.B - u.A; return d * d / 12 }
+
+// --- LogNormal ---
+
+// LogNormal is the lognormal distribution: ln X ~ N(Mu, Sigma²).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns a lognormal distribution; it panics if
+// sigma <= 0.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	if sigma <= 0 || math.IsNaN(sigma) {
+		panic(fmt.Sprintf("stats: lognormal sigma must be positive, got %v", sigma))
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// LogNormalFromMoments returns the lognormal whose mean and standard
+// deviation equal the given values (both must be positive).
+func LogNormalFromMoments(mean, std float64) LogNormal {
+	if mean <= 0 || std <= 0 {
+		panic(fmt.Sprintf("stats: lognormal moments must be positive, got mean=%v std=%v", mean, std))
+	}
+	v := math.Log1p(std * std / (mean * mean)) // ln(1 + σ²/μ²)
+	return LogNormal{Mu: math.Log(mean) - v/2, Sigma: math.Sqrt(v)}
+}
+
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+func (l LogNormal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*NormalQuantile(p))
+}
+
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return math.Expm1(s2) * math.Exp(2*l.Mu+s2)
+}
+
+// --- Weibull ---
+
+// Weibull is the Weibull distribution with shape K > 0 and scale
+// Lambda > 0. K < 1 yields a heavy-ish tail (decreasing hazard), which
+// is a common fit for grid queue-wait times.
+type Weibull struct {
+	K      float64 // shape
+	Lambda float64 // scale
+}
+
+// NewWeibull returns a Weibull distribution; it panics unless both
+// parameters are positive.
+func NewWeibull(k, lambda float64) Weibull {
+	if k <= 0 || lambda <= 0 || math.IsNaN(k) || math.IsNaN(lambda) {
+		panic(fmt.Sprintf("stats: weibull parameters must be positive, got k=%v lambda=%v", k, lambda))
+	}
+	return Weibull{K: k, Lambda: lambda}
+}
+
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if w.K < 1 {
+			return math.Inf(1)
+		}
+		if w.K == 1 {
+			return 1 / w.Lambda
+		}
+		return 0
+	}
+	z := x / w.Lambda
+	return w.K / w.Lambda * math.Pow(z, w.K-1) * math.Exp(-math.Pow(z, w.K))
+}
+
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Lambda, w.K))
+}
+
+func (w Weibull) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return w.Lambda * math.Pow(-math.Log1p(-p), 1/w.K)
+}
+
+func (w Weibull) Rand(rng *rand.Rand) float64 {
+	return w.Lambda * math.Pow(rng.ExpFloat64(), 1/w.K)
+}
+
+func (w Weibull) Mean() float64 {
+	return w.Lambda * math.Gamma(1+1/w.K)
+}
+
+func (w Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/w.K)
+	g2 := math.Gamma(1 + 2/w.K)
+	return w.Lambda * w.Lambda * (g2 - g1*g1)
+}
+
+// --- Pareto ---
+
+// Pareto is the Pareto (type I) distribution with scale Xm > 0 and
+// shape Alpha > 0: P(X > x) = (Xm/x)^Alpha for x >= Xm.
+type Pareto struct {
+	Xm    float64 // scale (minimum)
+	Alpha float64 // tail index
+}
+
+// NewPareto returns a Pareto distribution; it panics unless both
+// parameters are positive.
+func NewPareto(xm, alpha float64) Pareto {
+	if xm <= 0 || alpha <= 0 || math.IsNaN(xm) || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("stats: pareto parameters must be positive, got xm=%v alpha=%v", xm, alpha))
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+func (p Pareto) CDF(x float64) float64 {
+	if x <= p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+func (p Pareto) Quantile(q float64) float64 {
+	switch {
+	case q <= 0:
+		return p.Xm
+	case q >= 1:
+		return math.Inf(1)
+	}
+	return p.Xm * math.Pow(1-q, -1/p.Alpha)
+}
+
+func (p Pareto) Rand(rng *rand.Rand) float64 {
+	return p.Xm * math.Exp(rng.ExpFloat64()/p.Alpha)
+}
+
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) Var() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	return p.Xm * p.Xm * p.Alpha / ((p.Alpha - 1) * (p.Alpha - 1) * (p.Alpha - 2))
+}
+
+// --- Gamma ---
+
+// Gamma is the gamma distribution with shape Alpha > 0 and rate
+// Beta > 0 (mean Alpha/Beta).
+type Gamma struct {
+	Alpha float64 // shape
+	Beta  float64 // rate
+}
+
+// NewGamma returns a gamma distribution; it panics unless both
+// parameters are positive.
+func NewGamma(alpha, beta float64) Gamma {
+	if alpha <= 0 || beta <= 0 || math.IsNaN(alpha) || math.IsNaN(beta) {
+		panic(fmt.Sprintf("stats: gamma parameters must be positive, got alpha=%v beta=%v", alpha, beta))
+	}
+	return Gamma{Alpha: alpha, Beta: beta}
+}
+
+func (g Gamma) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case g.Alpha < 1:
+			return math.Inf(1)
+		case g.Alpha == 1:
+			return g.Beta
+		default:
+			return 0
+		}
+	}
+	lg, _ := math.Lgamma(g.Alpha)
+	return math.Exp(g.Alpha*math.Log(g.Beta) + (g.Alpha-1)*math.Log(x) - g.Beta*x - lg)
+}
+
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegularizedGammaP(g.Alpha, g.Beta*x)
+}
+
+func (g Gamma) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	// Wilson–Hilferty starting point, then bisection fallback around it.
+	z := NormalQuantile(p)
+	wh := g.Alpha * math.Pow(1-1/(9*g.Alpha)+z/(3*math.Sqrt(g.Alpha)), 3) / g.Beta
+	if wh <= 0 || math.IsNaN(wh) {
+		wh = g.Mean()
+	}
+	return quantileBisect(g.CDF, p, 0, math.Max(wh*4, g.Mean()*4))
+}
+
+// Rand draws a gamma variate using the Marsaglia–Tsang method (with the
+// alpha < 1 boost).
+func (g Gamma) Rand(rng *rand.Rand) float64 {
+	alpha := g.Alpha
+	boost := 1.0
+	if alpha < 1 {
+		boost = math.Pow(rng.Float64(), 1/alpha)
+		alpha++
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v / g.Beta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v / g.Beta
+		}
+	}
+}
+
+func (g Gamma) Mean() float64 { return g.Alpha / g.Beta }
+func (g Gamma) Var() float64  { return g.Alpha / (g.Beta * g.Beta) }

@@ -1,0 +1,20 @@
+// Package stats provides the statistical substrate for the gridstrat
+// library: empirical cumulative distribution functions with exact
+// step-function integrals, parametric probability distributions
+// (lognormal, Weibull, Pareto, gamma, exponential, uniform and
+// mixtures), maximum-likelihood and method-of-moments fitting,
+// goodness-of-fit tests (Kolmogorov–Smirnov, Anderson–Darling,
+// chi-square), sample summary statistics, numerical quadrature and the
+// special functions they require.
+//
+// The package exists because the paper reproduced by this repository
+// ("Modeling User Submission Strategies on Production Grids", HPDC'09)
+// is built entirely on functionals of the cumulative latency histogram
+// F̃R(t) = (1-ρ)·FR(t). Everything here is implemented from scratch on
+// top of the Go standard library, closing the "sparse statistics
+// libraries; manual distribution fitting" reproduction gap.
+//
+// Conventions: all distributions are over non-negative reals (latencies
+// in seconds) unless documented otherwise; random sampling always takes
+// an explicit *rand.Rand so that callers control determinism.
+package stats

@@ -1,0 +1,343 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmpty is returned when a sample-based constructor receives no
+// data.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ECDF is the empirical cumulative distribution function of a sample,
+// stored as sorted unique support points with cumulative probabilities.
+// It supports exact integrals of functionals of the step function,
+// which the submission-strategy models are built on.
+type ECDF struct {
+	xs  []float64 // sorted unique support
+	cum []float64 // cum[i] = P(X <= xs[i]), cum[last] == 1
+	n   int       // original sample size
+}
+
+// NewECDF builds the ECDF of sample (unweighted). The input slice is
+// not modified. It returns ErrEmpty for an empty sample and an error if
+// any value is NaN.
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmpty
+	}
+	xs := append([]float64(nil), sample...)
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return nil, errors.New("stats: NaN in sample")
+		}
+	}
+	sort.Float64s(xs)
+	e := &ECDF{n: len(xs)}
+	n := float64(len(xs))
+	for i := 0; i < len(xs); {
+		j := i
+		for j < len(xs) && xs[j] == xs[i] {
+			j++
+		}
+		e.xs = append(e.xs, xs[i])
+		e.cum = append(e.cum, float64(j)/n)
+		i = j
+	}
+	e.cum[len(e.cum)-1] = 1
+	return e, nil
+}
+
+// MustECDF is NewECDF that panics on error; for tests and literals.
+func MustECDF(sample []float64) *ECDF {
+	e, err := NewECDF(sample)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// N returns the size of the underlying sample.
+func (e *ECDF) N() int { return e.n }
+
+// Support returns the sorted unique support points (do not modify).
+func (e *ECDF) Support() []float64 { return e.xs }
+
+// Min returns the smallest sample value.
+func (e *ECDF) Min() float64 { return e.xs[0] }
+
+// Max returns the largest sample value.
+func (e *ECDF) Max() float64 { return e.xs[len(e.xs)-1] }
+
+// Eval returns F(x) = P(X <= x), a right-continuous step function.
+func (e *ECDF) Eval(x float64) float64 {
+	// Index of first support point > x.
+	i := sort.SearchFloat64s(e.xs, x)
+	if i < len(e.xs) && e.xs[i] == x {
+		return e.cum[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return e.cum[i-1]
+}
+
+// Quantile returns the generalized inverse: the smallest support point
+// x with F(x) >= p. For p <= 0 it returns Min; for p >= 1, Max.
+func (e *ECDF) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return e.xs[0]
+	case p >= 1:
+		return e.xs[len(e.xs)-1]
+	}
+	i := sort.Search(len(e.cum), func(i int) bool { return e.cum[i] >= p })
+	if i == len(e.cum) {
+		i = len(e.cum) - 1
+	}
+	return e.xs[i]
+}
+
+// Rand draws one bootstrap sample (a support point with its empirical
+// probability).
+func (e *ECDF) Rand(rng *rand.Rand) float64 {
+	return e.Quantile(rng.Float64())
+}
+
+// Mean returns the sample mean.
+func (e *ECDF) Mean() float64 {
+	sum := 0.0
+	prev := 0.0
+	for i, x := range e.xs {
+		sum += x * (e.cum[i] - prev)
+		prev = e.cum[i]
+	}
+	return sum
+}
+
+// Var returns the (population) sample variance.
+func (e *ECDF) Var() float64 {
+	mean := e.Mean()
+	sum := 0.0
+	prev := 0.0
+	for i, x := range e.xs {
+		d := x - mean
+		sum += d * d * (e.cum[i] - prev)
+		prev = e.cum[i]
+	}
+	return sum
+}
+
+// Std returns the sample standard deviation.
+func (e *ECDF) Std() float64 { return math.Sqrt(e.Var()) }
+
+// IntegralOneMinusFPow computes  ∫₀ᵀ (1 - s·F(u))^b du  exactly, where
+// F is this step ECDF, s in [0, 1] is a scale factor (the paper's 1-ρ
+// making F̃ = s·F), and b >= 1 an integer power. T must be >= 0.
+//
+// This single primitive covers the single-resubmission integral (b=1)
+// and the multiple-submission integral (general b) of the paper with no
+// discretization error.
+func (e *ECDF) IntegralOneMinusFPow(T, s float64, b int) float64 {
+	if T <= 0 || s < 0 {
+		return 0
+	}
+	if b < 1 {
+		panic(fmt.Sprintf("stats: power b must be >= 1, got %d", b))
+	}
+	total := 0.0
+	prevX := 0.0
+	prevF := 0.0 // F value on [prevX, next support)
+	for i := 0; i <= len(e.xs); i++ {
+		var x, f float64
+		if i < len(e.xs) {
+			x = e.xs[i]
+			f = e.cum[i]
+		} else {
+			x = math.Inf(1)
+			f = 1
+		}
+		if x > T {
+			x = T
+		}
+		if x > prevX {
+			total += (x - prevX) * math.Pow(1-s*prevF, float64(b))
+		}
+		if x >= T {
+			return total
+		}
+		prevX = x
+		prevF = f
+	}
+	return total
+}
+
+// IntegralUOneMinusFPow computes ∫₀ᵀ u·(1 - s·F(u))^b du exactly; this
+// is the second-moment integrand of Eq. 2 and Eq. 4 of the paper.
+func (e *ECDF) IntegralUOneMinusFPow(T, s float64, b int) float64 {
+	if T <= 0 || s < 0 {
+		return 0
+	}
+	if b < 1 {
+		panic(fmt.Sprintf("stats: power b must be >= 1, got %d", b))
+	}
+	total := 0.0
+	prevX := 0.0
+	prevF := 0.0
+	for i := 0; i <= len(e.xs); i++ {
+		var x, f float64
+		if i < len(e.xs) {
+			x = e.xs[i]
+			f = e.cum[i]
+		} else {
+			x = math.Inf(1)
+			f = 1
+		}
+		if x > T {
+			x = T
+		}
+		if x > prevX {
+			total += 0.5 * (x*x - prevX*prevX) * math.Pow(1-s*prevF, float64(b))
+		}
+		if x >= T {
+			return total
+		}
+		prevX = x
+		prevF = f
+	}
+	return total
+}
+
+// IntegralProdOneMinusF computes ∫₀ᵀ (1 - s·F(u+shift))·(1 - s·F(u)) du
+// exactly over the step ECDF. This is the cross term of the
+// delayed-resubmission survival function, where two job copies offset
+// by the delay are racing.
+func (e *ECDF) IntegralProdOneMinusF(T, shift, s float64) float64 {
+	return e.integralProd(T, shift, s, false)
+}
+
+// IntegralUProdOneMinusF computes ∫₀ᵀ u·(1-s·F(u+shift))·(1-s·F(u)) du
+// exactly; the second-moment companion of IntegralProdOneMinusF.
+func (e *ECDF) IntegralUProdOneMinusF(T, shift, s float64) float64 {
+	return e.integralProd(T, shift, s, true)
+}
+
+// integralProd walks the merged jump points of F(u) and F(u+shift)
+// over [0, T) with two cursors — allocation-free and exact, since both
+// factors are constant between consecutive jumps.
+func (e *ECDF) integralProd(T, shift, s float64, withU bool) float64 {
+	if T <= 0 || s < 0 {
+		return 0
+	}
+	// Cursor i: next jump of F(u) at u = xs[i]; cursor j: next jump of
+	// F(u+shift) at u = xs[j]-shift. F values carried are those on the
+	// current segment [u, nextBreak).
+	i := sort.SearchFloat64s(e.xs, 0)
+	if i < len(e.xs) && e.xs[i] == 0 {
+		i++ // jump at exactly 0 is already included in Eval(0)
+	}
+	j := sort.SearchFloat64s(e.xs, shift)
+	if j < len(e.xs) && e.xs[j] == shift {
+		j++
+	}
+	f2 := e.Eval(0)
+	f1 := e.Eval(shift)
+	u := 0.0
+	total := 0.0
+	for u < T {
+		next := T
+		if i < len(e.xs) && e.xs[i] < next {
+			next = e.xs[i]
+		}
+		if j < len(e.xs) && e.xs[j]-shift < next {
+			next = e.xs[j] - shift
+		}
+		c := (1 - s*f2) * (1 - s*f1)
+		if withU {
+			total += c * 0.5 * (next*next - u*u)
+		} else {
+			total += c * (next - u)
+		}
+		if next >= T {
+			break
+		}
+		for i < len(e.xs) && e.xs[i] <= next {
+			f2 = e.cum[i]
+			i++
+		}
+		for j < len(e.xs) && e.xs[j]-shift <= next {
+			f1 = e.cum[j]
+			j++
+		}
+		u = next
+	}
+	return total
+}
+
+// PartialExpectation computes ∫₀ᵀ u dF(u) = (1/n)·Σ_{x_i <= T} x_i,
+// the contribution of samples below T to the mean (exact).
+func (e *ECDF) PartialExpectation(T float64) float64 {
+	sum := 0.0
+	prev := 0.0
+	for i, x := range e.xs {
+		if x > T {
+			break
+		}
+		sum += x * (e.cum[i] - prev)
+		prev = e.cum[i]
+	}
+	return sum
+}
+
+// Restrict returns a new ECDF of only the sample values <= T (the
+// conditional law given X <= T). It returns ErrEmpty if no values
+// qualify.
+func (e *ECDF) Restrict(T float64) (*ECDF, error) {
+	var kept []float64
+	prev := 0.0
+	n := float64(e.n)
+	for i, x := range e.xs {
+		w := e.cum[i] - prev
+		prev = e.cum[i]
+		if x > T {
+			break
+		}
+		count := int(math.Round(w * n))
+		for k := 0; k < count; k++ {
+			kept = append(kept, x)
+		}
+	}
+	return NewECDF(kept)
+}
+
+// LinearInterpolated returns a continuous piecewise-linear CDF passing
+// through the ECDF's step midpoints, suitable for density-based
+// evaluations (the delayed-resubmission closed form needs a density).
+// The returned function is non-decreasing, 0 before Min and 1 after
+// Max.
+func (e *ECDF) LinearInterpolated() func(float64) float64 {
+	xs := e.xs
+	cum := e.cum
+	return func(x float64) float64 {
+		if x <= xs[0] {
+			if x == xs[0] {
+				return cum[0]
+			}
+			return 0
+		}
+		if x >= xs[len(xs)-1] {
+			return 1
+		}
+		i := sort.SearchFloat64s(xs, x)
+		if i < len(xs) && xs[i] == x {
+			return cum[i]
+		}
+		// Between xs[i-1] and xs[i].
+		x0, x1 := xs[i-1], xs[i]
+		y0, y1 := cum[i-1], cum[i]
+		return y0 + (y1-y0)*(x-x0)/(x1-x0)
+	}
+}

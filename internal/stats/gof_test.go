@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSStatisticZeroForPerfectFit(t *testing.T) {
+	// The KS distance of a sample against its own empirical quantiles
+	// is at most 1/n.
+	d := NewUniform(0, 1)
+	n := 1000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = (float64(i) + 0.5) / float64(n)
+	}
+	if ks := KSStatistic(sample, d); ks > 1.0/float64(n) {
+		t.Fatalf("KS = %v, want <= %v", ks, 1.0/float64(n))
+	}
+}
+
+func TestKSStatisticDetectsMismatch(t *testing.T) {
+	sample := sampleFrom(NewLogNormal(6, 1), 5000, 9)
+	goodKS := KSStatistic(sample, NewLogNormal(6, 1))
+	badKS := KSStatistic(sample, NewExponential(1.0/600))
+	if goodKS >= badKS {
+		t.Fatalf("good fit KS %v should be below bad fit KS %v", goodKS, badKS)
+	}
+	if badKS < 0.05 {
+		t.Fatalf("mismatched fit should have large KS, got %v", badKS)
+	}
+}
+
+func TestKSPValueRange(t *testing.T) {
+	if p := KSPValue(0.001, 100); p < 0.99 {
+		t.Fatalf("tiny KS should give p~1, got %v", p)
+	}
+	if p := KSPValue(0.5, 1000); p > 1e-10 {
+		t.Fatalf("huge KS should give p~0, got %v", p)
+	}
+	if p := KSPValue(0, 10); p != 1 {
+		t.Fatalf("zero KS p-value = %v", p)
+	}
+	// Monotone decreasing in the statistic.
+	prev := 1.0
+	for ks := 0.01; ks < 0.3; ks += 0.01 {
+		p := KSPValue(ks, 200)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at ks=%v", ks)
+		}
+		prev = p
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	a := sampleFrom(NewUniform(0, 1), 4000, 10)
+	b := sampleFrom(NewUniform(0, 1), 4000, 11)
+	c := sampleFrom(NewUniform(0.5, 1.5), 4000, 12)
+	same := KSTwoSample(a, b)
+	diff := KSTwoSample(a, c)
+	if same > 0.05 {
+		t.Fatalf("same-law KS too large: %v", same)
+	}
+	if diff < 0.3 {
+		t.Fatalf("shifted-law KS too small: %v", diff)
+	}
+	if KSTwoSample(nil, a) != 0 {
+		t.Fatal("empty sample KS should be 0")
+	}
+}
+
+func TestAndersonDarling(t *testing.T) {
+	sample := sampleFrom(NewWeibull(1.2, 300), 3000, 13)
+	good := AndersonDarling(sample, NewWeibull(1.2, 300))
+	bad := AndersonDarling(sample, NewExponential(1.0/100))
+	if good >= bad {
+		t.Fatalf("AD: good %v should be below bad %v", good, bad)
+	}
+	if good > 5 {
+		t.Fatalf("AD for true law should be small, got %v", good)
+	}
+}
+
+func TestChiSquareGOF(t *testing.T) {
+	d := NewGamma(2, 0.01)
+	sample := sampleFrom(d, 10000, 14)
+	chi2, dof := ChiSquareGOF(sample, d, 20)
+	if dof != 19 {
+		t.Fatalf("dof = %d, want 19", dof)
+	}
+	p := ChiSquarePValue(chi2, dof)
+	if p < 1e-4 {
+		t.Fatalf("true-law chi2 p-value too small: chi2=%v p=%v", chi2, p)
+	}
+	chi2, dof = ChiSquareGOF(sample, NewUniform(0, 1000), 20)
+	if ChiSquarePValue(chi2, dof) > 1e-6 {
+		t.Fatal("wrong-law chi2 should reject")
+	}
+}
+
+func TestChiSquarePValueKnown(t *testing.T) {
+	// P(X²₂ >= 2) = e^{-1}.
+	almostEq(t, ChiSquarePValue(2, 2), math.Exp(-1), 1e-10, "chi2(2) tail")
+	if ChiSquarePValue(0, 5) != 1 || ChiSquarePValue(3, 0) != 1 {
+		t.Fatal("edge cases should return 1")
+	}
+}
+
+func TestSummaryAndHelpers(t *testing.T) {
+	sample := []float64{4, 1, 3, 2, 5}
+	s := Summarize(sample)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	almostEq(t, s.Mean, 3, 1e-12, "mean")
+	almostEq(t, s.Median, 3, 1e-12, "median")
+	almostEq(t, s.Var, 2, 1e-12, "var")
+
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+
+	mean, count := TruncatedMean([]float64{1, 2, 100}, 10)
+	almostEq(t, mean, 1.5, 1e-12, "truncated mean")
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	almostEq(t, CensoredMean([]float64{1, 2, 100}, 10), 13.0/3, 1e-12, "censored mean")
+	almostEq(t, OutlierRatio([]float64{1, 2, 100}, 10), 1.0/3, 1e-12, "outlier ratio")
+	almostEq(t, TruncatedStd([]float64{1, 3, 100}, 10), 1, 1e-12, "truncated std")
+	if OutlierRatio(nil, 5) != 0 || CensoredMean(nil, 5) != 0 {
+		t.Fatal("empty-slice helpers should return 0")
+	}
+	m, c := TruncatedMean([]float64{100}, 10)
+	if m != 0 || c != 0 {
+		t.Fatal("all-above truncated mean should be 0,0")
+	}
+}
+
+func TestSampleVarianceBessel(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	almostEq(t, SampleVariance(s), Variance(s)*4.0/3.0, 1e-12, "bessel factor")
+	if SampleVariance([]float64{7}) != 0 {
+		t.Fatal("singleton sample variance should be 0")
+	}
+}
+
+func TestPercentilePanicsAndEdges(t *testing.T) {
+	mustPanic(t, func() { Percentile(nil, 0.5) })
+	s := []float64{10, 20, 30}
+	almostEq(t, Percentile(s, 0), 10, 1e-15, "p0")
+	almostEq(t, Percentile(s, 1), 30, 1e-15, "p1")
+	almostEq(t, Percentile(s, 0.5), 20, 1e-15, "p50")
+	almostEq(t, Percentile(s, 0.25), 15, 1e-12, "p25 interpolated")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.AddAll([]float64{5, 15, 15, 95, -3, 250})
+	if h.Under != 1 || h.Over != 1 || h.Total() != 6 {
+		t.Fatalf("under/over/total = %d/%d/%d", h.Under, h.Over, h.Total())
+	}
+	almostEq(t, h.Density(15), 2.0/(6*10), 1e-12, "density")
+	almostEq(t, h.CDF(20), 4.0/6, 1e-12, "cdf at bin edge: {-3,5,15,15} <= 20")
+	almostEq(t, h.CDF(1000), 1, 1e-12, "cdf total")
+	almostEq(t, h.CDF(-10), 0, 1e-12, "cdf below")
+	almostEq(t, h.Mode(), 15, 1e-12, "mode")
+	mustPanic(t, func() { NewHistogram(5, 5, 3) })
+	mustPanic(t, func() { NewHistogram(0, 1, 0) })
+}
+
+func TestHistogramCDFMatchesECDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	d := NewLogNormal(6, 0.8)
+	sample := make([]float64, 50000)
+	h := NewHistogram(0, 10000, 2000)
+	for i := range sample {
+		sample[i] = d.Rand(rng)
+		h.Add(sample[i])
+	}
+	e := MustECDF(sample)
+	for _, x := range []float64{200, 400, 800, 1600, 3200} {
+		if math.Abs(h.CDF(x)-e.Eval(x)) > 0.01 {
+			t.Fatalf("hist CDF %v vs ECDF %v at %v", h.CDF(x), e.Eval(x), x)
+		}
+	}
+}
+
+func TestFreedmanDiaconisBins(t *testing.T) {
+	sample := sampleFrom(NewUniform(0, 100), 10000, 16)
+	sorted := append([]float64(nil), sample...)
+	sortFloats(sorted)
+	bins := FreedmanDiaconisBins(sorted)
+	if bins < 20 || bins > 200 {
+		t.Fatalf("unexpected bin count %d", bins)
+	}
+	if FreedmanDiaconisBins([]float64{1}) != 8 {
+		t.Fatal("degenerate sample should give minimum bins")
+	}
+	if FreedmanDiaconisBins([]float64{2, 2, 2, 2}) != 8 {
+		t.Fatal("zero-IQR sample should give minimum bins")
+	}
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+func TestIntegrators(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	almostEq(t, Trapezoid(f, 0, 3, 3000), 9, 1e-5, "trapezoid x²")
+	almostEq(t, Simpson(f, 0, 3, 10), 9, 1e-12, "simpson x² exact")
+	almostEq(t, Simpson(f, 0, 3, 11), 9, 1e-12, "simpson odd n rounds up")
+	almostEq(t, AdaptiveSimpson(math.Sin, 0, math.Pi, 1e-12), 2, 1e-9, "adaptive sin")
+	if Trapezoid(f, 2, 2, 5) != 0 || AdaptiveSimpson(f, 2, 2, 1e-9) != 0 {
+		t.Fatal("zero-width integrals should be 0")
+	}
+	mustPanic(t, func() { Trapezoid(f, 3, 1, 5) })
+	mustPanic(t, func() { Simpson(f, 0, 1, 1) })
+	mustPanic(t, func() { AdaptiveSimpson(f, 3, 1, 1e-9) })
+}
+
+func TestUniformGrid(t *testing.T) {
+	g := NewUniformGrid(func(x float64) float64 { return 2 * x }, 0, 10, 100)
+	almostEq(t, g.At(5), 10, 1e-12, "interpolation")
+	almostEq(t, g.At(5.05), 10.1, 1e-12, "between nodes")
+	almostEq(t, g.At(-1), 0, 1e-12, "clamp low")
+	almostEq(t, g.At(11), 20, 1e-12, "clamp high")
+	almostEq(t, g.Integral(), 100, 1e-9, "∫2x over [0,10]")
+	mustPanic(t, func() { NewUniformGrid(math.Sin, 1, 0, 10) })
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binned density estimate over [Lo, Hi).
+// Values outside the range are counted in Under/Over but do not
+// contribute to the density.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates an empty histogram with bins equal-width bins
+// over [lo, hi). It panics unless lo < hi and bins >= 1.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(lo < hi) || bins < 1 {
+		panic(fmt.Sprintf("stats: invalid histogram spec [%v,%v) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// BinWidth returns the common width of all bins.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.BinWidth())
+		if i >= len(h.Counts) { // guard x == Hi-ulp rounding
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records every value of sample.
+func (h *Histogram) AddAll(sample []float64) {
+	for _, v := range sample {
+		h.Add(v)
+	}
+}
+
+// Total returns the number of observations recorded, including
+// out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Density returns the estimated probability density at x (relative to
+// all recorded observations, so out-of-range mass deflates in-range
+// density, matching the paper's F̃ normalization).
+func (h *Histogram) Density(x float64) float64 {
+	if h.total == 0 || x < h.Lo || x >= h.Hi {
+		return 0
+	}
+	i := int((x - h.Lo) / h.BinWidth())
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return float64(h.Counts[i]) / (float64(h.total) * h.BinWidth())
+}
+
+// CDF returns the cumulative fraction of observations <= x, again
+// normalized by the total including out-of-range values.
+func (h *Histogram) CDF(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if x < h.Lo {
+		return 0
+	}
+	cum := h.Under
+	if x >= h.Hi {
+		cum += h.Over
+		for _, c := range h.Counts {
+			cum += c
+		}
+		return float64(cum) / float64(h.total)
+	}
+	w := h.BinWidth()
+	i := int((x - h.Lo) / w)
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	for j := 0; j < i; j++ {
+		cum += h.Counts[j]
+	}
+	// Linear within the current bin.
+	frac := (x - (h.Lo + float64(i)*w)) / w
+	return (float64(cum) + frac*float64(h.Counts[i])) / float64(h.total)
+}
+
+// Mode returns the midpoint of the fullest bin (ties resolve to the
+// leftmost).
+func (h *Histogram) Mode() float64 {
+	best, bi := -1, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	return h.Lo + (float64(bi)+0.5)*h.BinWidth()
+}
+
+// FreedmanDiaconisBins suggests a bin count for a sample using the
+// Freedman–Diaconis rule, clamped to [min 8, max 4096].
+func FreedmanDiaconisBins(sorted []float64) int {
+	n := len(sorted)
+	if n < 2 {
+		return 8
+	}
+	iqr := Percentile(sorted, 0.75) - Percentile(sorted, 0.25)
+	if iqr <= 0 {
+		return 8
+	}
+	width := 2 * iqr / math.Cbrt(float64(n))
+	span := sorted[n-1] - sorted[0]
+	if width <= 0 || span <= 0 {
+		return 8
+	}
+	bins := int(math.Ceil(span / width))
+	if bins < 8 {
+		bins = 8
+	}
+	if bins > 4096 {
+		bins = 4096
+	}
+	return bins
+}

@@ -1,0 +1,310 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// HyperExponential is a finite mixture of exponentials — the classic
+// high-variability model of the workload-characterization literature
+// the paper builds on (Feitelson; Christodoulopoulos et al.): CV > 1
+// with a simple Markovian structure.
+type HyperExponential struct {
+	Weights []float64 // normalized, positive
+	Rates   []float64 // positive
+	cum     []float64 // prefix sums of Weights
+}
+
+// NewHyperExponential builds a hyperexponential; weights are
+// normalized. It panics on length mismatch or non-positive entries.
+func NewHyperExponential(weights, rates []float64) *HyperExponential {
+	if len(weights) == 0 || len(weights) != len(rates) {
+		panic(fmt.Sprintf("stats: hyperexp needs matching non-empty slices, got %d/%d",
+			len(weights), len(rates)))
+	}
+	total := 0.0
+	for i := range weights {
+		if weights[i] <= 0 || rates[i] <= 0 ||
+			math.IsNaN(weights[i]) || math.IsNaN(rates[i]) {
+			panic(fmt.Sprintf("stats: hyperexp component %d invalid (w=%v, λ=%v)",
+				i, weights[i], rates[i]))
+		}
+		total += weights[i]
+	}
+	h := &HyperExponential{
+		Weights: make([]float64, len(weights)),
+		Rates:   append([]float64(nil), rates...),
+		cum:     make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		h.Weights[i] = w / total
+		acc += w / total
+		h.cum[i] = acc
+	}
+	h.cum[len(h.cum)-1] = 1
+	return h
+}
+
+func (h *HyperExponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, w := range h.Weights {
+		sum += w * h.Rates[i] * math.Exp(-h.Rates[i]*x)
+	}
+	return sum
+}
+
+func (h *HyperExponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, w := range h.Weights {
+		sum += w * -math.Expm1(-h.Rates[i]*x)
+	}
+	return sum
+}
+
+func (h *HyperExponential) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	// Bracket with the slowest component's quantile.
+	minRate := math.Inf(1)
+	for _, r := range h.Rates {
+		minRate = math.Min(minRate, r)
+	}
+	hi := -math.Log1p(-p) / minRate
+	return quantileBisect(h.CDF, p, 0, math.Max(hi, 1))
+}
+
+func (h *HyperExponential) Rand(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := 0
+	for i < len(h.cum)-1 && u > h.cum[i] {
+		i++
+	}
+	return rng.ExpFloat64() / h.Rates[i]
+}
+
+func (h *HyperExponential) Mean() float64 {
+	sum := 0.0
+	for i, w := range h.Weights {
+		sum += w / h.Rates[i]
+	}
+	return sum
+}
+
+func (h *HyperExponential) Var() float64 {
+	m := h.Mean()
+	m2 := 0.0
+	for i, w := range h.Weights {
+		m2 += 2 * w / (h.Rates[i] * h.Rates[i])
+	}
+	return m2 - m*m
+}
+
+// FitHyperExpEM fits a k-component hyperexponential by
+// expectation–maximization, initialized by splitting the sample at
+// quantile boundaries. Returns ErrNoConverge if the log-likelihood
+// fails to stabilize within maxIter.
+func FitHyperExpEM(sample []float64, k, maxIter int) (*HyperExponential, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 || k > len(sample) {
+		return nil, fmt.Errorf("stats: hyperexp EM needs 1 <= k <= n, got k=%d n=%d", k, len(sample))
+	}
+	for _, v := range sample {
+		if v <= 0 || math.IsNaN(v) {
+			return nil, errors.New("stats: hyperexp EM requires positive data")
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+
+	// Initialize: sort-free quantile split via repeated means.
+	weights := make([]float64, k)
+	rates := make([]float64, k)
+	mean := Mean(sample)
+	for i := 0; i < k; i++ {
+		weights[i] = 1 / float64(k)
+		// Spread initial rates geometrically around 1/mean.
+		rates[i] = math.Pow(4, float64(i)-float64(k-1)/2) / mean
+	}
+
+	n := len(sample)
+	resp := make([]float64, k) // responsibilities for one observation
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// Accumulators.
+		sumW := make([]float64, k)
+		sumWX := make([]float64, k)
+		ll := 0.0
+
+		for _, x := range sample {
+			total := 0.0
+			for j := 0; j < k; j++ {
+				resp[j] = weights[j] * rates[j] * math.Exp(-rates[j]*x)
+				total += resp[j]
+			}
+			if total <= 0 {
+				return nil, ErrNoConverge
+			}
+			ll += math.Log(total)
+			for j := 0; j < k; j++ {
+				r := resp[j] / total
+				sumW[j] += r
+				sumWX[j] += r * x
+			}
+		}
+		// M step.
+		for j := 0; j < k; j++ {
+			if sumW[j] <= 1e-12 || sumWX[j] <= 0 {
+				// Dead component: re-seed it at the global mean scale.
+				sumW[j] = 1e-6 * float64(n)
+				sumWX[j] = sumW[j] * mean
+			}
+			weights[j] = sumW[j] / float64(n)
+			rates[j] = sumW[j] / sumWX[j]
+		}
+		if math.Abs(ll-prevLL) < 1e-9*math.Abs(ll)+1e-12 {
+			return NewHyperExponential(weights, rates), nil
+		}
+		prevLL = ll
+	}
+	return NewHyperExponential(weights, rates), nil
+}
+
+// LogLogistic is the log-logistic distribution with scale Alpha > 0
+// (the median) and shape Beta > 0; Beta < 1 ⇒ no mean, 1 < Beta < 2 ⇒
+// finite mean but infinite variance. A standard heavy-tailed latency
+// model with a closed-form CDF.
+type LogLogistic struct {
+	Alpha float64 // scale = median
+	Beta  float64 // shape
+}
+
+// NewLogLogistic returns a log-logistic distribution; it panics unless
+// both parameters are positive.
+func NewLogLogistic(alpha, beta float64) LogLogistic {
+	if alpha <= 0 || beta <= 0 || math.IsNaN(alpha) || math.IsNaN(beta) {
+		panic(fmt.Sprintf("stats: loglogistic parameters must be positive, got α=%v β=%v", alpha, beta))
+	}
+	return LogLogistic{Alpha: alpha, Beta: beta}
+}
+
+func (l LogLogistic) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case l.Beta < 1:
+			return math.Inf(1)
+		case l.Beta == 1:
+			return 1 / l.Alpha
+		default:
+			return 0
+		}
+	}
+	z := math.Pow(x/l.Alpha, l.Beta)
+	denom := 1 + z
+	return l.Beta / l.Alpha * math.Pow(x/l.Alpha, l.Beta-1) / (denom * denom)
+}
+
+func (l LogLogistic) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := math.Pow(x/l.Alpha, -l.Beta)
+	return 1 / (1 + z)
+}
+
+func (l LogLogistic) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return l.Alpha * math.Pow(p/(1-p), 1/l.Beta)
+}
+
+func (l LogLogistic) Rand(rng *rand.Rand) float64 {
+	return l.Quantile(rng.Float64())
+}
+
+func (l LogLogistic) Mean() float64 {
+	if l.Beta <= 1 {
+		return math.Inf(1)
+	}
+	b := math.Pi / l.Beta
+	return l.Alpha * b / math.Sin(b)
+}
+
+func (l LogLogistic) Var() float64 {
+	if l.Beta <= 2 {
+		return math.Inf(1)
+	}
+	b := math.Pi / l.Beta
+	m := l.Alpha * b / math.Sin(b)
+	m2 := l.Alpha * l.Alpha * 2 * b / math.Sin(2*b)
+	return m2 - m*m
+}
+
+// FitLogLogisticMLE fits a log-logistic distribution by maximum
+// likelihood via Nelder–Mead-free Newton on the log-parameters would be
+// overkill; instead it exploits that ln X is logistic(ln α, 1/β) and
+// matches the logistic location/scale by the standard moment relations
+// refined with a few fixed-point steps on the ML equations.
+func FitLogLogisticMLE(sample []float64) (LogLogistic, error) {
+	if len(sample) == 0 {
+		return LogLogistic{}, ErrEmpty
+	}
+	logs := make([]float64, len(sample))
+	for i, v := range sample {
+		if v <= 0 {
+			return LogLogistic{}, fmt.Errorf("stats: loglogistic requires positive data, got %v", v)
+		}
+		logs[i] = math.Log(v)
+	}
+	// Logistic(μ, s): mean μ, variance s²π²/3.
+	mu := Mean(logs)
+	s := math.Sqrt(3*Variance(logs)) / math.Pi
+	if s <= 0 {
+		s = 1e-9
+	}
+	// Fixed-point refinement of the logistic ML equations:
+	// Σ tanh((x-μ)/2s) = 0 and Σ (x-μ)/s·tanh((x-μ)/2s) = n.
+	for iter := 0; iter < 200; iter++ {
+		var sumT, sumXT float64
+		for _, x := range logs {
+			t := math.Tanh((x - mu) / (2 * s))
+			sumT += t
+			sumXT += (x - mu) * t
+		}
+		n := float64(len(logs))
+		newMu := mu + s*sumT/n*2
+		newS := sumXT / n
+		if newS <= 0 {
+			break
+		}
+		if math.Abs(newMu-mu) < 1e-12*math.Max(1, math.Abs(mu)) &&
+			math.Abs(newS-s) < 1e-12*math.Max(1, s) {
+			mu, s = newMu, newS
+			break
+		}
+		mu, s = newMu, newS
+	}
+	return NewLogLogistic(math.Exp(mu), 1/s), nil
+}

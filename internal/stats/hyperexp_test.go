@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHyperExponentialMoments(t *testing.T) {
+	h := NewHyperExponential([]float64{0.6, 0.4}, []float64{0.01, 0.001})
+	wantMean := 0.6/0.01 + 0.4/0.001
+	almostEq(t, h.Mean(), wantMean, 1e-9, "mean")
+	wantM2 := 2*0.6/(0.01*0.01) + 2*0.4/(0.001*0.001)
+	almostEq(t, h.Var(), wantM2-wantMean*wantMean, 1e-6, "var")
+	// CV > 1: the defining property.
+	if Std(h) <= h.Mean() {
+		t.Fatalf("hyperexp CV should exceed 1: mean=%v std=%v", h.Mean(), Std(h))
+	}
+}
+
+func TestHyperExponentialReducesToExponential(t *testing.T) {
+	h := NewHyperExponential([]float64{1}, []float64{0.005})
+	e := NewExponential(0.005)
+	for _, x := range []float64{10, 100, 500, 2000} {
+		almostEq(t, h.CDF(x), e.CDF(x), 1e-12, "cdf")
+		almostEq(t, h.PDF(x), e.PDF(x), 1e-12, "pdf")
+	}
+}
+
+func TestHyperExponentialConformance(t *testing.T) {
+	h := NewHyperExponential([]float64{0.7, 0.3}, []float64{0.01, 0.0008})
+	// Quantile/CDF round trip.
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.9, 0.99} {
+		x := h.Quantile(p)
+		almostEq(t, h.CDF(x), p, 1e-8, "round trip")
+	}
+	// Sampling matches the law.
+	sample := sampleFrom(h, 30000, 81)
+	if ks := KSStatistic(sample, h); ks > 1.95/math.Sqrt(30000) {
+		t.Fatalf("KS = %v", ks)
+	}
+	// Weights normalize.
+	h2 := NewHyperExponential([]float64{2, 2}, []float64{1, 2})
+	almostEq(t, h2.Weights[0], 0.5, 1e-12, "normalization")
+}
+
+func TestHyperExponentialPanics(t *testing.T) {
+	mustPanic(t, func() { NewHyperExponential(nil, nil) })
+	mustPanic(t, func() { NewHyperExponential([]float64{1}, []float64{1, 2}) })
+	mustPanic(t, func() { NewHyperExponential([]float64{0}, []float64{1}) })
+	mustPanic(t, func() { NewHyperExponential([]float64{1}, []float64{-1}) })
+}
+
+func TestFitHyperExpEMRecovers(t *testing.T) {
+	want := NewHyperExponential([]float64{0.7, 0.3}, []float64{0.02, 0.002})
+	sample := sampleFrom(want, 40000, 82)
+	got, err := FitHyperExpEM(sample, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moments recovered within a few percent.
+	if math.Abs(got.Mean()-want.Mean()) > 0.05*want.Mean() {
+		t.Fatalf("mean %v, want %v", got.Mean(), want.Mean())
+	}
+	if math.Abs(Std(got)-Std(want)) > 0.1*Std(want) {
+		t.Fatalf("std %v, want %v", Std(got), Std(want))
+	}
+	// Distribution recovered: KS distance small.
+	if ks := KSStatistic(sample, got); ks > 0.01 {
+		t.Fatalf("fitted KS = %v", ks)
+	}
+	// Likelihood at least as good as a single exponential's.
+	exp1, err := FitExponentialMLE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LogLikelihood(got, sample) < LogLikelihood(exp1, sample) {
+		t.Fatal("EM fit worse than exponential MLE")
+	}
+}
+
+func TestFitHyperExpEMSingleComponent(t *testing.T) {
+	want := NewExponential(0.004)
+	sample := sampleFrom(want, 20000, 83)
+	got, err := FitHyperExpEM(sample, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Rates[0]-want.Rate) > 0.05*want.Rate {
+		t.Fatalf("rate %v, want %v", got.Rates[0], want.Rate)
+	}
+}
+
+func TestFitHyperExpEMErrors(t *testing.T) {
+	if _, err := FitHyperExpEM(nil, 2, 100); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+	if _, err := FitHyperExpEM([]float64{1, 2}, 5, 100); err == nil {
+		t.Fatal("k > n should fail")
+	}
+	if _, err := FitHyperExpEM([]float64{1, -2}, 1, 100); err == nil {
+		t.Fatal("negative data should fail")
+	}
+	if _, err := FitHyperExpEM([]float64{1, 2, 3}, 0, 100); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestLogLogisticBasics(t *testing.T) {
+	l := NewLogLogistic(300, 2.5)
+	// Median equals alpha.
+	almostEq(t, l.Quantile(0.5), 300, 1e-9, "median")
+	almostEq(t, l.CDF(300), 0.5, 1e-12, "cdf at median")
+	// Quantile/CDF round trip.
+	for _, p := range []float64{0.01, 0.2, 0.8, 0.99} {
+		almostEq(t, l.CDF(l.Quantile(p)), p, 1e-10, "round trip")
+	}
+	// Mean formula: α·(π/β)/sin(π/β).
+	b := math.Pi / 2.5
+	almostEq(t, l.Mean(), 300*b/math.Sin(b), 1e-9, "mean")
+	// Heavy-tail regimes.
+	if !math.IsInf(NewLogLogistic(300, 0.9).Mean(), 1) {
+		t.Fatal("β<1 mean should be infinite")
+	}
+	if !math.IsInf(NewLogLogistic(300, 1.5).Var(), 1) {
+		t.Fatal("β<2 variance should be infinite")
+	}
+	mustPanic(t, func() { NewLogLogistic(0, 1) })
+	mustPanic(t, func() { NewLogLogistic(1, -2) })
+}
+
+func TestLogLogisticSampling(t *testing.T) {
+	l := NewLogLogistic(250, 3)
+	sample := sampleFrom(l, 30000, 84)
+	if ks := KSStatistic(sample, l); ks > 1.95/math.Sqrt(30000) {
+		t.Fatalf("KS = %v", ks)
+	}
+}
+
+func TestFitLogLogisticMLE(t *testing.T) {
+	want := NewLogLogistic(400, 2.2)
+	sample := sampleFrom(want, 40000, 85)
+	got, err := FitLogLogisticMLE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Alpha-want.Alpha) > 0.05*want.Alpha {
+		t.Fatalf("alpha %v, want %v", got.Alpha, want.Alpha)
+	}
+	if math.Abs(got.Beta-want.Beta) > 0.08*want.Beta {
+		t.Fatalf("beta %v, want %v", got.Beta, want.Beta)
+	}
+	if _, err := FitLogLogisticMLE(nil); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+	if _, err := FitLogLogisticMLE([]float64{-1, 2}); err == nil {
+		t.Fatal("negative data should fail")
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KDE is a Gaussian kernel density estimate of a sample. The paper's
+// Eq. 5 consumes a latency *density* f̃R, which a raw ECDF does not
+// provide; the KDE (or a histogram) closes that gap.
+type KDE struct {
+	xs []float64 // sorted sample
+	h  float64   // bandwidth
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
+// 0.9·min(σ̂, IQR/1.34)·n^{-1/5} for the sample.
+func SilvermanBandwidth(sample []float64) float64 {
+	if len(sample) < 2 {
+		return 1
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	sigma := StdDev(xs)
+	iqr := Percentile(xs, 0.75) - Percentile(xs, 0.25)
+	spread := sigma
+	if iqr > 0 && iqr/1.34 < spread {
+		spread = iqr / 1.34
+	}
+	if spread <= 0 {
+		return 1
+	}
+	return 0.9 * spread * math.Pow(float64(len(xs)), -0.2)
+}
+
+// NewKDE builds a Gaussian KDE with the given bandwidth (pass <= 0 for
+// Silverman's rule). It returns ErrEmpty for an empty sample.
+func NewKDE(sample []float64, bandwidth float64) (*KDE, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, v := range sample {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("stats: NaN in KDE sample")
+		}
+	}
+	if bandwidth <= 0 {
+		bandwidth = SilvermanBandwidth(sample)
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	return &KDE{xs: xs, h: bandwidth}, nil
+}
+
+// Bandwidth returns the kernel bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.h }
+
+// PDF returns the estimated density at x. Kernels further than 8
+// bandwidths contribute < 1e-15 and are skipped via the sorted order.
+func (k *KDE) PDF(x float64) float64 {
+	lo := sort.SearchFloat64s(k.xs, x-8*k.h)
+	hi := sort.SearchFloat64s(k.xs, x+8*k.h)
+	sum := 0.0
+	for _, xi := range k.xs[lo:hi] {
+		z := (x - xi) / k.h
+		sum += math.Exp(-z * z / 2)
+	}
+	return sum / (float64(len(k.xs)) * k.h * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns the estimated cumulative probability at x.
+func (k *KDE) CDF(x float64) float64 {
+	sum := 0.0
+	for _, xi := range k.xs {
+		z := (x - xi) / k.h
+		switch {
+		case z > 8:
+			sum++
+		case z < -8:
+			// contributes 0
+		default:
+			sum += NormalCDF(z)
+		}
+	}
+	return sum / float64(len(k.xs))
+}
+
+// Quantile inverts the KDE CDF by bisection.
+func (k *KDE) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return k.xs[0] - 8*k.h
+	case p >= 1:
+		return math.Inf(1)
+	}
+	lo := k.xs[0] - 9*k.h
+	hi := k.xs[len(k.xs)-1] + 9*k.h
+	return quantileBisect(k.CDF, p, lo, hi)
+}
+
+// Rand draws from the KDE: a sample point plus kernel noise.
+func (k *KDE) Rand(rng *rand.Rand) float64 {
+	xi := k.xs[rng.Intn(len(k.xs))]
+	return xi + k.h*rng.NormFloat64()
+}
+
+// Mean returns the KDE mean (the sample mean: Gaussian kernels are
+// centered).
+func (k *KDE) Mean() float64 { return Mean(k.xs) }
+
+// Var returns the KDE variance: sample variance plus h².
+func (k *KDE) Var() float64 { return Variance(k.xs) + k.h*k.h }

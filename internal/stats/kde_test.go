@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKDEMatchesGeneratingDensity(t *testing.T) {
+	d := NewLogNormal(6, 0.7)
+	sample := sampleFrom(d, 30000, 21)
+	k, err := NewKDE(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bandwidth() <= 0 {
+		t.Fatal("non-positive bandwidth")
+	}
+	// Density close to the truth at bulk points.
+	for _, x := range []float64{200, 400, 600, 900} {
+		got, want := k.PDF(x), d.PDF(x)
+		if math.Abs(got-want) > 0.25*want {
+			t.Errorf("PDF(%v) = %v, want ≈%v", x, got, want)
+		}
+	}
+	// CDF close everywhere.
+	for _, x := range []float64{150, 400, 800, 1600} {
+		if math.Abs(k.CDF(x)-d.CDF(x)) > 0.02 {
+			t.Errorf("CDF(%v) = %v, want ≈%v", x, k.CDF(x), d.CDF(x))
+		}
+	}
+}
+
+func TestKDEPDFIntegratesToOne(t *testing.T) {
+	sample := sampleFrom(NewGamma(2, 0.01), 2000, 22)
+	k, err := NewKDE(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Simpson(k.PDF, -200, 1500, 4000)
+	if math.Abs(total-1) > 0.01 {
+		t.Fatalf("∫pdf = %v", total)
+	}
+}
+
+func TestKDEQuantileRoundTrip(t *testing.T) {
+	sample := sampleFrom(NewUniform(0, 100), 5000, 23)
+	k, err := NewKDE(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		x := k.Quantile(p)
+		if math.Abs(k.CDF(x)-p) > 1e-6 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, k.CDF(x))
+		}
+	}
+}
+
+func TestKDEMoments(t *testing.T) {
+	sample := sampleFrom(NewGamma(4, 0.02), 50000, 24)
+	k, err := NewKDE(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k.Mean()-200) > 5 {
+		t.Fatalf("mean %v", k.Mean())
+	}
+	if math.Abs(k.Var()-10000) > 800 {
+		t.Fatalf("var %v", k.Var())
+	}
+}
+
+func TestKDESampling(t *testing.T) {
+	d := NewLogNormal(5, 0.5)
+	k, err := NewKDE(sampleFrom(d, 20000, 25), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(26))
+	resampled := make([]float64, 20000)
+	for i := range resampled {
+		resampled[i] = k.Rand(rng)
+	}
+	if ks := KSTwoSample(resampled, sampleFrom(d, 20000, 27)); ks > 0.03 {
+		t.Fatalf("resampled law diverges: KS=%v", ks)
+	}
+}
+
+func TestKDEErrors(t *testing.T) {
+	if _, err := NewKDE(nil, 0); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := NewKDE([]float64{1, math.NaN()}, 0); err == nil {
+		t.Fatal("NaN should fail")
+	}
+	if SilvermanBandwidth([]float64{5}) != 1 {
+		t.Fatal("degenerate bandwidth should be 1")
+	}
+	if SilvermanBandwidth([]float64{3, 3, 3, 3}) != 1 {
+		t.Fatal("zero-spread bandwidth should be 1")
+	}
+}

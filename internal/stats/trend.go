@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TrendResult is the outcome of a Mann–Kendall trend test.
+type TrendResult struct {
+	S      int     // Mann–Kendall S statistic (Σ sign(x_j - x_i), j > i)
+	Tau    float64 // Kendall's tau: S normalized by the pair count
+	Z      float64 // normal approximation score
+	PValue float64 // two-sided p-value of "no monotone trend"
+}
+
+// MannKendall tests a sequence for a monotone trend — the
+// non-stationarity check applied to windowed latency statistics of a
+// trace. The normal approximation (with tie correction) is accurate
+// for n ≳ 10; smaller sequences return PValue = 1.
+func MannKendall(values []float64) TrendResult {
+	n := len(values)
+	if n < 3 {
+		return TrendResult{PValue: 1}
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case values[j] > values[i]:
+				s++
+			case values[j] < values[i]:
+				s--
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	res := TrendResult{S: s, Tau: float64(s) / float64(pairs)}
+
+	// Variance with tie correction.
+	ties := map[float64]int{}
+	for _, v := range values {
+		ties[v]++
+	}
+	varS := float64(n*(n-1)*(2*n+5)) / 18
+	for _, t := range ties {
+		if t > 1 {
+			varS -= float64(t*(t-1)*(2*t+5)) / 18
+		}
+	}
+	if varS <= 0 {
+		res.PValue = 1
+		return res
+	}
+	switch {
+	case s > 0:
+		res.Z = float64(s-1) / math.Sqrt(varS)
+	case s < 0:
+		res.Z = float64(s+1) / math.Sqrt(varS)
+	}
+	res.PValue = 2 * (1 - NormalCDF(math.Abs(res.Z)))
+	if res.PValue > 1 {
+		res.PValue = 1
+	}
+	if n < 10 {
+		res.PValue = math.Max(res.PValue, 0.05) // approximation unreliable
+	}
+	return res
+}
+
+// SenSlope returns the Theil–Sen slope estimate (median of pairwise
+// slopes) of a sequence sampled at unit spacing — the robust trend
+// magnitude companion of MannKendall.
+func SenSlope(values []float64) float64 {
+	n := len(values)
+	if n < 2 {
+		return 0
+	}
+	slopes := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			slopes = append(slopes, (values[j]-values[i])/float64(j-i))
+		}
+	}
+	sort.Float64s(slopes)
+	return Percentile(slopes, 0.5)
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannKendallDetectsTrend(t *testing.T) {
+	// Strictly increasing: S = n(n-1)/2, tau = 1, tiny p.
+	inc := make([]float64, 30)
+	for i := range inc {
+		inc[i] = float64(i)
+	}
+	r := MannKendall(inc)
+	if r.Tau != 1 {
+		t.Fatalf("tau = %v", r.Tau)
+	}
+	if r.PValue > 1e-6 {
+		t.Fatalf("p = %v for strict trend", r.PValue)
+	}
+	// Decreasing: tau = -1.
+	dec := make([]float64, 30)
+	for i := range dec {
+		dec[i] = -float64(i)
+	}
+	if r := MannKendall(dec); r.Tau != -1 || r.PValue > 1e-6 {
+		t.Fatalf("decreasing: tau=%v p=%v", r.Tau, r.PValue)
+	}
+}
+
+func TestMannKendallNoTrendOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	rejections := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if MannKendall(xs).PValue < 0.05 {
+			rejections++
+		}
+	}
+	// The test has level 5%: expect ≈10 false rejections out of 200.
+	if rejections > 25 {
+		t.Fatalf("%d/%d false trend detections", rejections, trials)
+	}
+}
+
+func TestMannKendallEdgeCases(t *testing.T) {
+	if r := MannKendall(nil); r.PValue != 1 {
+		t.Fatal("empty sequence should give p=1")
+	}
+	if r := MannKendall([]float64{1, 2}); r.PValue != 1 {
+		t.Fatal("too-short sequence should give p=1")
+	}
+	// All ties: no trend, p = 1.
+	if r := MannKendall([]float64{5, 5, 5, 5, 5}); r.S != 0 || r.PValue != 1 {
+		t.Fatalf("ties: %+v", r)
+	}
+}
+
+func TestSenSlope(t *testing.T) {
+	// Perfect line with slope 2.5.
+	xs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = 2.5 * float64(i)
+	}
+	if got := SenSlope(xs); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("slope %v", got)
+	}
+	// Robust to one outlier.
+	xs[10] = 1e6
+	if got := SenSlope(xs); math.Abs(got-2.5) > 0.5 {
+		t.Fatalf("outlier destroyed slope: %v", got)
+	}
+	if SenSlope([]float64{7}) != 0 {
+		t.Fatal("degenerate slope should be 0")
+	}
+}

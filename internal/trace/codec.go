@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of the CSV trace format.
+var csvHeader = []string{"id", "submit_s", "latency_s", "status"}
+
+// WriteCSV serializes the trace in a simple four-column CSV format
+// with a header row. The trace name and timeout travel in a leading
+// comment-style pseudo-record ("#name", name, timeout, "").
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#name", t.Name, strconv.FormatFloat(t.Timeout, 'g', -1, 64), ""}); err != nil {
+		return fmt.Errorf("trace: writing CSV preamble: %w", err)
+	}
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, r := range t.Records {
+		rec := []string{
+			strconv.Itoa(r.ID),
+			strconv.FormatFloat(r.Submit, 'f', 3, 64),
+			strconv.FormatFloat(r.Latency, 'f', 3, 64),
+			r.Status.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing CSV record %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+
+	preamble, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV preamble: %w", err)
+	}
+	if preamble[0] != "#name" {
+		return nil, fmt.Errorf("trace: missing #name preamble, got %q", preamble[0])
+	}
+	timeout, err := strconv.ParseFloat(preamble[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad timeout %q: %w", preamble[2], err)
+	}
+	t := &Trace{Name: preamble[1], Timeout: timeout}
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: CSV header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+
+	for line := 3; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d id: %w", line, err)
+		}
+		submit, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d submit: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d latency: %w", line, err)
+		}
+		st, err := ParseStatus(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		t.Records = append(t.Records, ProbeRecord{ID: id, Submit: submit, Latency: lat, Status: st})
+	}
+	return t, t.Validate()
+}
+
+// jsonTrace is the JSON wire form of a Trace.
+type jsonTrace struct {
+	Name    string       `json:"name"`
+	Timeout float64      `json:"timeout_s"`
+	Records []jsonRecord `json:"records"`
+}
+
+type jsonRecord struct {
+	ID      int     `json:"id"`
+	Submit  float64 `json:"submit_s"`
+	Latency float64 `json:"latency_s"`
+	Status  string  `json:"status"`
+}
+
+// WriteJSON serializes the trace as a single JSON document.
+func WriteJSON(w io.Writer, t *Trace) error {
+	jt := jsonTrace{Name: t.Name, Timeout: t.Timeout, Records: make([]jsonRecord, len(t.Records))}
+	for i, r := range t.Records {
+		jt.Records[i] = jsonRecord{ID: r.ID, Submit: r.Submit, Latency: r.Latency, Status: r.Status.String()}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	t := &Trace{Name: jt.Name, Timeout: jt.Timeout, Records: make([]ProbeRecord, len(jt.Records))}
+	for i, r := range jt.Records {
+		st, err := ParseStatus(r.Status)
+		if err != nil {
+			return nil, fmt.Errorf("trace: JSON record %d: %w", i, err)
+		}
+		t.Records[i] = ProbeRecord{ID: r.ID, Submit: r.Submit, Latency: r.Latency, Status: st}
+	}
+	return t, t.Validate()
+}

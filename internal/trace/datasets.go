@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// DatasetSpec describes one of the paper's trace sets by the summary
+// statistics Table 1 reports, from which a synthetic trace with the
+// same latency profile is generated.
+//
+// The outlier ratio is not printed in the paper but is implied by the
+// censored-mean column: mean_with = (1-ρ)·mean_less + ρ·timeout, so
+// ρ = (mean_with − mean_less) / (timeout − mean_less).
+type DatasetSpec struct {
+	Name         string
+	MeanBody     float64 // mean of latencies below timeout, seconds ("mean < 10⁵")
+	StdBody      float64 // σR of latencies below timeout
+	MeanCensored float64 // censored mean ("mean with 10⁵")
+	Probes       int     // number of probe jobs to synthesize
+	Seed         int64   // deterministic generator seed
+}
+
+// Rho returns the outlier ratio implied by the censored mean.
+func (s DatasetSpec) Rho() float64 {
+	return (s.MeanCensored - s.MeanBody) / (DefaultTimeout - s.MeanBody)
+}
+
+// AggregateName is the pooled 2007–2008 dataset built by merging the
+// 11 weekly traces (the paper's "2007/08" row).
+const AggregateName = "2007/08"
+
+// PaperDatasets lists the 12 individually-collected trace sets of the
+// paper (2006-IX plus 11 weekly sets from late 2007 to early 2008)
+// with the Table 1 statistics they must match. Probe counts are chosen
+// to total 10,893 across all sets, as the paper reports.
+var PaperDatasets = []DatasetSpec{
+	{Name: "2006-IX", MeanBody: 570, StdBody: 886, MeanCensored: 1042, Probes: 1993, Seed: 2006_09},
+	{Name: "2007-36", MeanBody: 446, StdBody: 748, MeanCensored: 2739, Probes: 820, Seed: 2007_36},
+	{Name: "2007-37", MeanBody: 506, StdBody: 848, MeanCensored: 3639, Probes: 790, Seed: 2007_37},
+	{Name: "2007-38", MeanBody: 447, StdBody: 682, MeanCensored: 2739, Probes: 805, Seed: 2007_38},
+	{Name: "2007-39", MeanBody: 489, StdBody: 741, MeanCensored: 3533, Probes: 810, Seed: 2007_39},
+	{Name: "2007-50", MeanBody: 660, StdBody: 1046, MeanCensored: 2341, Probes: 795, Seed: 2007_50},
+	{Name: "2007-51", MeanBody: 478, StdBody: 510, MeanCensored: 1716, Probes: 830, Seed: 2007_51},
+	{Name: "2007-52", MeanBody: 443, StdBody: 582, MeanCensored: 1685, Probes: 815, Seed: 2007_52},
+	{Name: "2007-53", MeanBody: 449, StdBody: 678, MeanCensored: 1977, Probes: 800, Seed: 2007_53},
+	{Name: "2008-01", MeanBody: 434, StdBody: 317, MeanCensored: 1678, Probes: 825, Seed: 2008_01},
+	{Name: "2008-02", MeanBody: 418, StdBody: 547, MeanCensored: 1568, Probes: 810, Seed: 2008_02},
+	{Name: "2008-03", MeanBody: 538, StdBody: 1196, MeanCensored: 1484, Probes: 800, Seed: 2008_03},
+}
+
+// WeeklyNames lists the 11 weekly dataset names in chronological
+// order (excluding 2006-IX), i.e. the rows of the paper's Tables 5–6.
+func WeeklyNames() []string {
+	var out []string
+	for _, s := range PaperDatasets {
+		if s.Name != "2006-IX" {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// LookupDataset returns the spec with the given name.
+func LookupDataset(name string) (DatasetSpec, error) {
+	for _, s := range PaperDatasets {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("trace: unknown dataset %q", name)
+}
+
+// Set is a named collection of traces keyed by dataset name,
+// including the pooled aggregate.
+type Set struct {
+	Traces map[string]*Trace
+	Order  []string // stable iteration order: 2006-IX, aggregate, weeks
+}
+
+// Get returns the named trace or an error.
+func (s *Set) Get(name string) (*Trace, error) {
+	t, ok := s.Traces[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: set has no dataset %q", name)
+	}
+	return t, nil
+}
+
+// SynthesizeAll generates every paper dataset plus the pooled
+// 2007/08 aggregate. Generation is deterministic (fixed per-dataset
+// seeds).
+func SynthesizeAll() (*Set, error) {
+	set := &Set{Traces: make(map[string]*Trace)}
+	var weekly []*Trace
+	for _, spec := range PaperDatasets {
+		t, err := Synthesize(spec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: synthesizing %s: %w", spec.Name, err)
+		}
+		set.Traces[spec.Name] = t
+		if spec.Name != "2006-IX" {
+			weekly = append(weekly, t)
+		}
+	}
+	agg, err := Merge(AggregateName, weekly...)
+	if err != nil {
+		return nil, err
+	}
+	set.Traces[AggregateName] = agg
+
+	set.Order = append(set.Order, "2006-IX", AggregateName)
+	set.Order = append(set.Order, WeeklyNames()...)
+	return set, nil
+}
+
+// CalibrationError quantifies how far a synthesized trace's statistics
+// landed from its spec, as relative errors.
+type CalibrationError struct {
+	MeanBody, StdBody, Rho float64
+}
+
+// CheckCalibration compares a trace against its spec.
+func CheckCalibration(t *Trace, spec DatasetSpec) CalibrationError {
+	st := t.ComputeStats()
+	relErr := func(got, want float64) float64 {
+		if want == 0 {
+			return math.Abs(got)
+		}
+		return math.Abs(got-want) / want
+	}
+	return CalibrationError{
+		MeanBody: relErr(st.MeanBody, spec.MeanBody),
+		StdBody:  relErr(st.StdBody, spec.StdBody),
+		Rho:      relErr(st.Rho, spec.Rho()),
+	}
+}

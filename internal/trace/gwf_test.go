@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGWFRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteGWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Timeout != tr.Timeout {
+		t.Fatalf("header: %q %v", got.Name, got.Timeout)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("%d records, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], got.Records[i]
+		if a.ID != b.ID || a.Status != b.Status || a.Latency != b.Latency {
+			t.Fatalf("record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGWFRoundTripSynthetic(t *testing.T) {
+	spec, err := LookupDataset("2007-52")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.ComputeStats(), got.ComputeStats()
+	if a.Completed != b.Completed || a.Outliers != b.Outliers {
+		t.Fatalf("stats drifted: %+v vs %+v", a, b)
+	}
+}
+
+func TestGWFHandwritten(t *testing.T) {
+	in := `# a comment
+# Trace: byhand
+# Timeout: 5000
+# JobID SubmitTime WaitTime RunTime Status
+0 0.0 120.5 1 1
+1 10.0 -1 -1 -1
+
+2 20.0 300 1 0
+3 30.0 50 1 5
+`
+	tr, err := ReadGWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "byhand" || tr.Timeout != 5000 {
+		t.Fatalf("header %q %v", tr.Name, tr.Timeout)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("%d records", tr.Len())
+	}
+	// Missing wait (-1) becomes a censored outlier at the timeout.
+	if tr.Records[1].Status != StatusOutlier || tr.Records[1].Latency != 5000 {
+		t.Fatalf("missing-wait record: %+v", tr.Records[1])
+	}
+	if tr.Records[2].Status != StatusFault {
+		t.Fatalf("status 0 should be fault: %+v", tr.Records[2])
+	}
+	if tr.Records[3].Status != StatusCancelled {
+		t.Fatalf("status 5 should be cancelled: %+v", tr.Records[3])
+	}
+}
+
+func TestGWFErrors(t *testing.T) {
+	cases := []string{
+		"0 0 1\n",                     // too few columns
+		"x 0 1 1 1\n",                 // bad id
+		"0 y 1 1 1\n",                 // bad submit
+		"0 0 z 1 1\n",                 // bad wait
+		"0 0 1 1 q\n",                 // bad status
+		"0 0 1 1 7\n",                 // unknown status code
+		"# Timeout: zzz\n0 0 1 1 1\n", // bad timeout header
+	}
+	for _, in := range cases {
+		if _, err := ReadGWF(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}

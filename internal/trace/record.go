@@ -1,0 +1,230 @@
+// Package trace models probe-job workload traces in the style of the
+// EGEE measurements used by "Modeling User Submission Strategies on
+// Production Grids" (HPDC'09): probe jobs of near-zero run time whose
+// round-trip duration is pure grid latency, a fixed 10,000-second
+// timeout beyond which a probe is an outlier, and per-week trace sets.
+//
+// Since the original probe logs are not public, the package also ships
+// a synthetic generator calibrated per dataset to the summary
+// statistics the paper reports (Table 1): the non-outlier latency mean
+// and standard deviation, and the outlier ratio backed out of the
+// censored-mean column.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridstrat/internal/stats"
+)
+
+// DefaultTimeout is the probe timeout used throughout the paper:
+// 10,000 seconds, far above the ≈500 s average latency.
+const DefaultTimeout = 10000.0
+
+// Status is the terminal state of a probe job.
+type Status int
+
+const (
+	// StatusCompleted means the probe ran; Latency is the grid latency.
+	StatusCompleted Status = iota
+	// StatusOutlier means the probe exceeded the trace timeout and was
+	// canceled; Latency holds the censoring bound (the timeout).
+	StatusOutlier
+	// StatusFault means the middleware reported a terminal error
+	// before the timeout; treated as an outlier by the latency model.
+	StatusFault
+	// StatusCancelled means the client canceled the probe (used by
+	// strategy simulations, not by raw monitoring traces).
+	StatusCancelled
+)
+
+var statusNames = map[Status]string{
+	StatusCompleted: "completed",
+	StatusOutlier:   "outlier",
+	StatusFault:     "fault",
+	StatusCancelled: "cancelled",
+}
+
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// ParseStatus converts a status name back to its value.
+func ParseStatus(s string) (Status, error) {
+	for k, v := range statusNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown status %q", s)
+}
+
+// ProbeRecord is one probe job observation.
+type ProbeRecord struct {
+	ID      int     // unique within the trace
+	Submit  float64 // submission instant, seconds since trace start
+	Latency float64 // grid latency (seconds); censored at timeout for outliers
+	Status  Status
+}
+
+// Trace is a set of probe observations collected under one timeout.
+type Trace struct {
+	Name    string
+	Timeout float64 // censoring bound; DefaultTimeout in the paper
+	Records []ProbeRecord
+}
+
+// ErrNoCompleted is returned when an operation needs at least one
+// successfully completed probe and the trace has none.
+var ErrNoCompleted = errors.New("trace: no completed probes")
+
+// Len returns the number of probe records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Latencies returns the latencies of completed (non-outlier) probes.
+func (t *Trace) Latencies() []float64 {
+	var out []float64
+	for _, r := range t.Records {
+		if r.Status == StatusCompleted {
+			out = append(out, r.Latency)
+		}
+	}
+	return out
+}
+
+// CensoredLatencies returns one duration per probe with outliers and
+// faults replaced by the trace timeout — the sample underlying the
+// paper's "mean with 10⁵" lower bound.
+func (t *Trace) CensoredLatencies() []float64 {
+	out := make([]float64, 0, len(t.Records))
+	for _, r := range t.Records {
+		switch r.Status {
+		case StatusCompleted:
+			out = append(out, math.Min(r.Latency, t.Timeout))
+		case StatusOutlier, StatusFault:
+			out = append(out, t.Timeout)
+		}
+	}
+	return out
+}
+
+// OutlierRatio returns ρ: the fraction of probes that are outliers or
+// faults among all terminally-observed probes (cancelled probes are
+// excluded — they carry no latency information).
+func (t *Trace) OutlierRatio() float64 {
+	var outliers, total int
+	for _, r := range t.Records {
+		switch r.Status {
+		case StatusCompleted:
+			total++
+		case StatusOutlier, StatusFault:
+			total++
+			outliers++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(outliers) / float64(total)
+}
+
+// ECDF returns the empirical CDF FR of completed-probe latencies.
+func (t *Trace) ECDF() (*stats.ECDF, error) {
+	lat := t.Latencies()
+	if len(lat) == 0 {
+		return nil, ErrNoCompleted
+	}
+	return stats.NewECDF(lat)
+}
+
+// Stats summarizes a trace with the quantities of the paper's Table 1.
+type Stats struct {
+	Name         string
+	Probes       int
+	Completed    int
+	Outliers     int
+	Rho          float64 // outlier ratio
+	MeanBody     float64 // mean of latencies < timeout ("mean < 10⁵")
+	StdBody      float64 // std of latencies < timeout (σR)
+	MeanCensored float64 // censored mean ("mean with 10⁵")
+	Median       float64
+}
+
+// ComputeStats derives Table-1-style summary statistics.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{Name: t.Name, Probes: len(t.Records)}
+	lat := t.Latencies()
+	s.Completed = len(lat)
+	for _, r := range t.Records {
+		if r.Status == StatusOutlier || r.Status == StatusFault {
+			s.Outliers++
+		}
+	}
+	s.Rho = t.OutlierRatio()
+	if len(lat) > 0 {
+		s.MeanBody = stats.Mean(lat)
+		s.StdBody = stats.StdDev(lat)
+		sum := stats.Summarize(lat)
+		s.Median = sum.Median
+	}
+	cens := t.CensoredLatencies()
+	if len(cens) > 0 {
+		s.MeanCensored = stats.Mean(cens)
+	}
+	return s
+}
+
+// Merge concatenates traces into a new one named name. Record IDs are
+// renumbered; submit times are kept (merged traces represent pooled
+// observation periods, as the paper's 2007/08 row pools 11 weeks). All
+// inputs must share the same timeout.
+func Merge(name string, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("trace: nothing to merge")
+	}
+	out := &Trace{Name: name, Timeout: traces[0].Timeout}
+	id := 0
+	for _, tr := range traces {
+		if tr.Timeout != out.Timeout {
+			return nil, fmt.Errorf("trace: timeout mismatch merging %q (%v vs %v)",
+				tr.Name, tr.Timeout, out.Timeout)
+		}
+		for _, r := range tr.Records {
+			r.ID = id
+			id++
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks internal consistency: non-negative latencies and
+// submit times, outliers censored at the timeout, unique IDs.
+func (t *Trace) Validate() error {
+	if t.Timeout <= 0 {
+		return fmt.Errorf("trace %q: non-positive timeout %v", t.Name, t.Timeout)
+	}
+	seen := make(map[int]bool, len(t.Records))
+	for i, r := range t.Records {
+		if seen[r.ID] {
+			return fmt.Errorf("trace %q: duplicate record ID %d", t.Name, r.ID)
+		}
+		seen[r.ID] = true
+		if r.Latency < 0 || math.IsNaN(r.Latency) {
+			return fmt.Errorf("trace %q record %d: invalid latency %v", t.Name, i, r.Latency)
+		}
+		if r.Submit < 0 || math.IsNaN(r.Submit) {
+			return fmt.Errorf("trace %q record %d: invalid submit time %v", t.Name, i, r.Submit)
+		}
+		if r.Status == StatusCompleted && r.Latency > t.Timeout {
+			return fmt.Errorf("trace %q record %d: completed latency %v exceeds timeout %v",
+				t.Name, i, r.Latency, t.Timeout)
+		}
+	}
+	return nil
+}

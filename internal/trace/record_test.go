@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name:    "test",
+		Timeout: 1000,
+		Records: []ProbeRecord{
+			{ID: 0, Submit: 0, Latency: 100, Status: StatusCompleted},
+			{ID: 1, Submit: 10, Latency: 200, Status: StatusCompleted},
+			{ID: 2, Submit: 20, Latency: 1000, Status: StatusOutlier},
+			{ID: 3, Submit: 30, Latency: 300, Status: StatusCompleted},
+			{ID: 4, Submit: 40, Latency: 50, Status: StatusCancelled},
+			{ID: 5, Submit: 50, Latency: 400, Status: StatusFault},
+		},
+	}
+}
+
+func TestLatenciesFiltersCompleted(t *testing.T) {
+	tr := sampleTrace()
+	lat := tr.Latencies()
+	if len(lat) != 3 {
+		t.Fatalf("got %d latencies, want 3", len(lat))
+	}
+	want := []float64{100, 200, 300}
+	for i, v := range lat {
+		if v != want[i] {
+			t.Fatalf("latencies = %v", lat)
+		}
+	}
+}
+
+func TestCensoredLatencies(t *testing.T) {
+	tr := sampleTrace()
+	cens := tr.CensoredLatencies()
+	// Completed (3) + outlier (1) + fault (1); cancelled excluded.
+	if len(cens) != 5 {
+		t.Fatalf("got %d censored, want 5", len(cens))
+	}
+	sum := 0.0
+	for _, v := range cens {
+		if v > tr.Timeout {
+			t.Fatalf("censored value %v above timeout", v)
+		}
+		sum += v
+	}
+	if sum != 100+200+1000+300+1000 {
+		t.Fatalf("censored sum = %v", sum)
+	}
+}
+
+func TestOutlierRatio(t *testing.T) {
+	tr := sampleTrace()
+	// 2 outliers (outlier+fault) over 5 terminal probes.
+	if got := tr.OutlierRatio(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("rho = %v, want 0.4", got)
+	}
+	empty := &Trace{Name: "empty", Timeout: 100}
+	if empty.OutlierRatio() != 0 {
+		t.Fatal("empty trace rho should be 0")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := sampleTrace()
+	st := tr.ComputeStats()
+	if st.Probes != 6 || st.Completed != 3 || st.Outliers != 2 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if math.Abs(st.MeanBody-200) > 1e-12 {
+		t.Fatalf("mean body = %v", st.MeanBody)
+	}
+	if math.Abs(st.MeanCensored-2600.0/5) > 1e-12 {
+		t.Fatalf("mean censored = %v", st.MeanCensored)
+	}
+	if math.Abs(st.Median-200) > 1e-12 {
+		t.Fatalf("median = %v", st.Median)
+	}
+}
+
+func TestECDFFromTrace(t *testing.T) {
+	tr := sampleTrace()
+	e, err := tr.ECDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 3 {
+		t.Fatalf("ECDF over %d points", e.N())
+	}
+	empty := &Trace{Name: "none", Timeout: 10,
+		Records: []ProbeRecord{{ID: 0, Latency: 10, Status: StatusOutlier}}}
+	if _, err := empty.ECDF(); err != ErrNoCompleted {
+		t.Fatalf("want ErrNoCompleted, got %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleTrace()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleTrace()
+	bad.Records[1].ID = 0
+	if bad.Validate() == nil {
+		t.Fatal("duplicate ID should fail")
+	}
+	bad = sampleTrace()
+	bad.Records[0].Latency = -5
+	if bad.Validate() == nil {
+		t.Fatal("negative latency should fail")
+	}
+	bad = sampleTrace()
+	bad.Records[0].Latency = 5000 // completed above timeout
+	if bad.Validate() == nil {
+		t.Fatal("completed latency above timeout should fail")
+	}
+	bad = sampleTrace()
+	bad.Timeout = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero timeout should fail")
+	}
+	bad = sampleTrace()
+	bad.Records[2].Submit = math.NaN()
+	if bad.Validate() == nil {
+		t.Fatal("NaN submit should fail")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	m, err := Merge("merged", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 12 {
+		t.Fatalf("merged len %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	c := sampleTrace()
+	c.Timeout = 99
+	if _, err := Merge("bad", a, c); err == nil {
+		t.Fatal("timeout mismatch should fail")
+	}
+	if _, err := Merge("empty"); err == nil {
+		t.Fatal("empty merge should fail")
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	for _, s := range []Status{StatusCompleted, StatusOutlier, StatusFault, StatusCancelled} {
+		got, err := ParseStatus(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %v: got %v err %v", s, got, err)
+		}
+	}
+	if _, err := ParseStatus("bogus"); err == nil {
+		t.Fatal("bogus status should fail")
+	}
+	if Status(99).String() != "status(99)" {
+		t.Fatal("unknown status format")
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridstrat/internal/optimize"
+	"gridstrat/internal/stats"
+)
+
+// LatencyFloor is the hard minimum latency of the synthetic model,
+// representing the incompressible middleware round trip (credential
+// delegation, match-making, dispatch — the ≈10 machines a submission
+// traverses). All body distributions are shifted by this floor.
+const LatencyFloor = 120.0
+
+// faultShare is the fraction of outliers that manifest as middleware
+// faults (terminal errors detected before the timeout) rather than
+// silent never-starting jobs. The latency model treats both
+// identically; the split only adds realism to trace records.
+const faultShare = 0.3
+
+// probeSlots is the constant number of in-flight probes maintained by
+// the monitoring process: the paper keeps the monitoring load constant
+// by submitting a new probe whenever one completes.
+const probeSlots = 25
+
+// BodyDistribution returns a latency distribution for non-outlier
+// probes whose truncated-at-timeout mean and standard deviation match
+// the targets: a lognormal shifted by LatencyFloor and conditioned
+// below timeout, calibrated by a derivative-free search on the raw
+// moments.
+func BodyDistribution(meanBody, stdBody, timeout float64) (stats.Distribution, error) {
+	if meanBody <= LatencyFloor {
+		return nil, fmt.Errorf("trace: body mean %v must exceed the %v s latency floor", meanBody, LatencyFloor)
+	}
+	if stdBody <= 0 {
+		return nil, errors.New("trace: body std must be positive")
+	}
+	if timeout <= meanBody {
+		return nil, fmt.Errorf("trace: timeout %v must exceed body mean %v", timeout, meanBody)
+	}
+
+	// Search the raw (pre-truncation) lognormal moments in log space
+	// so that the *truncated* moments hit the targets. Truncation at
+	// the timeout pulls both moments down, and for very heavy weeks
+	// the raw std must greatly exceed the target, so a derivative-free
+	// search is far more robust than fixed-point iteration here.
+	build := func(lnM, lnS float64) (stats.TruncatedAbove, bool) {
+		m := math.Exp(lnM)
+		s := math.Exp(lnS)
+		if m <= 0 || s <= 0 || math.IsInf(m, 0) || math.IsInf(s, 0) {
+			return stats.TruncatedAbove{}, false
+		}
+		body := stats.NewShifted(stats.LogNormalFromMoments(m, s), LatencyFloor)
+		if body.CDF(timeout) <= 1e-9 {
+			return stats.TruncatedAbove{}, false
+		}
+		return stats.NewTruncatedAbove(body, timeout), true
+	}
+	objective := func(lnM, lnS float64) float64 {
+		tr, ok := build(lnM, lnS)
+		if !ok {
+			return math.Inf(1)
+		}
+		em := (tr.Mean() - meanBody) / meanBody
+		es := (stats.Std(tr) - stdBody) / stdBody
+		return em*em + es*es
+	}
+	r := optimize.NelderMead(objective,
+		math.Log(meanBody-LatencyFloor), math.Log(stdBody), 0.7, 1e-12, 400)
+	if r.F > 1e-4 { // 1% combined relative error
+		return nil, fmt.Errorf("trace: calibration did not converge for mean=%v std=%v (residual %v)",
+			meanBody, stdBody, math.Sqrt(r.F))
+	}
+	dist, _ := build(r.X, r.Y)
+	return dist, nil
+}
+
+// Synthesize generates a probe trace matching the spec: Probes records
+// whose non-outlier latencies follow the calibrated body distribution,
+// an outlier ratio of spec.Rho(), and submission times produced by a
+// constant-in-flight probe stream.
+func Synthesize(spec DatasetSpec) (*Trace, error) {
+	if spec.Probes <= 0 {
+		return nil, fmt.Errorf("trace: dataset %q has no probes", spec.Name)
+	}
+	body, err := BodyDistribution(spec.MeanBody, spec.StdBody, DefaultTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("trace: dataset %q: %w", spec.Name, err)
+	}
+	rho := spec.Rho()
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("trace: dataset %q implies invalid outlier ratio %v", spec.Name, rho)
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	records := make([]ProbeRecord, spec.Probes)
+	var completed []int
+	for i := range records {
+		if rng.Float64() < rho {
+			if rng.Float64() < faultShare {
+				// A fault surfaces after a partial traversal of the
+				// middleware chain.
+				records[i] = ProbeRecord{
+					Latency: LatencyFloor + rng.Float64()*(DefaultTimeout-LatencyFloor),
+					Status:  StatusFault,
+				}
+			} else {
+				records[i] = ProbeRecord{Latency: DefaultTimeout, Status: StatusOutlier}
+			}
+		} else {
+			records[i].Status = StatusCompleted
+			completed = append(completed, i)
+		}
+	}
+	// Draw body latencies by stratified inversion: one uniform per
+	// equal-probability stratum, in shuffled order. With only a few
+	// hundred probes per week and heavy tails, plain i.i.d. sampling
+	// would make the trace's sample mean/std wander far from the
+	// Table 1 targets; stratification pins the empirical distribution
+	// to the calibrated law while staying random within strata.
+	m := len(completed)
+	if m > 0 {
+		perm := rng.Perm(m)
+		for j, idx := range completed {
+			u := (float64(perm[j]) + rng.Float64()) / float64(m)
+			records[idx].Latency = body.Quantile(u)
+		}
+	}
+
+	assignStream(records, DefaultTimeout)
+	t := &Trace{Name: spec.Name, Timeout: DefaultTimeout, Records: records}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// assignStream sets IDs and submission times by replaying the paper's
+// monitoring process: probeSlots probes are kept in flight and a new
+// probe is submitted the moment one terminates. A probe occupies its
+// slot for its latency (completed, near-zero run time), its fault
+// detection time, or the full timeout (outliers).
+func assignStream(records []ProbeRecord, timeout float64) {
+	free := make([]float64, probeSlots) // next instant each slot is free
+	for i := range records {
+		// Earliest available slot.
+		slot := 0
+		for s := 1; s < len(free); s++ {
+			if free[s] < free[slot] {
+				slot = s
+			}
+		}
+		records[i].ID = i
+		records[i].Submit = free[slot]
+		occupancy := records[i].Latency
+		if records[i].Status == StatusOutlier {
+			occupancy = timeout
+		}
+		free[slot] += occupancy
+	}
+}

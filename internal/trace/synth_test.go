@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gridstrat/internal/stats"
+)
+
+func TestBodyDistributionHitsMoments(t *testing.T) {
+	for _, spec := range PaperDatasets {
+		d, err := BodyDistribution(spec.MeanBody, spec.StdBody, DefaultTimeout)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if math.Abs(d.Mean()-spec.MeanBody)/spec.MeanBody > 0.02 {
+			t.Errorf("%s: calibrated mean %v, want %v", spec.Name, d.Mean(), spec.MeanBody)
+		}
+		if math.Abs(stats.Std(d)-spec.StdBody)/spec.StdBody > 0.02 {
+			t.Errorf("%s: calibrated std %v, want %v", spec.Name, stats.Std(d), spec.StdBody)
+		}
+		// All mass within [floor, timeout].
+		if d.Quantile(0) < LatencyFloor || d.Quantile(1) > DefaultTimeout {
+			t.Errorf("%s: support [%v, %v] escapes bounds", spec.Name, d.Quantile(0), d.Quantile(1))
+		}
+	}
+}
+
+func TestBodyDistributionErrors(t *testing.T) {
+	if _, err := BodyDistribution(100, 50, DefaultTimeout); err == nil {
+		t.Fatal("mean below floor should fail")
+	}
+	if _, err := BodyDistribution(500, 0, DefaultTimeout); err == nil {
+		t.Fatal("zero std should fail")
+	}
+	if _, err := BodyDistribution(500, 100, 400); err == nil {
+		t.Fatal("timeout below mean should fail")
+	}
+}
+
+func TestSynthesizeMatchesSpec(t *testing.T) {
+	for _, spec := range PaperDatasets {
+		tr, err := Synthesize(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if tr.Len() != spec.Probes {
+			t.Fatalf("%s: %d probes, want %d", spec.Name, tr.Len(), spec.Probes)
+		}
+		cal := CheckCalibration(tr, spec)
+		if cal.MeanBody > 0.03 {
+			t.Errorf("%s: sample mean off by %.1f%%", spec.Name, cal.MeanBody*100)
+		}
+		// The heavy upper tail puts most of the variance in the top
+		// few strata, so the sample std keeps noticeable noise even
+		// under stratified sampling.
+		if cal.StdBody > 0.12 {
+			t.Errorf("%s: sample std off by %.1f%%", spec.Name, cal.StdBody*100)
+		}
+		if cal.Rho > 0.25 {
+			t.Errorf("%s: sample rho off by %.1f%% (binomial noise should stay below this)",
+				spec.Name, cal.Rho*100)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := PaperDatasets[0]
+	a, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestSynthesizeInvalidSpecs(t *testing.T) {
+	if _, err := Synthesize(DatasetSpec{Name: "zero", Probes: 0}); err == nil {
+		t.Fatal("zero probes should fail")
+	}
+	bad := DatasetSpec{Name: "bad-rho", MeanBody: 500, StdBody: 400,
+		MeanCensored: 400, Probes: 10, Seed: 1} // censored < body → negative rho
+	if _, err := Synthesize(bad); err == nil {
+		t.Fatal("negative rho should fail")
+	}
+}
+
+func TestSynthesizeAllIncludesAggregate(t *testing.T) {
+	set, err := SynthesizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Traces) != len(PaperDatasets)+1 {
+		t.Fatalf("got %d traces", len(set.Traces))
+	}
+	agg, err := set.Get(AggregateName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, spec := range PaperDatasets {
+		if spec.Name != "2006-IX" {
+			total += spec.Probes
+		}
+	}
+	if agg.Len() != total {
+		t.Fatalf("aggregate has %d records, want %d", agg.Len(), total)
+	}
+	// The paper's total probe count.
+	grand := 0
+	for _, spec := range PaperDatasets {
+		grand += spec.Probes
+	}
+	if grand != 10893 {
+		t.Fatalf("total probes %d, want 10893", grand)
+	}
+	if _, err := set.Get("no-such"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if len(set.Order) != len(PaperDatasets)+1 {
+		t.Fatalf("order has %d entries", len(set.Order))
+	}
+}
+
+func TestRhoBackout(t *testing.T) {
+	// ρ = (mean_with − mean_less)/(timeout − mean_less); check 2006-IX
+	// against the hand-computed value ≈ 0.050.
+	spec, err := LookupDataset("2006-IX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spec.Rho()-0.05) > 0.003 {
+		t.Fatalf("2006-IX rho = %v, want ≈0.050", spec.Rho())
+	}
+	// The heaviest week 2007-37 is about a third outliers.
+	spec, _ = LookupDataset("2007-37")
+	if spec.Rho() < 0.30 || spec.Rho() > 0.36 {
+		t.Fatalf("2007-37 rho = %v, want ≈0.33", spec.Rho())
+	}
+	if _, err := LookupDataset("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestStreamSubmissionInvariant(t *testing.T) {
+	spec := PaperDatasets[0]
+	tr, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the submit instant of probe k, at most probeSlots probes are
+	// in flight (constant-load monitoring). Verify by replaying.
+	type iv struct{ start, end float64 }
+	var ivs []iv
+	for _, r := range tr.Records {
+		occ := r.Latency
+		if r.Status == StatusOutlier {
+			occ = tr.Timeout
+		}
+		ivs = append(ivs, iv{r.Submit, r.Submit + occ})
+	}
+	for i, a := range ivs {
+		inflight := 0
+		for j, b := range ivs {
+			if j != i && b.start <= a.start && a.start < b.end {
+				inflight++
+			}
+		}
+		if inflight > probeSlots {
+			t.Fatalf("probe %d overlaps %d others, cap %d", i, inflight, probeSlots)
+		}
+	}
+	// Submissions are in non-decreasing ID order of time.
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Submit < tr.Records[i-1].Submit-1e-9 {
+			t.Fatalf("submit times not monotone at %d", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Timeout != tr.Timeout || got.Len() != tr.Len() {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], got.Records[i]
+		if a.ID != b.ID || a.Status != b.Status ||
+			math.Abs(a.Submit-b.Submit) > 1e-3 || math.Abs(a.Latency-b.Latency) > 1e-3 {
+			t.Fatalf("record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("not,a,trace,x\n")); err == nil {
+		t.Fatal("bad preamble should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("#name,t,NaNx,\nid,submit_s,latency_s,status\n")); err == nil {
+		t.Fatal("bad timeout should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("#name,t,100,\nwrong,header,here,now\n")); err == nil {
+		t.Fatal("bad header should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(
+		"#name,t,100,\nid,submit_s,latency_s,status\nx,0,1,completed\n")); err == nil {
+		t.Fatal("bad id should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(
+		"#name,t,100,\nid,submit_s,latency_s,status\n0,0,1,weird\n")); err == nil {
+		t.Fatal("bad status should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Len() != tr.Len() {
+		t.Fatalf("mismatch: %+v", got)
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != got.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("{bad json")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(
+		`{"name":"x","timeout_s":10,"records":[{"id":0,"submit_s":0,"latency_s":1,"status":"zzz"}]}`)); err == nil {
+		t.Fatal("bad status should fail")
+	}
+}
+
+func TestWeeklyNames(t *testing.T) {
+	names := WeeklyNames()
+	if len(names) != 11 {
+		t.Fatalf("got %d weekly names", len(names))
+	}
+	for _, n := range names {
+		if n == "2006-IX" {
+			t.Fatal("2006-IX is not weekly")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridstrat/internal/stats"
+)
+
+// WindowStats splits the trace into consecutive submit-time windows of
+// the given width (seconds) and returns Table-1-style statistics per
+// window. Windows with no terminal probes are skipped. This is the
+// raw material of the non-stationarity analysis: production-grid load
+// patterns "evolve quickly" (§3.1), and windowed statistics show how
+// much.
+func WindowStats(t *Trace, window float64) ([]Stats, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: non-positive window %v", window)
+	}
+	if len(t.Records) == 0 {
+		return nil, ErrNoCompleted
+	}
+	recs := append([]ProbeRecord(nil), t.Records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Submit < recs[j].Submit })
+
+	var out []Stats
+	start := recs[0].Submit
+	var cur []ProbeRecord
+	flush := func(winStart float64) {
+		if len(cur) == 0 {
+			return
+		}
+		w := &Trace{Name: fmt.Sprintf("%s[%.0fs]", t.Name, winStart), Timeout: t.Timeout, Records: cur}
+		st := w.ComputeStats()
+		if st.Completed > 0 {
+			out = append(out, st)
+		}
+		cur = nil
+	}
+	winStart := start
+	for _, r := range recs {
+		for r.Submit >= winStart+window {
+			flush(winStart)
+			winStart += window
+		}
+		cur = append(cur, r)
+	}
+	flush(winStart)
+	if len(out) == 0 {
+		return nil, ErrNoCompleted
+	}
+	return out, nil
+}
+
+// StationarityReport summarizes how stationary a trace's latency
+// process is over submit time.
+type StationarityReport struct {
+	Windows    int
+	MeanDrift  float64           // (max-min)/median of window means
+	RhoDrift   float64           // max-min of window outlier ratios
+	MeanTrend  stats.TrendResult // Mann–Kendall on window means
+	TrendSlope float64           // Theil–Sen slope of window means (s per window)
+}
+
+// AnalyzeStationarity computes the windowed drift/trend report.
+func AnalyzeStationarity(t *Trace, window float64) (StationarityReport, error) {
+	ws, err := WindowStats(t, window)
+	if err != nil {
+		return StationarityReport{}, err
+	}
+	means := make([]float64, len(ws))
+	minM, maxM := math.Inf(1), math.Inf(-1)
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for i, w := range ws {
+		means[i] = w.MeanBody
+		minM = math.Min(minM, w.MeanBody)
+		maxM = math.Max(maxM, w.MeanBody)
+		minR = math.Min(minR, w.Rho)
+		maxR = math.Max(maxR, w.Rho)
+	}
+	med := stats.Summarize(means).Median
+	rep := StationarityReport{
+		Windows:    len(ws),
+		RhoDrift:   maxR - minR,
+		MeanTrend:  stats.MannKendall(means),
+		TrendSlope: stats.SenSlope(means),
+	}
+	if med > 0 {
+		rep.MeanDrift = (maxM - minM) / med
+	}
+	return rep, nil
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowStatsSplits(t *testing.T) {
+	tr := &Trace{Name: "w", Timeout: 1000}
+	// Three windows of 100 s with 2 completed probes each.
+	for i := 0; i < 6; i++ {
+		tr.Records = append(tr.Records, ProbeRecord{
+			ID:      i,
+			Submit:  float64(i) * 50, // 0,50 | 100,150 | 200,250
+			Latency: 100 + float64(i)*10,
+			Status:  StatusCompleted,
+		})
+	}
+	ws, err := WindowStats(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("%d windows, want 3", len(ws))
+	}
+	for _, w := range ws {
+		if w.Completed != 2 {
+			t.Fatalf("window %s has %d completed", w.Name, w.Completed)
+		}
+	}
+	// Means increase window over window by construction.
+	if !(ws[0].MeanBody < ws[1].MeanBody && ws[1].MeanBody < ws[2].MeanBody) {
+		t.Fatalf("window means out of order: %v %v %v", ws[0].MeanBody, ws[1].MeanBody, ws[2].MeanBody)
+	}
+}
+
+func TestWindowStatsErrors(t *testing.T) {
+	tr := sampleTrace()
+	if _, err := WindowStats(tr, 0); err == nil {
+		t.Fatal("zero window should fail")
+	}
+	empty := &Trace{Name: "e", Timeout: 10}
+	if _, err := WindowStats(empty, 100); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+	allCancelled := &Trace{Name: "c", Timeout: 10, Records: []ProbeRecord{
+		{ID: 0, Latency: 5, Status: StatusCancelled},
+	}}
+	if _, err := WindowStats(allCancelled, 100); err == nil {
+		t.Fatal("no terminal probes should fail")
+	}
+}
+
+func TestWindowStatsSkipsEmptyWindows(t *testing.T) {
+	tr := &Trace{Name: "gap", Timeout: 1000, Records: []ProbeRecord{
+		{ID: 0, Submit: 0, Latency: 100, Status: StatusCompleted},
+		{ID: 1, Submit: 5000, Latency: 200, Status: StatusCompleted},
+	}}
+	ws, err := WindowStats(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("%d windows, want 2 (gaps skipped)", len(ws))
+	}
+}
+
+func TestAnalyzeStationaritySyntheticTraces(t *testing.T) {
+	// The synthetic paper traces are i.i.d. by construction: windowed
+	// means must show no strong monotone trend.
+	spec, err := LookupDataset("2006-IX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The campaign spans ≈1 day of simulated submissions; 2 h windows
+	// give ≈11 usable windows.
+	rep, err := AnalyzeStationarity(tr, 2*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows < 5 {
+		t.Fatalf("only %d windows", rep.Windows)
+	}
+	if rep.MeanTrend.PValue < 0.001 {
+		t.Fatalf("spurious strong trend detected: %+v", rep.MeanTrend)
+	}
+	if rep.MeanDrift < 0 || math.IsNaN(rep.MeanDrift) {
+		t.Fatalf("bad drift %v", rep.MeanDrift)
+	}
+}
+
+func TestAnalyzeStationarityDetectsDrift(t *testing.T) {
+	// A trace whose latency grows with submit time must be flagged.
+	tr := &Trace{Name: "drift", Timeout: 100000}
+	for i := 0; i < 600; i++ {
+		tr.Records = append(tr.Records, ProbeRecord{
+			ID:      i,
+			Submit:  float64(i) * 60,
+			Latency: 100 + float64(i), // strictly growing
+			Status:  StatusCompleted,
+		})
+	}
+	rep, err := AnalyzeStationarity(tr, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanTrend.PValue > 0.01 {
+		t.Fatalf("failed to detect drift: %+v", rep.MeanTrend)
+	}
+	if rep.TrendSlope <= 0 {
+		t.Fatalf("slope %v should be positive", rep.TrendSlope)
+	}
+}

@@ -1,0 +1,100 @@
+package gridstrat
+
+import (
+	"gridstrat/internal/core"
+	"gridstrat/internal/trace"
+	"gridstrat/internal/workload"
+)
+
+// --- Application makespan modeling (the paper's future-work §8) ---
+
+// Application is a latency-dominated bag of tasks run in waves.
+type Application = workload.Application
+
+// MakespanEstimate is the analytic makespan under one strategy.
+type MakespanEstimate = workload.MakespanEstimate
+
+// WorkloadStrategy wraps a strategy's total-latency law for makespan
+// estimation.
+type WorkloadStrategy = workload.Strategy
+
+// NewSingleStrategy, NewMultipleStrategy and NewDelayedStrategy build
+// optimized strategy laws for makespan estimation.
+func NewSingleStrategy(m Model) WorkloadStrategy          { return workload.SingleStrategy(m) }
+func NewMultipleStrategy(m Model, b int) WorkloadStrategy { return workload.MultipleStrategy(m, b) }
+func NewDelayedStrategy(m Model) WorkloadStrategy         { return workload.DelayedStrategy(m) }
+
+// EstimateMakespan computes the expected wall-clock time of an
+// application under a strategy (order-statistics wave model).
+func EstimateMakespan(a Application, s WorkloadStrategy) (MakespanEstimate, error) {
+	return workload.EstimateMakespan(a, s)
+}
+
+// CompareMakespan evaluates several strategies on one application.
+func CompareMakespan(a Application, strategies ...WorkloadStrategy) ([]MakespanEstimate, error) {
+	return workload.Compare(a, strategies...)
+}
+
+// SmallestMeetingDeadline returns the smallest collection size b whose
+// analytic makespan meets the deadline (0 if none up to maxB).
+func SmallestMeetingDeadline(m Model, a Application, deadline float64, maxB int) (int, MakespanEstimate, error) {
+	return workload.SmallestMeetingDeadline(m, a, deadline, maxB)
+}
+
+// --- Strategy CDFs and order statistics ---
+
+// SingleCDF, MultipleCDF and DelayedCDF return the distribution
+// function of the total latency J under each strategy.
+func SingleCDF(m Model, tInf float64) func(float64) float64 { return core.SingleCDF(m, tInf) }
+func MultipleCDF(m Model, b int, tInf float64) func(float64) float64 {
+	return core.MultipleCDF(m, b, tInf)
+}
+func DelayedCDF(m Model, p DelayedParams) func(float64) float64 { return core.DelayedCDF(m, p) }
+
+// ExpectedMax returns E[max of n i.i.d. draws] for a non-negative law
+// given by its CDF (hint scales the integration grid).
+func ExpectedMax(cdf func(float64) float64, n int, hint float64) float64 {
+	return core.ExpectedMax(cdf, n, hint)
+}
+
+// --- Estimation uncertainty ---
+
+// BootstrapCI is a percentile bootstrap confidence interval.
+type BootstrapCI = core.BootstrapCI
+
+// BootstrapSingleEJ returns a CI for EJ under single resubmission at a
+// fixed timeout.
+func BootstrapSingleEJ(m *EmpiricalModel, tInf float64, resamples int, level float64, rng Rand) (BootstrapCI, error) {
+	return core.BootstrapSingleEJ(m, tInf, resamples, level, rng)
+}
+
+// BootstrapDelayedEJ returns a CI for EJ under the delayed strategy at
+// fixed parameters.
+func BootstrapDelayedEJ(m *EmpiricalModel, p DelayedParams, resamples int, level float64, rng Rand) (BootstrapCI, error) {
+	return core.BootstrapDelayedEJ(m, p, resamples, level, rng)
+}
+
+// BootstrapStatistic returns a CI for any statistic of the latency
+// model.
+func BootstrapStatistic(m *EmpiricalModel, stat func(Model) float64, resamples int, level float64, rng Rand) (BootstrapCI, error) {
+	return core.BootstrapStatistic(m, stat, resamples, level, rng)
+}
+
+// --- Non-stationarity analysis ---
+
+// TraceStats is the per-trace (or per-window) summary.
+type TraceStats = trace.Stats
+
+// StationarityReport summarizes windowed latency drift and trend.
+type StationarityReport = trace.StationarityReport
+
+// WindowStats splits a trace into submit-time windows and summarizes
+// each.
+func WindowStats(t *Trace, window float64) ([]TraceStats, error) {
+	return trace.WindowStats(t, window)
+}
+
+// AnalyzeStationarity computes the drift/trend report of a trace.
+func AnalyzeStationarity(t *Trace, window float64) (StationarityReport, error) {
+	return trace.AnalyzeStationarity(t, window)
+}
