@@ -63,17 +63,32 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	tInf, single := gridstrat.OptimizeSingle(m)
-	mTInf, multi := gridstrat.OptimizeMultiple(m, 4)
-	p, delayed := gridstrat.OptimizeDelayed(m)
-	fmt.Printf("\nmodel says: single EJ=%.0fs (t∞=%.0fs) | multiple b=4 EJ=%.0fs | delayed EJ=%.0fs (t0=%.0fs t∞=%.0fs)\n",
-		single.EJ, tInf, multi.EJ, delayed.EJ, p.T0, p.TInf)
+	planner, err := gridstrat.NewPlanner(m)
+	if err != nil {
+		fail(err)
+	}
+	ranked, err := planner.Rank(gridstrat.Single{}, gridstrat.Multiple{B: 4}, gridstrat.Delayed{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nmodel says (fastest first):")
+	for _, r := range ranked {
+		fmt.Printf("  %v EJ=%.0fs Δcost=%.2f\n", r.Strategy, r.Eval.EJ, r.Delta)
+	}
 
 	fmt.Println("\nreplaying against the live grid:")
-	specs := []gridsim.StrategySpec{
-		{Kind: gridsim.StrategySingle, TInf: tInf},
-		{Kind: gridsim.StrategyMultiple, TInf: mTInf, B: 4},
-		{Kind: gridsim.StrategyDelayed, Delayed: core.DelayedParams{T0: p.T0, TInf: p.TInf}},
+	var specs []gridsim.StrategySpec
+	for _, r := range ranked {
+		params := r.Strategy.Params()
+		switch r.Strategy.Name() {
+		case gridstrat.StrategySingle:
+			specs = append(specs, gridsim.StrategySpec{Kind: gridsim.StrategySingle, TInf: params.TInf})
+		case gridstrat.StrategyMultiple:
+			specs = append(specs, gridsim.StrategySpec{Kind: gridsim.StrategyMultiple, TInf: params.TInf, B: params.B})
+		case gridstrat.StrategyDelayed:
+			specs = append(specs, gridsim.StrategySpec{
+				Kind: gridsim.StrategyDelayed, Delayed: core.DelayedParams{T0: params.T0, TInf: params.TInf}})
+		}
 	}
 	for _, spec := range specs {
 		outc, err := gridsim.RunStrategy(g, spec, *tasks, 200, 1)

@@ -73,7 +73,12 @@ func main() {
 		evaluate(m, *strategy, *b, *t0, *tInf)
 	case "deadline":
 		requirePositive("tinf", *tInf) // reused as the deadline value
-		rep, err := gridstrat.CompareDeadline(m, *tInf, *b)
+		p, err := gridstrat.NewPlanner(m,
+			gridstrat.WithDeadline(*tInf), gridstrat.WithCollectionSize(*b))
+		if err != nil {
+			fail(err)
+		}
+		rep, err := p.CompareDeadline()
 		if err != nil {
 			fail(err)
 		}
@@ -102,50 +107,63 @@ func loadTrace(path string) (*gridstrat.Trace, error) {
 	return gridstrat.ReadTraceCSV(f)
 }
 
-func evaluate(m gridstrat.Model, strategy string, b int, t0, tInf float64) {
-	switch strategy {
+// pickStrategy maps the -strategy/-b/-t0/-tinf flags to a Strategy
+// value; parameters left at zero are tuned by Optimize.
+func pickStrategy(name string, b int, t0, tInf float64) gridstrat.Strategy {
+	switch name {
 	case "single":
-		requirePositive("tinf", tInf)
-		fmt.Printf("single(t∞=%.0fs): EJ=%.1fs σJ=%.1fs\n",
-			tInf, gridstrat.EJSingle(m, tInf), gridstrat.SigmaSingle(m, tInf))
+		return gridstrat.Single{TInf: tInf}
 	case "multiple":
-		requirePositive("tinf", tInf)
-		fmt.Printf("multiple(b=%d, t∞=%.0fs): EJ=%.1fs σJ=%.1fs\n",
-			b, tInf, gridstrat.EJMultiple(m, b, tInf), gridstrat.SigmaMultiple(m, b, tInf))
+		return gridstrat.Multiple{B: b, TInf: tInf}
 	case "delayed":
-		requirePositive("t0", t0)
-		requirePositive("tinf", tInf)
-		ev, err := gridstrat.DelayedEvaluate(m, gridstrat.DelayedParams{T0: t0, TInf: tInf})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("delayed(t0=%.0fs, t∞=%.0fs): EJ=%.1fs σJ=%.1fs N‖=%.3f\n",
-			t0, tInf, ev.EJ, ev.Sigma, ev.Parallel)
+		return gridstrat.Delayed{T0: t0, TInf: tInf}
 	default:
-		fail(fmt.Errorf("evaluate needs -strategy single, multiple or delayed"))
+		fail(fmt.Errorf("unknown strategy %q (want single, multiple or delayed)", name))
+		return nil
 	}
+}
+
+func describe(s gridstrat.Strategy, ev gridstrat.Evaluation) string {
+	return fmt.Sprintf("%v: EJ=%.1fs σJ=%.1fs N‖=%.3f", s, ev.EJ, ev.Sigma, ev.Parallel)
+}
+
+func evaluate(m gridstrat.Model, strategy string, b int, t0, tInf float64) {
+	requirePositive("tinf", tInf)
+	if strategy == "delayed" {
+		requirePositive("t0", t0)
+	}
+	s := pickStrategy(strategy, b, t0, tInf)
+	ev, err := s.Evaluate(m)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(describe(s, ev))
 }
 
 func optimizeCmd(m gridstrat.Model, strategy string, b int, budget float64) {
 	switch strategy {
-	case "single":
-		tInf, ev := gridstrat.OptimizeSingle(m)
-		fmt.Printf("optimal single: t∞=%.0fs EJ=%.1fs σJ=%.1fs\n", tInf, ev.EJ, ev.Sigma)
-	case "multiple":
-		tInf, ev := gridstrat.OptimizeMultiple(m, b)
-		fmt.Printf("optimal multiple(b=%d): t∞=%.0fs EJ=%.1fs σJ=%.1fs\n", b, tInf, ev.EJ, ev.Sigma)
-	case "delayed":
-		p, ev := gridstrat.OptimizeDelayed(m)
-		fmt.Printf("optimal delayed: t0=%.0fs t∞=%.0fs EJ=%.1fs σJ=%.1fs N‖=%.3f\n",
-			p.T0, p.TInf, ev.EJ, ev.Sigma, ev.Parallel)
+	case "single", "multiple", "delayed":
+		tuned, ev, err := pickStrategy(strategy, b, 0, 0).Optimize(m)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("optimal", describe(tuned, ev))
 	case "cost":
-		r, err := gridstrat.RecommendCheapest(m)
+		p, err := gridstrat.NewPlanner(m)
+		if err != nil {
+			fail(err)
+		}
+		r, err := p.RecommendCheapest()
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("cheapest for the grid:", r)
 	case "auto":
-		r, err := gridstrat.Recommend(m, budget)
+		p, err := gridstrat.NewPlanner(m, gridstrat.WithMaxParallel(budget))
+		if err != nil {
+			fail(err)
+		}
+		r, err := p.Recommend()
 		if err != nil {
 			fail(err)
 		}

@@ -32,6 +32,53 @@ func Example() {
 	// delayed keeps fewer than 2 copies: true
 }
 
+// ExampleNewPlanner shows the facade: one Planner per latency model,
+// constraints as functional options, every high-level question a
+// method.
+func ExampleNewPlanner() {
+	tr, _ := gridstrat.SynthesizeDataset("2006-IX")
+	m, _ := gridstrat.ModelFromTrace(tr)
+	planner, err := gridstrat.NewPlanner(m,
+		gridstrat.WithMaxParallel(2),
+		gridstrat.WithDeadline(600),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	rec, _ := planner.Recommend()
+	fmt.Println("fastest within budget:", rec.Strategy)
+
+	ranked, _ := planner.Rank()
+	fmt.Println("families ranked:", len(ranked))
+
+	rep, _ := planner.CompareDeadline()
+	fmt.Println("replication raises P(J<=600s):",
+		rep.Multiple.Probability > rep.Single.Probability)
+	// Output:
+	// fastest within budget: multiple
+	// families ranked: 3
+	// replication raises P(J<=600s): true
+}
+
+// ExampleSingle_Optimize tunes one strategy family directly through
+// the Strategy interface.
+func ExampleSingle_Optimize() {
+	tr, _ := gridstrat.SynthesizeDataset("2006-IX")
+	m, _ := gridstrat.ModelFromTrace(tr)
+
+	tuned, ev, err := gridstrat.Single{}.Optimize(m)
+	if err != nil {
+		panic(err)
+	}
+	re, _ := tuned.Evaluate(m)
+	fmt.Println("tuned timeout positive:", tuned.Params().TInf > 0)
+	fmt.Println("round trip agrees:", re.EJ == ev.EJ)
+	// Output:
+	// tuned timeout positive: true
+	// round trip agrees: true
+}
+
 // ExampleRecommendCheapest reproduces the paper's §7 headline on the
 // reference dataset: a delayed configuration that both finishes sooner
 // and loads the grid less than single resubmission (Δcost < 1).

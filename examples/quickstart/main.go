@@ -1,5 +1,5 @@
 // Quickstart: build a latency model from a probe trace and compare the
-// three submission strategies of the paper.
+// three submission strategies of the paper through the Planner facade.
 package main
 
 import (
@@ -21,37 +21,52 @@ func main() {
 	fmt.Printf("trace %s: %d probes, mean latency %.0fs (σ=%.0fs), %.1f%% outliers\n\n",
 		st.Name, st.Probes, st.MeanBody, st.StdBody, st.Rho*100)
 
-	// 2. Build the latency model F̃R(t) = (1-ρ)·FR(t).
+	// 2. Build the latency model F̃R(t) = (1-ρ)·FR(t) and a Planner
+	// over it. The Planner memoizes model evaluations, so the ranking,
+	// recommendation and cost queries below share their work.
 	m, err := gridstrat.ModelFromTrace(tr)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 3. Optimize each strategy.
-	tInf, single := gridstrat.OptimizeSingle(m)
-	fmt.Printf("single resubmission:  t∞=%4.0fs            EJ=%.0fs σ=%.0fs\n",
-		tInf, single.EJ, single.Sigma)
-
-	for _, b := range []int{2, 5} {
-		tb, ev := gridstrat.OptimizeMultiple(m, b)
-		fmt.Printf("multiple (b=%d):       t∞=%4.0fs            EJ=%.0fs σ=%.0fs\n",
-			b, tb, ev.EJ, ev.Sigma)
+	planner, err := gridstrat.NewPlanner(m, gridstrat.WithMaxParallel(1.5))
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	p, delayed := gridstrat.OptimizeDelayed(m)
-	fmt.Printf("delayed resubmission: t0=%4.0fs t∞=%4.0fs  EJ=%.0fs σ=%.0fs N‖=%.2f\n\n",
-		p.T0, p.TInf, delayed.EJ, delayed.Sigma, delayed.Parallel)
+	// 3. Optimize each strategy family and rank by expected latency.
+	ranked, err := planner.Rank(
+		gridstrat.Single{},
+		gridstrat.Multiple{B: 2},
+		gridstrat.Multiple{B: 5},
+		gridstrat.Delayed{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %10s %10s %8s %8s\n", "strategy", "EJ", "σJ", "N‖", "Δcost")
+	for _, r := range ranked {
+		fmt.Printf("%-28v %9.0fs %9.0fs %8.2f %8.2f\n",
+			r.Strategy, r.Eval.EJ, r.Eval.Sigma, r.Eval.Parallel, r.Delta)
+	}
 
 	// 4. Ask the advisor: fastest under a 1.5-copy budget, and
 	// cheapest for the infrastructure.
-	fast, err := gridstrat.Recommend(m, 1.5)
+	fast, err := planner.Recommend()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cheap, err := gridstrat.RecommendCheapest(m)
+	cheap, err := planner.RecommendCheapest()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("fastest under N‖ ≤ 1.5: ", fast)
+	fmt.Println("\nfastest under N‖ ≤ 1.5: ", fast)
 	fmt.Println("cheapest for the grid:  ", cheap)
+
+	// 5. Cross-check the winner with a Monte Carlo replay.
+	sim, err := planner.Simulate(fast.AsStrategy(), 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMonte Carlo check: EJ=%.0fs ± %.1fs (model said %.0fs)\n",
+		sim.EJ, sim.StdErr, fast.Eval.EJ)
 }

@@ -3,11 +3,11 @@
 //
 // The program (1) runs a probe campaign against the simulated grid to
 // measure its latency law, (2) optimizes the three strategies on the
-// fitted model, and (3) replays each optimized strategy against the
-// *live* grid, comparing realized mean latency with the model's
-// prediction. Disagreement stays small as long as the grid is
-// stationary over the experiment — exactly the assumption the paper
-// makes (and revisits in its §7.2 stability study).
+// fitted model through the Strategy API, and (3) replays each optimized
+// strategy against the *live* grid, comparing realized mean latency
+// with the model's prediction. Disagreement stays small as long as the
+// grid is stationary over the experiment — exactly the assumption the
+// paper makes (and revisits in its §7.2 stability study).
 package main
 
 import (
@@ -33,25 +33,39 @@ func main() {
 	fmt.Printf("probe campaign: mean=%.0fs σ=%.0fs rho=%.3f (%.1f simulated days)\n\n",
 		st.MeanBody, st.StdBody, st.Rho, g.Engine.Now()/86400)
 
-	// Phase 2: model and optimize.
+	// Phase 2: model and optimize each strategy family.
 	m, err := gridstrat.ModelFromTrace(tr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tInfS, single := gridstrat.OptimizeSingle(m)
-	tInfM, multi := gridstrat.OptimizeMultiple(m, 3)
-	pd, delayed := gridstrat.OptimizeDelayed(m)
+	planner, err := gridstrat.NewPlanner(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, evS, err := planner.Optimize(gridstrat.Single{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, evM, err := planner.Optimize(gridstrat.Multiple{B: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	delayed, evD, err := planner.Optimize(gridstrat.Delayed{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Phase 3: replay against the live grid.
 	const tasks = 150
+	pd := delayed.(gridstrat.Delayed).DelayedParams()
 	specs := []struct {
-		name      string
+		strategy  gridstrat.Strategy
 		spec      gridsim.StrategySpec
 		predicted float64
 	}{
-		{"single", gridsim.StrategySpec{Kind: gridsim.StrategySingle, TInf: tInfS}, single.EJ},
-		{"multiple", gridsim.StrategySpec{Kind: gridsim.StrategyMultiple, TInf: tInfM, B: 3}, multi.EJ},
-		{"delayed", gridsim.StrategySpec{Kind: gridsim.StrategyDelayed, Delayed: pd}, delayed.EJ},
+		{single, gridsim.StrategySpec{Kind: gridsim.StrategySingle, TInf: single.Params().TInf}, evS.EJ},
+		{multi, gridsim.StrategySpec{Kind: gridsim.StrategyMultiple, TInf: multi.Params().TInf, B: 3}, evM.EJ},
+		{delayed, gridsim.StrategySpec{Kind: gridsim.StrategyDelayed, Delayed: pd}, evD.EJ},
 	}
 	fmt.Printf("%-9s %12s %12s %10s %12s %8s\n",
 		"strategy", "model EJ", "realized J", "gap", "subs/task", "N‖")
@@ -62,7 +76,7 @@ func main() {
 		}
 		gap := (out.MeanJ - s.predicted) / s.predicted
 		fmt.Printf("%-9s %11.0fs %11.0fs %+9.1f%% %12.2f %8.2f\n",
-			s.name, s.predicted, out.MeanJ, gap*100, out.MeanSubmissions, out.MeanParallel)
+			s.strategy.Name(), s.predicted, out.MeanJ, gap*100, out.MeanSubmissions, out.MeanParallel)
 	}
 	fmt.Println("\ngaps reflect grid non-stationarity between the probe campaign and the replay —")
 	fmt.Println("the client-side models otherwise transfer directly to the live system.")

@@ -4,7 +4,9 @@
 // exist *before* the jobs run. This example replays the paper's
 // answer: each week, reuse the parameters tuned on the previous week's
 // trace, and compare the Δcost you actually get against the week's own
-// (unknowable in advance) optimum.
+// (unknowable in advance) optimum. One Planner per week carries the
+// cost baseline; Planner.Cost prices last week's parameters on this
+// week's model.
 package main
 
 import (
@@ -21,13 +23,13 @@ func main() {
 	}
 
 	type tuned struct {
-		params gridstrat.DelayedParams
-		week   string
+		strategy gridstrat.Strategy
+		week     string
 	}
 	var prev *tuned
 
-	fmt.Printf("%-9s %18s %18s %10s %10s %8s\n",
-		"week", "params source", "(t0, t∞)", "Δ applied", "Δ optimal", "penalty")
+	fmt.Printf("%-9s %18s %22s %10s %10s %8s\n",
+		"week", "params source", "strategy", "Δ applied", "Δ optimal", "penalty")
 	for _, week := range weeks {
 		tr, err := gridstrat.SynthesizeDataset(week)
 		if err != nil {
@@ -37,26 +39,29 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cc, err := gridstrat.NewCostContext(m)
+		planner, err := gridstrat.NewPlanner(m)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// This week's own optimum — computable only in hindsight.
-		own := cc.OptimizeDelayedCost()
+		own, err := planner.RecommendCheapest()
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		if prev == nil {
-			fmt.Printf("%-9s %18s %7.0fs,%6.0fs %10s %10.3f %8s\n",
-				week, "(first week)", own.Params.T0, own.Params.TInf, "-", own.Delta, "-")
+			fmt.Printf("%-9s %18s %22v %10s %10.3f %8s\n",
+				week, "(first week)", own.AsStrategy(), "-", own.Delta, "-")
 		} else {
-			_, applied, err := cc.DeltaDelayed(prev.params)
+			_, applied, err := planner.Cost(prev.strategy)
 			if err != nil {
 				log.Fatal(err)
 			}
 			penalty := (applied - own.Delta) / own.Delta
-			fmt.Printf("%-9s %18s %7.0fs,%6.0fs %10.3f %10.3f %+7.1f%%\n",
-				week, prev.week, prev.params.T0, prev.params.TInf, applied, own.Delta, penalty*100)
+			fmt.Printf("%-9s %18s %22v %10.3f %10.3f %+7.1f%%\n",
+				week, prev.week, prev.strategy, applied, own.Delta, penalty*100)
 		}
-		prev = &tuned{params: own.Params, week: week}
+		prev = &tuned{strategy: own.AsStrategy(), week: week}
 	}
 	fmt.Println("\nthe penalty column is the price of tuning on last week's data —")
 	fmt.Println("the paper reports ≤6% on EGEE; small values justify the online deployment mode.")

@@ -4,9 +4,9 @@
 // This is the workload the paper's introduction motivates: a medical-
 // imaging style application of many independent short jobs whose
 // wall-clock time is dominated by grid latency. The example uses the
-// analytic makespan model (order statistics over the strategy CDFs) to
-// pick the smallest collection size b meeting the deadline, then
-// validates the choice by Monte Carlo.
+// Planner's analytic makespan model (order statistics over the
+// strategy CDFs) to pick the smallest collection size b meeting the
+// deadline, then validates the choice by Monte Carlo.
 package main
 
 import (
@@ -33,23 +33,28 @@ func main() {
 	fmt.Printf("application: %d jobs of %.0fs in %d waves of %d; deadline %.1fh\n\n",
 		app.Tasks, app.Runtime, app.Waves(), app.WaveWidth, deadline/3600)
 
-	// Compare the strategy families analytically.
-	ests, err := gridstrat.CompareMakespan(app,
-		gridstrat.NewSingleStrategy(m),
-		gridstrat.NewMultipleStrategy(m, 2),
-		gridstrat.NewMultipleStrategy(m, 5),
-		gridstrat.NewDelayedStrategy(m))
+	planner, err := gridstrat.NewPlanner(m, gridstrat.WithDeadline(deadline))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-22s %12s %12s %14s\n", "strategy", "makespan", "peak copies", "task-seconds")
+
+	// Compare the strategy families analytically.
+	ests, err := planner.CompareMakespan(app,
+		gridstrat.Single{},
+		gridstrat.Multiple{B: 2},
+		gridstrat.Multiple{B: 5},
+		gridstrat.Delayed{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s %12s %12s %14s\n", "strategy", "makespan", "peak copies", "task-seconds")
 	for _, e := range ests {
-		fmt.Printf("%-22s %11.2fh %12.0f %13.0fh\n",
+		fmt.Printf("%-24s %11.2fh %12.0f %13.0fh\n",
 			e.Strategy, e.Makespan/3600, e.GridLoad, e.TotalTaskSec/3600)
 	}
 
 	// Pick the smallest b that meets the deadline.
-	b, est, err := gridstrat.SmallestMeetingDeadline(m, app, deadline, 10)
+	b, est, err := planner.SmallestCollection(app, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +66,11 @@ func main() {
 		deadline/3600, b, est.Makespan/3600)
 
 	// Validate with a Monte Carlo replay of complete application runs.
-	tInf, _ := gridstrat.OptimizeMultiple(m, b)
+	tuned, _, err := planner.Optimize(gridstrat.Multiple{B: b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tInf := tuned.Params().TInf
 	rng := rand.New(rand.NewSource(7))
 	const appRuns = 400
 	met := 0

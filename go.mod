@@ -1,0 +1,3 @@
+module gridstrat
+
+go 1.24

@@ -24,17 +24,26 @@
 // step-function analytics), from parametric distributions, or from the
 // bundled discrete-event grid simulator.
 //
+// The public API has two layers. The Strategy interface (with concrete
+// types Single, Multiple and Delayed) models one parameterized policy:
+// Evaluate, CDF, Optimize and Simulate. The Planner facade owns a
+// latency model plus planning constraints (parallel-copy budget,
+// deadline, Δcost ceiling, context, random source) and answers the
+// high-level questions — Recommend, Rank, CompareDeadline,
+// EstimateMakespan — memoizing model evaluations across queries.
+//
 // # Quick start
 //
 //	tr, _ := gridstrat.SynthesizeDataset("2006-IX")
 //	m, _ := gridstrat.ModelFromTrace(tr)
-//	tInf, ev := gridstrat.OptimizeSingle(m)       // Eq. 1 optimum
-//	p, dev := gridstrat.OptimizeDelayed(m)        // Eq. 5 optimum
-//	cc, _ := gridstrat.NewCostContext(m)
-//	res := cc.OptimizeDelayedCost()               // min Δcost (Eq. 6)
+//	p, _ := gridstrat.NewPlanner(m, gridstrat.WithMaxParallel(2))
+//	rec, _ := p.Recommend()                            // fastest within the copy budget
+//	cheap, _ := p.RecommendCheapest()                  // min Δcost (Eq. 6)
+//	single, ev, _ := gridstrat.Single{}.Optimize(m)    // Eq. 1 optimum
 //
 // See the examples/ directory for complete programs and DESIGN.md for
-// the reproduction map of every table and figure in the paper.
+// the architecture and the reproduction map of every table and figure
+// in the paper.
 package gridstrat
 
 import (

@@ -13,9 +13,12 @@ func SingleCDF(m Model, tInf float64) func(t float64) float64 {
 
 // MultipleCDF returns the distribution function of J under the
 // multiple-submission strategy: the per-round law has CDF
-// G_b = 1-(1-F̃R)^b and rounds renew every t∞.
+// G_b = 1-(1-F̃R)^b and rounds renew every t∞. It returns nil for an
+// invalid collection size.
 func MultipleCDF(m Model, b int, tInf float64) func(t float64) float64 {
-	checkB(b)
+	if b < 1 {
+		return nil
+	}
 	q := math.Pow(1-m.Ftilde(tInf), float64(b))
 	return func(t float64) float64 {
 		if t <= 0 {
@@ -43,10 +46,11 @@ func DelayedCDF(m Model, p DelayedParams) func(t float64) float64 {
 // geometrically, so this terminates).
 //
 // This is the per-wave makespan of a bag-of-tasks application: a wave
-// of n tasks finishes when its slowest task starts+runs.
+// of n tasks finishes when its slowest task starts+runs. A nil CDF or
+// n < 1 yields NaN.
 func ExpectedMax(cdf func(float64) float64, n int, hint float64) float64 {
-	if n < 1 {
-		panic("core: ExpectedMax needs n >= 1")
+	if cdf == nil || n < 1 {
+		return math.NaN()
 	}
 	if hint <= 0 {
 		hint = 1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -74,7 +75,10 @@ func TestDelayedCDFMatchesSimulation(t *testing.T) {
 	p := DelayedParams{T0: 300, TInf: 450}
 	cdf := DelayedCDF(m, p)
 	cdfVsMC(t, "delayed", cdf, func(rng *rand.Rand) float64 {
-		j, _, _ := runDelayedOnce(m, p, rng)
+		j, _, _, err := runDelayedOnce(context.Background(), m, p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return j
 	})
 }
@@ -127,7 +131,12 @@ func TestExpectedMaxKnownLaws(t *testing.T) {
 			t.Errorf("exponential max(%d) = %v, want %v", n, got, want)
 		}
 	}
-	mustPanicCore(t, func() { ExpectedMax(u.CDF, 0, 1) })
+	if !math.IsNaN(ExpectedMax(u.CDF, 0, 1)) {
+		t.Fatal("n < 1 should give NaN")
+	}
+	if !math.IsNaN(ExpectedMax(nil, 3, 1)) {
+		t.Fatal("nil CDF should give NaN")
+	}
 }
 
 func TestExpectedMaxGrowsWithN(t *testing.T) {

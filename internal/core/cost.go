@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,7 +22,16 @@ type CostContext struct {
 // NewCostContext optimizes the single-resubmission baseline once and
 // fixes it as the cost reference.
 func NewCostContext(m Model) (*CostContext, error) {
-	tInf, ev := OptimizeSingle(m)
+	return NewCostContextCtx(context.Background(), m)
+}
+
+// NewCostContextCtx is NewCostContext with cancellation of the
+// baseline optimization.
+func NewCostContextCtx(ctx context.Context, m Model) (*CostContext, error) {
+	tInf, ev, err := OptimizeSingleCtx(ctx, m)
+	if err != nil {
+		return nil, err
+	}
 	if math.IsInf(ev.EJ, 1) || ev.EJ <= 0 {
 		return nil, fmt.Errorf("core: cannot establish cost reference (EJ=%v)", ev.EJ)
 	}
@@ -63,8 +73,18 @@ type CostResult struct {
 // integer lattice — the paper restricts Table 5 to integer parameter
 // values because sub-second resubmission control is not realistic.
 func (c *CostContext) OptimizeDelayedCost() CostResult {
+	r, _ := c.OptimizeDelayedCostCtx(context.Background())
+	return r
+}
+
+// OptimizeDelayedCostCtx is OptimizeDelayedCost with cancellation: a
+// done ctx aborts both the surface search and the integer polish.
+func (c *CostContext) OptimizeDelayedCostCtx(ctx context.Context) (CostResult, error) {
 	ub := c.Model.UpperBound()
 	obj := func(t0, ratio float64) float64 {
+		if ctx.Err() != nil {
+			return math.Inf(1)
+		}
 		p := DelayedParams{T0: t0, TInf: ratio * t0}
 		if p.Validate() != nil {
 			return math.Inf(1)
@@ -76,6 +96,9 @@ func (c *CostContext) OptimizeDelayedCost() CostResult {
 		return c.Delta(ej, nParallelExpectedCells(c.Model, p, costScanCells))
 	}
 	r := optimize.MinimizeRobust2D(obj, ub*1e-3, ub/2, 1.0005, 2.0)
+	if err := ctx.Err(); err != nil {
+		return CostResult{}, err
+	}
 
 	// Integer polish around the continuous optimum.
 	best := CostResult{Delta: math.Inf(1)}
@@ -83,6 +106,9 @@ func (c *CostContext) OptimizeDelayedCost() CostResult {
 	tInfc := math.Round(r.X * r.Y)
 	for dt0 := -3.0; dt0 <= 3; dt0++ {
 		for dti := -3.0; dti <= 3; dti++ {
+			if err := ctx.Err(); err != nil {
+				return CostResult{}, err
+			}
 			p := DelayedParams{T0: t0c + dt0, TInf: tInfc + dti}
 			if p.Validate() != nil {
 				continue
@@ -105,7 +131,7 @@ func (c *CostContext) OptimizeDelayedCost() CostResult {
 			best = CostResult{Params: p, Eval: ev, Delta: delta}
 		}
 	}
-	return best
+	return best, nil
 }
 
 // costScanCells trades N‖ precision for speed inside optimization
@@ -152,10 +178,11 @@ type StabilityResult struct {
 }
 
 // CostStability evaluates Δcost on every feasible integer perturbation
-// of p within the given radius and reports the maximum.
+// of p within the given radius and reports the maximum. Invalid inputs
+// (negative radius, infeasible p) yield a NaN-filled result.
 func (c *CostContext) CostStability(p DelayedParams, radius int) StabilityResult {
 	if radius < 0 {
-		panic(fmt.Sprintf("core: negative stability radius %d", radius))
+		return StabilityResult{MaxDelta: math.NaN(), MaxRelDiff: math.NaN()}
 	}
 	_, refDelta, err := c.DeltaDelayed(p)
 	if err != nil {

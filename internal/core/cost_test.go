@@ -119,7 +119,9 @@ func TestCostStability(t *testing.T) {
 	if s5.Evaluations == 0 {
 		t.Fatal("no feasible perturbations evaluated")
 	}
-	mustPanicCore(t, func() { cc.CostStability(res.Params, -1) })
+	if neg := cc.CostStability(res.Params, -1); !math.IsNaN(neg.MaxDelta) {
+		t.Fatal("negative radius should give NaN")
+	}
 	// Invalid center: NaN result.
 	bad := cc.CostStability(DelayedParams{T0: -1, TInf: 3}, 2)
 	if !math.IsNaN(bad.MaxDelta) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -60,15 +61,27 @@ type DeadlineEntry struct {
 // CompareDeadline evaluates P(J <= deadline) for the optimized single
 // strategy, b-fold multiple submission, and the EJ-optimal delayed
 // strategy. It is the "soft real-time" view of the paper's evaluation:
-// users often care about tail quantiles, not expectations.
+// users often care about tail quantiles, not expectations. Invalid
+// deadlines and collection sizes are returned as errors.
 func CompareDeadline(m Model, deadline float64, b int) (DeadlineReport, error) {
+	return CompareDeadlineCtx(context.Background(), m, deadline, b)
+}
+
+// CompareDeadlineCtx is CompareDeadline with cancellation of the three
+// per-strategy optimizations.
+func CompareDeadlineCtx(ctx context.Context, m Model, deadline float64, b int) (DeadlineReport, error) {
 	if deadline <= 0 {
 		return DeadlineReport{}, fmt.Errorf("core: non-positive deadline %v", deadline)
 	}
-	checkB(b)
+	if err := ValidateB(b); err != nil {
+		return DeadlineReport{}, err
+	}
 	rep := DeadlineReport{Deadline: deadline}
 
-	tS, _ := OptimizeSingle(m)
+	tS, _, err := OptimizeSingleCtx(ctx, m)
+	if err != nil {
+		return DeadlineReport{}, err
+	}
 	cdfS := SingleCDF(m, tS)
 	rep.Single = DeadlineEntry{
 		Label:       fmt.Sprintf("single(t∞=%.0fs)", tS),
@@ -77,7 +90,10 @@ func CompareDeadline(m Model, deadline float64, b int) (DeadlineReport, error) {
 		P95:         QuantileJ(cdfS, 0.95, tS),
 	}
 
-	tM, _ := OptimizeMultiple(m, b)
+	tM, _, err := OptimizeMultipleCtx(ctx, m, b)
+	if err != nil {
+		return DeadlineReport{}, err
+	}
 	cdfM := MultipleCDF(m, b, tM)
 	rep.Multiple = DeadlineEntry{
 		Label:       fmt.Sprintf("multiple(b=%d, t∞=%.0fs)", b, tM),
@@ -86,7 +102,10 @@ func CompareDeadline(m Model, deadline float64, b int) (DeadlineReport, error) {
 		P95:         QuantileJ(cdfM, 0.95, tM),
 	}
 
-	p, ev := OptimizeDelayed(m)
+	p, ev, err := OptimizeDelayedCtx(ctx, m)
+	if err != nil {
+		return DeadlineReport{}, err
+	}
 	cdfD := DelayedCDF(m, p)
 	rep.Delayed = DeadlineEntry{
 		Label:       fmt.Sprintf("delayed(t0=%.0fs, t∞=%.0fs)", p.T0, p.TInf),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -316,11 +317,25 @@ func clamp01(x float64) float64 {
 // t0 < t∞ <= 2·t0 (paper Figure 5's surface minimum). The search is
 // over the rectangle (t0, ratio) to keep the feasible set box-shaped.
 func OptimizeDelayed(m Model) (DelayedParams, Evaluation) {
+	p, ev, _ := OptimizeDelayedCtx(context.Background(), m)
+	return p, ev
+}
+
+// OptimizeDelayedCtx is OptimizeDelayed with cancellation: a done ctx
+// short-circuits the remaining surface evaluations and returns the
+// context's error.
+func OptimizeDelayedCtx(ctx context.Context, m Model) (DelayedParams, Evaluation, error) {
 	ub := m.UpperBound()
 	obj := func(t0, ratio float64) float64 {
+		if ctx.Err() != nil {
+			return math.Inf(1)
+		}
 		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
 	}
 	r := optimize.MinimizeRobust2D(obj, ub*1e-3, ub/2, 1.0005, 2.0)
+	if err := ctx.Err(); err != nil {
+		return DelayedParams{}, Evaluation{}, err
+	}
 	p := DelayedParams{T0: r.X, TInf: r.X * r.Y}
 	ev, err := DelayedEvaluate(m, p)
 	if err != nil {
@@ -329,24 +344,48 @@ func OptimizeDelayed(m Model) (DelayedParams, Evaluation) {
 		p = DelayedParams{T0: ub / 20, TInf: ub / 20 * 1.4}
 		ev, _ = DelayedEvaluate(m, p)
 	}
-	return p, ev
+	return p, ev, nil
 }
 
 // OptimizeDelayedRatio minimizes EJ over t0 with t∞ = ratio·t0 fixed
-// (the paper's §6.2 per-ratio optimization, Table 3).
+// (the paper's §6.2 per-ratio optimization, Table 3). Out-of-range
+// ratios panic; a NaN ratio yields a +Inf evaluation so it can never
+// win an EJ comparison.
 func OptimizeDelayedRatio(m Model, ratio float64) (DelayedParams, Evaluation) {
 	if ratio <= 1 || ratio > 2 {
 		panic(fmt.Sprintf("core: delayed ratio must be in (1, 2], got %v", ratio))
 	}
-	ub := m.UpperBound()
-	obj := func(t0 float64) float64 {
-		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
-	}
-	r := optimize.GridScan1D(obj, ub*1e-3, ub/2, 400, 4)
-	p := DelayedParams{T0: r.X, TInf: ratio * r.X}
-	ev, err := DelayedEvaluate(m, p)
+	p, ev, err := OptimizeDelayedRatioCtx(context.Background(), m, ratio)
 	if err != nil {
+		// Only reachable for a NaN ratio, which slips the panic guard
+		// above; keep the pre-Ctx convention of an infeasible result.
 		return p, Evaluation{EJ: math.Inf(1), Sigma: math.Inf(1), Parallel: 1}
 	}
 	return p, ev
+}
+
+// OptimizeDelayedRatioCtx is OptimizeDelayedRatio with validation and
+// cancellation: an out-of-range ratio is an error, not a panic, and a
+// done ctx aborts the scan.
+func OptimizeDelayedRatioCtx(ctx context.Context, m Model, ratio float64) (DelayedParams, Evaluation, error) {
+	if !(ratio > 1 && ratio <= 2) {
+		return DelayedParams{}, Evaluation{}, fmt.Errorf("core: delayed ratio must be in (1, 2], got %v", ratio)
+	}
+	ub := m.UpperBound()
+	obj := func(t0 float64) float64 {
+		if ctx.Err() != nil {
+			return math.Inf(1)
+		}
+		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
+	}
+	r := optimize.GridScan1D(obj, ub*1e-3, ub/2, 400, 4)
+	if err := ctx.Err(); err != nil {
+		return DelayedParams{}, Evaluation{}, err
+	}
+	p := DelayedParams{T0: r.X, TInf: ratio * r.X}
+	ev, err := DelayedEvaluate(m, p)
+	if err != nil {
+		return p, Evaluation{EJ: math.Inf(1), Sigma: math.Inf(1), Parallel: 1}, nil
+	}
+	return p, ev, nil
 }

@@ -331,3 +331,14 @@ func (s *shiftedExp) Rand(rng *rand.Rand) float64 {
 }
 func (s *shiftedExp) Mean() float64 { return s.floor + 1/s.rate }
 func (s *shiftedExp) Var() float64  { return 1 / (s.rate * s.rate) }
+
+// A NaN ratio slips OptimizeDelayedRatio's panic guard; the wrapper
+// must keep the pre-Ctx convention of an infeasible (+Inf) evaluation
+// so garbage input never wins an EJ comparison.
+func TestOptimizeDelayedRatioNaN(t *testing.T) {
+	m := testEmpirical(t)
+	_, ev := OptimizeDelayedRatio(m, math.NaN())
+	if !math.IsInf(ev.EJ, 1) {
+		t.Fatalf("NaN ratio gave EJ=%v, want +Inf", ev.EJ)
+	}
+}

@@ -217,8 +217,15 @@ func TestEJInvalidInputs(t *testing.T) {
 	if !math.IsInf(SigmaMultiple(m, 3, 0), 1) {
 		t.Fatal("σ at zero timeout should be +Inf")
 	}
-	mustPanicCore(t, func() { EJMultiple(m, 0, 100) })
-	mustPanicCore(t, func() { SigmaMultiple(m, -1, 100) })
+	if !math.IsInf(EJMultiple(m, 0, 100), 1) {
+		t.Fatal("b < 1 should give +Inf")
+	}
+	if !math.IsInf(SigmaMultiple(m, -1, 100), 1) {
+		t.Fatal("b < 1 should give +Inf σ")
+	}
+	if MultipleCDF(m, 0, 100) != nil {
+		t.Fatal("b < 1 should give a nil CDF")
+	}
 	mustPanicCore(t, func() { MultipleCurve(m, 2, -1, 10) })
 	mustPanicCore(t, func() { MultipleCurve(m, 2, 100, 1) })
 }

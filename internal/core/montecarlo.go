@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -35,16 +36,38 @@ func checkSimInputs(m Model, tInf float64, runs int) error {
 	return nil
 }
 
+// simCancelStride is how many Monte Carlo runs execute between two
+// context checks in the ctx-aware simulators; the same stride bounds
+// the resubmission rounds of a single run, which can themselves be
+// near-unbounded when F̃R(t∞) is tiny.
+const simCancelStride = 256
+
 // SimulateSingle replays the single-resubmission strategy: submit,
 // cancel at tInf, resubmit, until a job starts. It validates Eq. 1–2.
 func SimulateSingle(m Model, tInf float64, runs int, rng *rand.Rand) (SimResult, error) {
+	return SimulateSingleCtx(context.Background(), m, tInf, runs, rng)
+}
+
+// SimulateSingleCtx is SimulateSingle with cancellation, checked every
+// simCancelStride runs.
+func SimulateSingleCtx(ctx context.Context, m Model, tInf float64, runs int, rng *rand.Rand) (SimResult, error) {
 	if err := checkSimInputs(m, tInf, runs); err != nil {
 		return SimResult{}, err
 	}
 	var sum, sum2, subs float64
 	for i := 0; i < runs; i++ {
+		if i%simCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return SimResult{}, err
+			}
+		}
 		var j float64
-		for {
+		for round := 1; ; round++ {
+			if round%simCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return SimResult{}, err
+				}
+			}
 			subs++
 			l := m.Sample(rng)
 			if l < tInf {
@@ -62,16 +85,35 @@ func SimulateSingle(m Model, tInf float64, runs int, rng *rand.Rand) (SimResult,
 // SimulateMultiple replays the multiple-submission strategy: a
 // collection of b copies is submitted, all canceled when one starts;
 // the whole collection is resubmitted at tInf if none started. It
-// validates Eq. 3–4.
+// validates Eq. 3–4. An invalid collection size is returned as an
+// error.
 func SimulateMultiple(m Model, b int, tInf float64, runs int, rng *rand.Rand) (SimResult, error) {
-	checkB(b)
+	return SimulateMultipleCtx(context.Background(), m, b, tInf, runs, rng)
+}
+
+// SimulateMultipleCtx is SimulateMultiple with cancellation, checked
+// every simCancelStride runs.
+func SimulateMultipleCtx(ctx context.Context, m Model, b int, tInf float64, runs int, rng *rand.Rand) (SimResult, error) {
+	if err := ValidateB(b); err != nil {
+		return SimResult{}, err
+	}
 	if err := checkSimInputs(m, tInf, runs); err != nil {
 		return SimResult{}, err
 	}
 	var sum, sum2, subs float64
 	for i := 0; i < runs; i++ {
+		if i%simCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return SimResult{}, err
+			}
+		}
 		var j float64
-		for {
+		for round := 1; ; round++ {
+			if round%simCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return SimResult{}, err
+				}
+			}
 			subs += float64(b)
 			best := math.Inf(1)
 			for k := 0; k < b; k++ {
@@ -97,6 +139,12 @@ func SimulateMultiple(m Model, b int, tInf float64, runs int, rng *rand.Rand) (S
 // submission, and everything is canceled the moment one copy starts.
 // N‖ is measured as copy-seconds in the system divided by J.
 func SimulateDelayed(m Model, p DelayedParams, runs int, rng *rand.Rand) (SimResult, error) {
+	return SimulateDelayedCtx(context.Background(), m, p, runs, rng)
+}
+
+// SimulateDelayedCtx is SimulateDelayed with cancellation, checked
+// every simCancelStride runs.
+func SimulateDelayedCtx(ctx context.Context, m Model, p DelayedParams, runs int, rng *rand.Rand) (SimResult, error) {
 	if err := p.Validate(); err != nil {
 		return SimResult{}, err
 	}
@@ -105,7 +153,15 @@ func SimulateDelayed(m Model, p DelayedParams, runs int, rng *rand.Rand) (SimRes
 	}
 	var sum, sum2, subs, par float64
 	for i := 0; i < runs; i++ {
-		j, submitted, copySeconds := runDelayedOnce(m, p, rng)
+		if i%simCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return SimResult{}, err
+			}
+		}
+		j, submitted, copySeconds, err := runDelayedOnce(ctx, m, p, rng)
+		if err != nil {
+			return SimResult{}, err
+		}
 		sum += j
 		sum2 += j * j
 		subs += float64(submitted)
@@ -117,11 +173,17 @@ func SimulateDelayed(m Model, p DelayedParams, runs int, rng *rand.Rand) (SimRes
 
 // runDelayedOnce simulates one task under the delayed strategy and
 // returns its total latency J, the number of copies submitted, and the
-// total copy-seconds spent in the system before J.
-func runDelayedOnce(m Model, p DelayedParams, rng *rand.Rand) (j float64, submitted int, copySeconds float64) {
+// total copy-seconds spent in the system before J. A cancelled ctx
+// aborts even a single near-unbounded run.
+func runDelayedOnce(ctx context.Context, m Model, p DelayedParams, rng *rand.Rand) (j float64, submitted int, copySeconds float64, err error) {
 	best := math.Inf(1) // earliest start among submitted copies
 	var submitTimes []float64
 	for k := 0; ; k++ {
+		if k > 0 && k%simCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
 		sub := float64(k) * p.T0
 		if best <= sub {
 			break // a copy already started; no further submissions
@@ -145,7 +207,7 @@ func runDelayedOnce(m Model, p DelayedParams, rng *rand.Rand) (j float64, submit
 			copySeconds += end - sub
 		}
 	}
-	return j, submitted, copySeconds
+	return j, submitted, copySeconds, nil
 }
 
 func newSimResult(runs int, sum, sum2, meanSubs, meanPar float64) SimResult {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -13,10 +14,10 @@ import (
 //
 // The whole collection is resubmitted at t∞ when no copy has started,
 // so the denominator is the per-round success probability. b = 1
-// recovers the single-resubmission Eq. 1.
+// recovers the single-resubmission Eq. 1. Infeasible parameters
+// (b < 1 or t∞ <= 0) yield +Inf, matching the optimizer convention.
 func EJMultiple(m Model, b int, tInf float64) float64 {
-	checkB(b)
-	if tInf <= 0 {
+	if b < 1 || tInf <= 0 {
 		return math.Inf(1)
 	}
 	success := 1 - math.Pow(1-m.Ftilde(tInf), float64(b))
@@ -27,10 +28,10 @@ func EJMultiple(m Model, b int, tInf float64) float64 {
 }
 
 // SigmaMultiple evaluates Eq. 4: the standard deviation of the total
-// latency of the multiple-submission strategy.
+// latency of the multiple-submission strategy. Infeasible parameters
+// yield +Inf.
 func SigmaMultiple(m Model, b int, tInf float64) float64 {
-	checkB(b)
-	if tInf <= 0 {
+	if b < 1 || tInf <= 0 {
 		return math.Inf(1)
 	}
 	qb := math.Pow(1-m.Ftilde(tInf), float64(b))
@@ -55,12 +56,30 @@ func SigmaMultiple(m Model, b int, tInf float64) float64 {
 // the optimum (σJ included, Parallel = b).
 func OptimizeMultiple(m Model, b int) (tInf float64, ev Evaluation) {
 	checkB(b)
-	r := optimizeTimeout(m, func(t float64) float64 { return EJMultiple(m, b, t) })
+	tInf, ev, err := OptimizeMultipleCtx(context.Background(), m, b)
+	if err != nil {
+		panic(err) // background context: only a degenerate model bracket
+	}
+	return tInf, ev
+}
+
+// OptimizeMultipleCtx is OptimizeMultiple with parameter validation
+// and cancellation: invalid b and degenerate timeout brackets are
+// returned as errors instead of panicking, and a done ctx aborts the
+// scan.
+func OptimizeMultipleCtx(ctx context.Context, m Model, b int) (float64, Evaluation, error) {
+	if err := ValidateB(b); err != nil {
+		return 0, Evaluation{}, err
+	}
+	r, err := optimizeTimeout(ctx, m, func(t float64) float64 { return EJMultiple(m, b, t) })
+	if err != nil {
+		return 0, Evaluation{}, err
+	}
 	return r.X, Evaluation{
 		EJ:       r.F,
 		Sigma:    SigmaMultiple(m, b, r.X),
 		Parallel: float64(b),
-	}
+	}, nil
 }
 
 // MultipleCurve tabulates EJ(t∞) for one collection size over n
@@ -80,8 +99,16 @@ func MultipleCurve(m Model, b int, hi float64, n int) (timeouts, ej []float64) {
 	return timeouts, ej
 }
 
-func checkB(b int) {
+// ValidateB checks the multiple-submission collection size.
+func ValidateB(b int) error {
 	if b < 1 {
-		panic(fmt.Sprintf("core: collection size b must be >= 1, got %d", b))
+		return fmt.Errorf("core: collection size b must be >= 1, got %d", b)
+	}
+	return nil
+}
+
+func checkB(b int) {
+	if err := ValidateB(b); err != nil {
+		panic(err.Error())
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,6 +44,13 @@ func OptimizeSingle(m Model) (tInf float64, ev Evaluation) {
 	return tInf, ev
 }
 
+// OptimizeSingleCtx is OptimizeSingle with cancellation: the scan
+// aborts between objective evaluations once ctx is done and the
+// context's error is returned.
+func OptimizeSingleCtx(ctx context.Context, m Model) (float64, Evaluation, error) {
+	return OptimizeMultipleCtx(ctx, m, 1)
+}
+
 // timeoutLowerBracket returns a small positive lower bound for timeout
 // searches: below the first latency quantile EJ is guaranteed +Inf.
 func timeoutLowerBracket(m Model) float64 {
@@ -54,14 +62,18 @@ func timeoutLowerBracket(m Model) float64 {
 }
 
 // optimizeTimeout scans EJ(t∞) for a fixed evaluator. Shared by the
-// single and multiple strategies.
-func optimizeTimeout(m Model, eval func(tInf float64) float64) optimize.Result1D {
+// single and multiple strategies. When ctx is cancelled the remaining
+// grid points short-circuit to +Inf and the context error is returned.
+func optimizeTimeout(ctx context.Context, m Model, eval func(tInf float64) float64) (optimize.Result1D, error) {
 	lo := timeoutLowerBracket(m)
 	hi := m.UpperBound()
 	if !(lo < hi) {
-		panic(fmt.Sprintf("core: degenerate timeout bracket [%v, %v]", lo, hi))
+		return optimize.Result1D{}, fmt.Errorf("core: degenerate timeout bracket [%v, %v]", lo, hi)
 	}
 	obj := func(t float64) float64 {
+		if ctx.Err() != nil {
+			return math.Inf(1)
+		}
 		v := eval(t)
 		if math.IsNaN(v) {
 			return math.Inf(1)
@@ -70,5 +82,9 @@ func optimizeTimeout(m Model, eval func(tInf float64) float64) optimize.Result1D
 	}
 	// EJ(t∞) profiles are piecewise smooth but can be multimodal in
 	// b (Table 2 optima jump between basins), so grid-scan first.
-	return optimize.GridScan1D(obj, lo, hi, 400, 4)
+	r := optimize.GridScan1D(obj, lo, hi, 400, 4)
+	if err := ctx.Err(); err != nil {
+		return optimize.Result1D{}, err
+	}
+	return r, nil
 }

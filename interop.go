@@ -22,6 +22,9 @@ type DeadlineEntry = core.DeadlineEntry
 // CompareDeadline evaluates the deadline-hit probability and the 95th
 // percentile of the total latency under the optimized single, b-fold
 // multiple and delayed strategies.
+//
+// Deprecated: build a Planner with NewPlanner(m, WithDeadline(deadline),
+// WithCollectionSize(b)) and call its CompareDeadline method.
 func CompareDeadline(m Model, deadline float64, b int) (DeadlineReport, error) {
 	return core.CompareDeadline(m, deadline, b)
 }

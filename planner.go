@@ -1,0 +1,545 @@
+package gridstrat
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"gridstrat/internal/core"
+	"gridstrat/internal/workload"
+)
+
+// Compile-time checks that the concrete strategies satisfy the
+// cancellable Strategy surface the Planner threads its context through.
+var (
+	_ ctxStrategy = Single{}
+	_ ctxStrategy = Multiple{}
+	_ ctxStrategy = Delayed{}
+)
+
+// Planner is the high-level facade over the strategy models: it owns a
+// latency model, a parallel-copy budget, an optional deadline and cost
+// ceiling, a context for cancelling long optimizations, and a random
+// source for Monte Carlo. All integral evaluations on the model are
+// memoized behind the Planner, so repeated queries (Recommend, then
+// Rank, then CompareDeadline on the same model) are cheap.
+//
+// A Planner is safe for concurrent use as long as the Monte Carlo
+// entry points (Simulate) are not raced against each other — they
+// share the configured random source.
+type Planner struct {
+	model Model // memoized wrapper around the user's model
+	cfg   plannerConfig
+
+	mu sync.Mutex
+	cc *core.CostContext // lazily established cost baseline
+}
+
+type plannerConfig struct {
+	maxParallel float64
+	deadline    float64
+	budget      float64
+	ctx         context.Context
+	rng         Rand
+	b           int
+}
+
+// PlannerOption configures a Planner at construction.
+type PlannerOption func(*plannerConfig) error
+
+// WithMaxParallel sets the parallel-copy budget used by Recommend:
+// only strategies whose average copy count stays within max compete.
+// It must be finite and >= 1. The default is 2.
+func WithMaxParallel(max float64) PlannerOption {
+	return func(c *plannerConfig) error {
+		if max < 1 || math.IsNaN(max) || math.IsInf(max, 1) {
+			return fmt.Errorf("gridstrat: parallel budget %v must be finite and >= 1", max)
+		}
+		c.maxParallel = max
+		return nil
+	}
+}
+
+// WithDeadline sets the deadline (seconds) consumed by CompareDeadline
+// and SmallestCollection.
+func WithDeadline(d float64) PlannerOption {
+	return func(c *plannerConfig) error {
+		if !(d > 0) {
+			return fmt.Errorf("gridstrat: deadline %v must be positive", d)
+		}
+		c.deadline = d
+		return nil
+	}
+}
+
+// WithBudget sets a Δcost ceiling (Eq. 6, relative to the single
+// optimum): Recommend and Rank drop configurations whose
+// infrastructure cost exceeds it. Zero (the default) means no
+// ceiling.
+func WithBudget(maxDelta float64) PlannerOption {
+	return func(c *plannerConfig) error {
+		if maxDelta < 0 || math.IsNaN(maxDelta) {
+			return fmt.Errorf("gridstrat: cost budget %v must be >= 0 (0 clears the ceiling)", maxDelta)
+		}
+		c.budget = maxDelta
+		return nil
+	}
+}
+
+// WithContext attaches a context to the Planner: every long-running
+// optimization and Monte Carlo simulation checks it and aborts with
+// the context's error once it is done.
+func WithContext(ctx context.Context) PlannerOption {
+	return func(c *plannerConfig) error {
+		if ctx == nil {
+			return fmt.Errorf("gridstrat: nil context")
+		}
+		c.ctx = ctx
+		return nil
+	}
+}
+
+// WithRand sets the random source for the Planner's Monte Carlo
+// entry points. The default is a deterministic source seeded with 1.
+func WithRand(rng Rand) PlannerOption {
+	return func(c *plannerConfig) error {
+		if rng == nil {
+			return errNilRand
+		}
+		c.rng = rng
+		return nil
+	}
+}
+
+// WithCollectionSize sets the collection size b used where the Planner
+// needs a default Multiple configuration (CompareDeadline, Rank with
+// no arguments). It must be >= 1; the default is 2.
+func WithCollectionSize(b int) PlannerOption {
+	return func(c *plannerConfig) error {
+		if err := core.ValidateB(b); err != nil {
+			return fmt.Errorf("gridstrat: %w", err)
+		}
+		c.b = b
+		return nil
+	}
+}
+
+// NewPlanner builds a Planner over the latency model. The model's
+// integral evaluations are memoized for the Planner's lifetime, so
+// build one Planner per model and reuse it across queries.
+func NewPlanner(m Model, opts ...PlannerOption) (*Planner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("gridstrat: nil model")
+	}
+	cfg := plannerConfig{
+		maxParallel: 2,
+		ctx:         context.Background(),
+		rng:         rand.New(rand.NewSource(1)),
+		b:           2,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return &Planner{model: newMemoModel(m), cfg: cfg}, nil
+}
+
+// Model returns the Planner's memoized model. It satisfies Model and
+// can be passed to any free function in this package; evaluations made
+// through it share the Planner's cache.
+func (p *Planner) Model() Model { return p.model }
+
+// costContext establishes (once) the single-resubmission cost
+// baseline every Δcost figure is anchored on.
+func (p *Planner) costContext() (*core.CostContext, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cc != nil {
+		return p.cc, nil
+	}
+	cc, err := core.NewCostContextCtx(p.cfg.ctx, p.model)
+	if err != nil {
+		return nil, err
+	}
+	p.cc = cc
+	return cc, nil
+}
+
+// delayedRatioGrid is the t∞/t0 grid Recommend sweeps for
+// budget-compatible delayed configurations (§6.2 of the paper).
+var delayedRatioGrid = []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0}
+
+// singleBaseline is the single-resubmission entry every advisor query
+// starts from: the Δcost reference itself.
+func (p *Planner) singleBaseline(cc *core.CostContext) Recommendation {
+	return Recommendation{
+		Strategy: StrategySingle,
+		TInf:     cc.RefTimeout,
+		Eval:     Evaluation{EJ: cc.RefEJ, Sigma: core.SigmaSingle(p.model, cc.RefTimeout), Parallel: 1},
+		Delta:    1,
+	}
+}
+
+// affordableB converts the parallel-copy budget to the largest
+// affordable collection size without overflowing the int conversion
+// for absurdly large budgets.
+func affordableB(maxParallel float64) int {
+	bf := math.Floor(maxParallel)
+	if bf >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(bf)
+}
+
+// Recommend picks the strategy with the smallest expected total
+// latency among those whose average parallel-copy count stays within
+// the Planner's WithMaxParallel budget (and, when WithBudget is set,
+// whose Δcost stays under the ceiling). With a budget below 2 only
+// single resubmission and budget-compatible delayed configurations
+// compete; larger budgets unlock multiple submission with b up to
+// ⌊budget⌋.
+func (p *Planner) Recommend() (Recommendation, error) {
+	cc, err := p.costContext()
+	if err != nil {
+		return Recommendation{}, err
+	}
+	inBudget := func(delta float64) bool { return p.cfg.budget <= 0 || delta <= p.cfg.budget }
+
+	best := Recommendation{Eval: Evaluation{EJ: math.Inf(1)}}
+	if inBudget(1) {
+		best = p.singleBaseline(cc)
+	}
+
+	// Multiple submission with the largest affordable collection.
+	if b := affordableB(p.cfg.maxParallel); b >= 2 {
+		tInf, ev, err := core.OptimizeMultipleCtx(p.cfg.ctx, p.model, b)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		delta := cc.Delta(ev.EJ, float64(b))
+		if inBudget(delta) && ev.EJ < best.Eval.EJ {
+			best = Recommendation{Strategy: StrategyMultiple, TInf: tInf, B: b, Eval: ev, Delta: delta}
+		}
+	}
+
+	// Delayed: sweep ratios, keep budget-compatible configurations.
+	for _, ratio := range delayedRatioGrid {
+		dp, ev, err := core.OptimizeDelayedRatioCtx(p.cfg.ctx, p.model, ratio)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		if math.IsInf(ev.EJ, 1) || ev.Parallel > p.cfg.maxParallel {
+			continue
+		}
+		delta := cc.Delta(ev.EJ, ev.Parallel)
+		if inBudget(delta) && ev.EJ < best.Eval.EJ {
+			best = Recommendation{Strategy: StrategyDelayed, Delayed: dp, Eval: ev, Delta: delta}
+		}
+	}
+	if math.IsInf(best.Eval.EJ, 1) {
+		return Recommendation{}, fmt.Errorf("gridstrat: no strategy fits Δcost budget %v", p.cfg.budget)
+	}
+	return best, nil
+}
+
+// RecommendCheapest returns the configuration minimizing Δcost — the
+// infrastructure-friendly choice of the paper's §7: usually a delayed
+// strategy with Δcost < 1 when the latency law rewards it, otherwise
+// plain single resubmission.
+func (p *Planner) RecommendCheapest() (Recommendation, error) {
+	cc, err := p.costContext()
+	if err != nil {
+		return Recommendation{}, err
+	}
+	best := p.singleBaseline(cc)
+	res, err := cc.OptimizeDelayedCostCtx(p.cfg.ctx)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	if res.Delta < best.Delta {
+		best = Recommendation{Strategy: StrategyDelayed, Delayed: res.Params, Eval: res.Eval, Delta: res.Delta}
+	}
+	return best, nil
+}
+
+// Cost evaluates an explicitly parameterized strategy and returns its
+// evaluation together with its Δcost relative to the Planner's single
+// optimum — the paper's Eq. 6 for arbitrary configurations.
+func (p *Planner) Cost(s Strategy) (Evaluation, float64, error) {
+	cc, err := p.costContext()
+	if err != nil {
+		return Evaluation{}, 0, err
+	}
+	ev, err := s.Evaluate(p.model)
+	if err != nil {
+		return Evaluation{}, 0, err
+	}
+	return ev, cc.Delta(ev.EJ, ev.Parallel), nil
+}
+
+// CompareDeadline evaluates the deadline-hit probability P(J <=
+// deadline) and the 95th-percentile latency of the optimized single,
+// multiple (WithCollectionSize copies) and delayed strategies at the
+// Planner's WithDeadline deadline.
+func (p *Planner) CompareDeadline() (DeadlineReport, error) {
+	if p.cfg.deadline <= 0 {
+		return DeadlineReport{}, fmt.Errorf("gridstrat: no deadline configured (use WithDeadline)")
+	}
+	return core.CompareDeadlineCtx(p.cfg.ctx, p.model, p.cfg.deadline, p.cfg.b)
+}
+
+// Optimize tunes a strategy's free parameters on the Planner's model
+// under the Planner's context.
+func (p *Planner) Optimize(s Strategy) (Strategy, Evaluation, error) {
+	cs, ok := s.(ctxStrategy)
+	if !ok {
+		return s.Optimize(p.model)
+	}
+	return cs.optimizeCtx(p.cfg.ctx, p.model)
+}
+
+// Simulate replays a parameterized strategy against the Planner's
+// model with the Planner's random source and context.
+func (p *Planner) Simulate(s Strategy, runs int) (SimResult, error) {
+	cs, ok := s.(ctxStrategy)
+	if !ok {
+		return s.Simulate(p.model, runs, p.cfg.rng)
+	}
+	return cs.simulateCtx(p.cfg.ctx, p.model, runs, p.cfg.rng)
+}
+
+// resolve returns a fully parameterized version of s with its
+// evaluation. Strategies with no timing parameters set (zero TInf and
+// T0) are optimized first; anything with a nonzero timing parameter —
+// including a negative or NaN one — is evaluated exactly as given, so
+// a partially or invalidly specified strategy (e.g. Delayed with only
+// T0) fails with its validation error rather than silently re-tuning
+// the pinned knob.
+func (p *Planner) resolve(s Strategy) (Strategy, Evaluation, error) {
+	if s == nil {
+		return nil, Evaluation{}, fmt.Errorf("gridstrat: nil strategy")
+	}
+	if params := s.Params(); params.TInf != 0 || params.T0 != 0 {
+		ev, err := s.Evaluate(p.model)
+		if err != nil {
+			return nil, Evaluation{}, err
+		}
+		return s, ev, nil
+	}
+	return p.Optimize(s)
+}
+
+// RankedStrategy is one entry of Planner.Rank's ordering.
+type RankedStrategy struct {
+	Strategy Strategy   // tuned strategy
+	Eval     Evaluation // EJ, σJ, N‖ at the tuned parameters
+	Delta    float64    // Δcost relative to the single optimum
+}
+
+// Rank optimizes (when needed) and evaluates the given strategies on
+// the Planner's model and returns them sorted by ascending expected
+// latency. Called with no arguments it ranks the three paper
+// strategies with the Planner's default collection size. When
+// WithBudget is set, configurations over the Δcost ceiling are
+// dropped.
+func (p *Planner) Rank(strategies ...Strategy) ([]RankedStrategy, error) {
+	if len(strategies) == 0 {
+		strategies = Strategies(p.cfg.b)
+	}
+	cc, err := p.costContext()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedStrategy, 0, len(strategies))
+	for _, s := range strategies {
+		tuned, ev, err := p.resolve(s)
+		if err != nil {
+			return nil, err
+		}
+		delta := cc.Delta(ev.EJ, ev.Parallel)
+		if p.cfg.budget > 0 && delta > p.cfg.budget {
+			continue
+		}
+		out = append(out, RankedStrategy{Strategy: tuned, Eval: ev, Delta: delta})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Eval.EJ < out[j].Eval.EJ })
+	return out, nil
+}
+
+// workloadLaw bridges a tuned Strategy to the makespan model's
+// representation of its total-latency law.
+func (p *Planner) workloadLaw(s Strategy, ev Evaluation) workload.Strategy {
+	params := s.Params()
+	hint := params.TInf
+	if params.T0 > 0 {
+		hint = params.T0
+	}
+	return workload.Strategy{
+		Name: fmt.Sprint(s),
+		CDF:  s.CDF(p.model),
+		EJ:   ev.EJ,
+		Load: ev.Parallel,
+		Hint: hint,
+	}
+}
+
+// EstimateMakespan computes the expected wall-clock time of a
+// bag-of-tasks application under the Planner's recommended strategy
+// (order-statistics wave model over the strategy's latency law).
+func (p *Planner) EstimateMakespan(app Application) (MakespanEstimate, error) {
+	rec, err := p.Recommend()
+	if err != nil {
+		return MakespanEstimate{}, err
+	}
+	return p.EstimateMakespanUnder(app, rec.AsStrategy())
+}
+
+// EstimateMakespanUnder computes the expected wall-clock time of the
+// application under one explicit strategy; un-tuned strategies are
+// optimized first.
+func (p *Planner) EstimateMakespanUnder(app Application, s Strategy) (MakespanEstimate, error) {
+	tuned, ev, err := p.resolve(s)
+	if err != nil {
+		return MakespanEstimate{}, err
+	}
+	return workload.EstimateMakespan(app, p.workloadLaw(tuned, ev))
+}
+
+// CompareMakespan evaluates several strategies on one application,
+// returning estimates in input order; un-tuned strategies are
+// optimized first.
+func (p *Planner) CompareMakespan(app Application, strategies ...Strategy) ([]MakespanEstimate, error) {
+	out := make([]MakespanEstimate, 0, len(strategies))
+	for _, s := range strategies {
+		est, err := p.EstimateMakespanUnder(app, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+// SmallestCollection returns the smallest collection size b (up to
+// maxB) whose analytic makespan meets the Planner's WithDeadline
+// deadline, or 0 if none does.
+func (p *Planner) SmallestCollection(app Application, maxB int) (int, MakespanEstimate, error) {
+	if p.cfg.deadline <= 0 {
+		return 0, MakespanEstimate{}, fmt.Errorf("gridstrat: no deadline configured (use WithDeadline)")
+	}
+	if maxB < 1 {
+		return 0, MakespanEstimate{}, fmt.Errorf("gridstrat: maxB must be >= 1, got %d", maxB)
+	}
+	if err := app.Validate(); err != nil {
+		return 0, MakespanEstimate{}, err
+	}
+	for b := 1; b <= maxB; b++ {
+		est, err := p.EstimateMakespanUnder(app, Multiple{B: b})
+		if err != nil {
+			return 0, MakespanEstimate{}, err
+		}
+		if est.Makespan <= p.cfg.deadline {
+			return b, est, nil
+		}
+	}
+	return 0, MakespanEstimate{}, nil
+}
+
+// --- Memoized model ---
+
+// memoModel wraps a Model and caches its pointwise and integral
+// evaluations. The strategy optimizers hammer the same integrals at
+// the same grid points across queries (Recommend's ratio sweep,
+// CompareDeadline's three optimizations, Rank), so one Planner-level
+// cache makes repeated queries on one model cheap. Sample is
+// deliberately not cached.
+type memoModel struct {
+	base Model
+
+	mu     sync.Mutex
+	ftilde map[float64]float64
+	pow    map[powKey]float64
+	upow   map[powKey]float64
+	prod   map[prodKey]float64
+	uprod  map[prodKey]float64
+}
+
+type powKey struct {
+	t float64
+	b int
+}
+
+type prodKey struct {
+	t, shift float64
+}
+
+// memoLimit bounds each cache map; when one fills up it is reset
+// rather than evicted entry-by-entry (optimizer grids are reused
+// wholesale, so partial eviction buys nothing).
+const memoLimit = 1 << 18
+
+func newMemoModel(m Model) *memoModel {
+	// Avoid double-wrapping when a Planner is built over another
+	// Planner's model.
+	if mm, ok := m.(*memoModel); ok {
+		return mm
+	}
+	return &memoModel{
+		base:   m,
+		ftilde: make(map[float64]float64),
+		pow:    make(map[powKey]float64),
+		upow:   make(map[powKey]float64),
+		prod:   make(map[prodKey]float64),
+		uprod:  make(map[prodKey]float64),
+	}
+}
+
+func (m *memoModel) Ftilde(t float64) float64 {
+	return cached(&m.mu, &m.ftilde, t, func() float64 { return m.base.Ftilde(t) })
+}
+
+func (m *memoModel) Rho() float64        { return m.base.Rho() }
+func (m *memoModel) UpperBound() float64 { return m.base.UpperBound() }
+
+func (m *memoModel) IntOneMinusFPow(T float64, b int) float64 {
+	return cached(&m.mu, &m.pow, powKey{t: T, b: b}, func() float64 { return m.base.IntOneMinusFPow(T, b) })
+}
+
+func (m *memoModel) IntUOneMinusFPow(T float64, b int) float64 {
+	return cached(&m.mu, &m.upow, powKey{t: T, b: b}, func() float64 { return m.base.IntUOneMinusFPow(T, b) })
+}
+
+func (m *memoModel) IntProdOneMinusF(T, shift float64) float64 {
+	return cached(&m.mu, &m.prod, prodKey{t: T, shift: shift}, func() float64 { return m.base.IntProdOneMinusF(T, shift) })
+}
+
+func (m *memoModel) IntUProdOneMinusF(T, shift float64) float64 {
+	return cached(&m.mu, &m.uprod, prodKey{t: T, shift: shift}, func() float64 { return m.base.IntUProdOneMinusF(T, shift) })
+}
+
+// cached is the memoModel lookup-or-compute step: the value is
+// computed outside the lock (duplicate concurrent computes are benign
+// — the integrals are pure), and a full cache hitting memoLimit is
+// reset wholesale.
+func cached[K comparable](mu *sync.Mutex, slot *map[K]float64, k K, compute func() float64) float64 {
+	mu.Lock()
+	if v, ok := (*slot)[k]; ok {
+		mu.Unlock()
+		return v
+	}
+	mu.Unlock()
+	v := compute()
+	mu.Lock()
+	if len(*slot) >= memoLimit {
+		*slot = make(map[K]float64)
+	}
+	(*slot)[k] = v
+	mu.Unlock()
+	return v
+}
+
+func (m *memoModel) Sample(rng *rand.Rand) float64 { return m.base.Sample(rng) }

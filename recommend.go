@@ -2,10 +2,7 @@ package gridstrat
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-
-	"gridstrat/internal/core"
 )
 
 // Rand is the random source consumed by the Monte Carlo simulators.
@@ -50,67 +47,28 @@ func (r Recommendation) String() string {
 
 // Recommend picks the strategy with the smallest expected total
 // latency among those whose average parallel-copy count stays within
-// maxParallel (≥ 1). With maxParallel < 2 only single resubmission
-// and budget-compatible delayed configurations compete; larger budgets
-// unlock multiple submission with b up to ⌊maxParallel⌋.
+// maxParallel (≥ 1).
+//
+// Deprecated: build a Planner with NewPlanner(m,
+// WithMaxParallel(maxParallel)) and call its Recommend method; the
+// Planner memoizes model evaluations across queries.
 func Recommend(m Model, maxParallel float64) (Recommendation, error) {
-	if maxParallel < 1 || math.IsNaN(maxParallel) {
-		return Recommendation{}, fmt.Errorf("gridstrat: parallel budget %v must be >= 1", maxParallel)
-	}
-	cc, err := core.NewCostContext(m)
+	p, err := NewPlanner(m, WithMaxParallel(maxParallel))
 	if err != nil {
 		return Recommendation{}, err
 	}
-
-	best := Recommendation{
-		Strategy: StrategySingle,
-		TInf:     cc.RefTimeout,
-		Eval:     Evaluation{EJ: cc.RefEJ, Sigma: core.SigmaSingle(m, cc.RefTimeout), Parallel: 1},
-		Delta:    1,
-	}
-
-	// Multiple submission with the largest affordable collection.
-	if b := int(maxParallel); b >= 2 {
-		tInf, ev, delta := cc.DeltaMultiple(b)
-		if ev.EJ < best.Eval.EJ {
-			best = Recommendation{Strategy: StrategyMultiple, TInf: tInf, B: b, Eval: ev, Delta: delta}
-		}
-	}
-
-	// Delayed: sweep ratios, keep budget-compatible configurations.
-	for _, ratio := range []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0} {
-		p, ev := core.OptimizeDelayedRatio(m, ratio)
-		if math.IsInf(ev.EJ, 1) || ev.Parallel > maxParallel {
-			continue
-		}
-		if ev.EJ < best.Eval.EJ {
-			best = Recommendation{
-				Strategy: StrategyDelayed, Delayed: p, Eval: ev,
-				Delta: cc.Delta(ev.EJ, ev.Parallel),
-			}
-		}
-	}
-	return best, nil
+	return p.Recommend()
 }
 
 // RecommendCheapest returns the configuration minimizing Δcost — the
-// infrastructure-friendly choice of §7: usually a delayed strategy
-// with Δcost < 1 when the latency law rewards it, otherwise plain
-// single resubmission.
+// infrastructure-friendly choice of §7.
+//
+// Deprecated: build a Planner with NewPlanner(m) and call its
+// RecommendCheapest method.
 func RecommendCheapest(m Model) (Recommendation, error) {
-	cc, err := core.NewCostContext(m)
+	p, err := NewPlanner(m)
 	if err != nil {
 		return Recommendation{}, err
 	}
-	best := Recommendation{
-		Strategy: StrategySingle,
-		TInf:     cc.RefTimeout,
-		Eval:     Evaluation{EJ: cc.RefEJ, Sigma: core.SigmaSingle(m, cc.RefTimeout), Parallel: 1},
-		Delta:    1,
-	}
-	res := cc.OptimizeDelayedCost()
-	if res.Delta < best.Delta {
-		best = Recommendation{Strategy: StrategyDelayed, Delayed: res.Params, Eval: res.Eval, Delta: res.Delta}
-	}
-	return best, nil
+	return p.RecommendCheapest()
 }

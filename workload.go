@@ -16,27 +16,41 @@ type MakespanEstimate = workload.MakespanEstimate
 
 // WorkloadStrategy wraps a strategy's total-latency law for makespan
 // estimation.
+//
+// Deprecated: pass a Strategy (Single, Multiple, Delayed) to the
+// Planner's makespan methods instead.
 type WorkloadStrategy = workload.Strategy
 
 // NewSingleStrategy, NewMultipleStrategy and NewDelayedStrategy build
 // optimized strategy laws for makespan estimation.
+//
+// Deprecated: use Planner.EstimateMakespanUnder / Planner.CompareMakespan
+// with Single{}, Multiple{B: b} or Delayed{} — un-tuned strategies are
+// optimized by the Planner automatically.
 func NewSingleStrategy(m Model) WorkloadStrategy          { return workload.SingleStrategy(m) }
 func NewMultipleStrategy(m Model, b int) WorkloadStrategy { return workload.MultipleStrategy(m, b) }
 func NewDelayedStrategy(m Model) WorkloadStrategy         { return workload.DelayedStrategy(m) }
 
 // EstimateMakespan computes the expected wall-clock time of an
 // application under a strategy (order-statistics wave model).
+//
+// Deprecated: use Planner.EstimateMakespan (recommended strategy) or
+// Planner.EstimateMakespanUnder (explicit strategy).
 func EstimateMakespan(a Application, s WorkloadStrategy) (MakespanEstimate, error) {
 	return workload.EstimateMakespan(a, s)
 }
 
 // CompareMakespan evaluates several strategies on one application.
+//
+// Deprecated: use Planner.CompareMakespan with Strategy values.
 func CompareMakespan(a Application, strategies ...WorkloadStrategy) ([]MakespanEstimate, error) {
 	return workload.Compare(a, strategies...)
 }
 
 // SmallestMeetingDeadline returns the smallest collection size b whose
 // analytic makespan meets the deadline (0 if none up to maxB).
+//
+// Deprecated: use Planner.SmallestCollection with WithDeadline.
 func SmallestMeetingDeadline(m Model, a Application, deadline float64, maxB int) (int, MakespanEstimate, error) {
 	return workload.SmallestMeetingDeadline(m, a, deadline, maxB)
 }
@@ -52,7 +66,8 @@ func MultipleCDF(m Model, b int, tInf float64) func(float64) float64 {
 func DelayedCDF(m Model, p DelayedParams) func(float64) float64 { return core.DelayedCDF(m, p) }
 
 // ExpectedMax returns E[max of n i.i.d. draws] for a non-negative law
-// given by its CDF (hint scales the integration grid).
+// given by its CDF (hint scales the integration grid). A nil CDF or
+// n < 1 yields NaN.
 func ExpectedMax(cdf func(float64) float64, n int, hint float64) float64 {
 	return core.ExpectedMax(cdf, n, hint)
 }
