@@ -1,0 +1,159 @@
+package gridstrat
+
+// The bench-snapshot harness records the first point of the repo's
+// performance trajectory: wall-clock times of the sequential
+// (workers = 1) vs parallel (all cores) execution engine on the
+// paper-evaluation workloads, written as BENCH_PR2.json. It is gated
+// behind an environment variable so regular test runs stay fast:
+//
+//	GRIDSTRAT_BENCH_SNAPSHOT=1 go test -run TestBenchSnapshot -v .
+//
+// CI runs it on every push and uploads the JSON as a build artifact
+// (see .github/workflows/ci.yml). Because the sharded simulators and
+// parallel grid scans are bit-reproducible at any worker count, the
+// two timed variants of each workload also cross-check each other's
+// results.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gridstrat/internal/core"
+	"gridstrat/internal/experiments"
+)
+
+type benchSnapshot struct {
+	Schema     string           `json:"schema"`
+	PR         int              `json:"pr"`
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Benchmarks []benchSnapEntry `json:"benchmarks"`
+}
+
+type benchSnapEntry struct {
+	Name         string  `json:"name"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// timeIt returns the best-of-`reps` wall time of f.
+func timeIt(t *testing.T, reps int, f func() error) int64 {
+	t.Helper()
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestBenchSnapshot(t *testing.T) {
+	if os.Getenv("GRIDSTRAT_BENCH_SNAPSHOT") == "" {
+		t.Skip("set GRIDSTRAT_BENCH_SNAPSHOT=1 to record the perf snapshot (writes BENCH_PR2.json)")
+	}
+	out := os.Getenv("GRIDSTRAT_BENCH_OUT")
+	if out == "" {
+		out = "BENCH_PR2.json"
+	}
+
+	snap := benchSnapshot{
+		Schema:     "gridstrat-bench-snapshot/v1",
+		PR:         2,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	record := func(name string, seqNS, parNS int64) {
+		snap.Benchmarks = append(snap.Benchmarks, benchSnapEntry{
+			Name:         name,
+			SequentialNS: seqNS,
+			ParallelNS:   parNS,
+			Speedup:      float64(seqNS) / float64(parNS),
+		})
+		t.Logf("%s: sequential %v, parallel %v (%.2fx)",
+			name, time.Duration(seqNS), time.Duration(parNS), float64(seqNS)/float64(parNS))
+	}
+
+	// Monte Carlo ablation: one large multiple-submission replay. The
+	// two variants must agree bit-for-bit (sharding contract).
+	m, err := experiments.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := m.Model(experiments.ReferenceDataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mcRuns = 400000
+	var seqRes, parRes SimResult
+	mcSeq := timeIt(t, 3, func() error {
+		r, err := core.SimulateMultipleCtx(context.Background(), model, 3, 600, mcRuns, rand.New(rand.NewSource(1)), 1)
+		seqRes = r
+		return err
+	})
+	mcPar := timeIt(t, 3, func() error {
+		r, err := core.SimulateMultipleCtx(context.Background(), model, 3, 600, mcRuns, rand.New(rand.NewSource(1)), 0)
+		parRes = r
+		return err
+	})
+	if seqRes != parRes {
+		t.Fatalf("sharded MC diverged: sequential %+v vs parallel %+v", seqRes, parRes)
+	}
+	record("AblationMonteCarloMultiple400k", mcSeq, mcPar)
+
+	// Optimizer ablation: the multiple-submission timeout scan.
+	optSeq := timeIt(t, 3, func() error {
+		_, _, err := core.OptimizeMultipleCtx(context.Background(), model, 5, 1)
+		return err
+	})
+	optPar := timeIt(t, 3, func() error {
+		_, _, err := core.OptimizeMultipleCtx(context.Background(), model, 5, 0)
+		return err
+	})
+	record("AblationOptimizeMultipleB5", optSeq, optPar)
+
+	// Full evaluation harness. One warm-up pass fills the Context's
+	// shared model/cost caches so the timed passes compare the engine,
+	// not cache population order.
+	if _, err := experiments.RunAll(m, io.Discard, 0); err != nil {
+		t.Fatal(err)
+	}
+	runSeq := timeIt(t, 1, func() error {
+		_, err := experiments.RunAll(m, io.Discard, 1)
+		return err
+	})
+	runPar := timeIt(t, 1, func() error {
+		_, err := experiments.RunAll(m, io.Discard, 0)
+		return err
+	})
+	record("RunAll", runSeq, runPar)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d CPUs, GOMAXPROCS %d)", out, snap.NumCPU, snap.GOMAXPROCS)
+}

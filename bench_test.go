@@ -8,6 +8,7 @@ package gridstrat
 // the paper's CDF formulas, optimizer variants).
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"sync"
@@ -172,11 +173,23 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
-// BenchmarkRunAll regenerates the complete evaluation end to end.
+// BenchmarkRunAll regenerates the complete evaluation end to end with
+// the parallel harness (all cores) — the product path of cmd/repro.
 func BenchmarkRunAll(b *testing.B) {
 	c := benchContext(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunAll(c, io.Discard); err != nil {
+		if _, err := experiments.RunAll(c, io.Discard, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSequential is the workers = 1 baseline the perf
+// trajectory (BENCH_PR2.json) compares the parallel harness against.
+func BenchmarkRunAllSequential(b *testing.B) {
+	c := benchContext(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(c, io.Discard, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -294,6 +307,26 @@ func BenchmarkAblationCostOptimization(b *testing.B) {
 			b.Fatal(err)
 		}
 		cc.OptimizeDelayedCost()
+	}
+}
+
+// BenchmarkAblationMonteCarloWorkers runs one large multiple-
+// submission replay sequentially and on all cores: the sharded-
+// simulator speedup ablation (results are bit-identical either way).
+func BenchmarkAblationMonteCarloWorkers(b *testing.B) {
+	m := benchModel(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SimulateMultipleCtx(context.Background(), m, 3, 600, 200000, rng, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	repro [-out results] [-quiet]
+//	repro [-out results] [-quiet] [-j N]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 func main() {
 	out := flag.String("out", "results", "output directory for tables (.txt) and figure data (.dat)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	jobs := flag.Int("j", 0, "number of artifacts to generate concurrently (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	var progress io.Writer = os.Stderr
@@ -31,7 +32,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
-	if err := gridstrat.WriteAllExperiments(c, *out, progress); err != nil {
+	if err := gridstrat.WriteAllExperimentsN(c, *out, progress, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}

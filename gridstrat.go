@@ -253,7 +253,16 @@ type Experiments = experiments.Context
 // harness that regenerates every table and figure.
 func NewExperiments() (*Experiments, error) { return experiments.NewContext() }
 
-// WriteAllExperiments regenerates every table and figure into dir.
+// WriteAllExperiments regenerates every table and figure into dir,
+// fanning independent artifacts across all CPUs. Artifact contents are
+// identical for every worker count; only the progress-line order
+// varies.
 func WriteAllExperiments(c *Experiments, dir string, progress io.Writer) error {
-	return experiments.WriteAll(c, dir, progress)
+	return experiments.WriteAll(c, dir, progress, 0)
+}
+
+// WriteAllExperimentsN is WriteAllExperiments with an explicit worker
+// count (n <= 0 means all cores; n = 1 regenerates sequentially).
+func WriteAllExperimentsN(c *Experiments, dir string, progress io.Writer, n int) error {
+	return experiments.WriteAll(c, dir, progress, n)
 }

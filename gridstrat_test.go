@@ -230,6 +230,9 @@ func TestExperimentsFacade(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite is exercised in internal/experiments")
 	}
+	if raceEnabled {
+		t.Skip("the full suite dominates the race build's runtime; the worker pool is race-checked by internal/experiments' TestRunAllWorkerPool")
+	}
 	c, err := NewExperiments()
 	if err != nil {
 		t.Fatal(err)

@@ -22,13 +22,14 @@ type CostContext struct {
 // NewCostContext optimizes the single-resubmission baseline once and
 // fixes it as the cost reference.
 func NewCostContext(m Model) (*CostContext, error) {
-	return NewCostContextCtx(context.Background(), m)
+	return NewCostContextCtx(context.Background(), m, 1)
 }
 
 // NewCostContextCtx is NewCostContext with cancellation of the
-// baseline optimization.
-func NewCostContextCtx(ctx context.Context, m Model) (*CostContext, error) {
-	tInf, ev, err := OptimizeSingleCtx(ctx, m)
+// baseline optimization and a worker count for its grid scan (<= 0
+// means all cores; results are identical for every count).
+func NewCostContextCtx(ctx context.Context, m Model, workers int) (*CostContext, error) {
+	tInf, ev, err := OptimizeSingleCtx(ctx, m, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -73,13 +74,15 @@ type CostResult struct {
 // integer lattice — the paper restricts Table 5 to integer parameter
 // values because sub-second resubmission control is not realistic.
 func (c *CostContext) OptimizeDelayedCost() CostResult {
-	r, _ := c.OptimizeDelayedCostCtx(context.Background())
+	r, _ := c.OptimizeDelayedCostCtx(context.Background(), 1)
 	return r
 }
 
-// OptimizeDelayedCostCtx is OptimizeDelayedCost with cancellation: a
-// done ctx aborts both the surface search and the integer polish.
-func (c *CostContext) OptimizeDelayedCostCtx(ctx context.Context) (CostResult, error) {
+// OptimizeDelayedCostCtx is OptimizeDelayedCost with cancellation (a
+// done ctx aborts both the surface search and the integer polish) and
+// a worker count for the coarse surface scan (<= 0 means all cores;
+// results are identical for every count).
+func (c *CostContext) OptimizeDelayedCostCtx(ctx context.Context, workers int) (CostResult, error) {
 	ub := c.Model.UpperBound()
 	obj := func(t0, ratio float64) float64 {
 		if ctx.Err() != nil {
@@ -95,7 +98,7 @@ func (c *CostContext) OptimizeDelayedCostCtx(ctx context.Context) (CostResult, e
 		}
 		return c.Delta(ej, nParallelExpectedCells(c.Model, p, costScanCells))
 	}
-	r := optimize.MinimizeRobust2D(obj, ub*1e-3, ub/2, 1.0005, 2.0)
+	r := optimize.MinimizeRobust2DPar(obj, ub*1e-3, ub/2, 1.0005, 2.0, workers)
 	if err := ctx.Err(); err != nil {
 		return CostResult{}, err
 	}

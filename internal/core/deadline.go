@@ -64,12 +64,13 @@ type DeadlineEntry struct {
 // users often care about tail quantiles, not expectations. Invalid
 // deadlines and collection sizes are returned as errors.
 func CompareDeadline(m Model, deadline float64, b int) (DeadlineReport, error) {
-	return CompareDeadlineCtx(context.Background(), m, deadline, b)
+	return CompareDeadlineCtx(context.Background(), m, deadline, b, 1)
 }
 
 // CompareDeadlineCtx is CompareDeadline with cancellation of the three
-// per-strategy optimizations.
-func CompareDeadlineCtx(ctx context.Context, m Model, deadline float64, b int) (DeadlineReport, error) {
+// per-strategy optimizations and a worker count for their scans (<= 0
+// means all cores; results are identical for every count).
+func CompareDeadlineCtx(ctx context.Context, m Model, deadline float64, b int, workers int) (DeadlineReport, error) {
 	if deadline <= 0 {
 		return DeadlineReport{}, fmt.Errorf("core: non-positive deadline %v", deadline)
 	}
@@ -78,7 +79,7 @@ func CompareDeadlineCtx(ctx context.Context, m Model, deadline float64, b int) (
 	}
 	rep := DeadlineReport{Deadline: deadline}
 
-	tS, _, err := OptimizeSingleCtx(ctx, m)
+	tS, _, err := OptimizeSingleCtx(ctx, m, workers)
 	if err != nil {
 		return DeadlineReport{}, err
 	}
@@ -90,7 +91,7 @@ func CompareDeadlineCtx(ctx context.Context, m Model, deadline float64, b int) (
 		P95:         QuantileJ(cdfS, 0.95, tS),
 	}
 
-	tM, _, err := OptimizeMultipleCtx(ctx, m, b)
+	tM, _, err := OptimizeMultipleCtx(ctx, m, b, workers)
 	if err != nil {
 		return DeadlineReport{}, err
 	}
@@ -102,7 +103,7 @@ func CompareDeadlineCtx(ctx context.Context, m Model, deadline float64, b int) (
 		P95:         QuantileJ(cdfM, 0.95, tM),
 	}
 
-	p, ev, err := OptimizeDelayedCtx(ctx, m)
+	p, ev, err := OptimizeDelayedCtx(ctx, m, workers)
 	if err != nil {
 		return DeadlineReport{}, err
 	}

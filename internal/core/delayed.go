@@ -317,14 +317,15 @@ func clamp01(x float64) float64 {
 // t0 < t∞ <= 2·t0 (paper Figure 5's surface minimum). The search is
 // over the rectangle (t0, ratio) to keep the feasible set box-shaped.
 func OptimizeDelayed(m Model) (DelayedParams, Evaluation) {
-	p, ev, _ := OptimizeDelayedCtx(context.Background(), m)
+	p, ev, _ := OptimizeDelayedCtx(context.Background(), m, 1)
 	return p, ev
 }
 
-// OptimizeDelayedCtx is OptimizeDelayed with cancellation: a done ctx
+// OptimizeDelayedCtx is OptimizeDelayed with cancellation (a done ctx
 // short-circuits the remaining surface evaluations and returns the
-// context's error.
-func OptimizeDelayedCtx(ctx context.Context, m Model) (DelayedParams, Evaluation, error) {
+// context's error) and a worker count for the coarse surface scan
+// (<= 0 means all cores; results are identical for every count).
+func OptimizeDelayedCtx(ctx context.Context, m Model, workers int) (DelayedParams, Evaluation, error) {
 	ub := m.UpperBound()
 	obj := func(t0, ratio float64) float64 {
 		if ctx.Err() != nil {
@@ -332,7 +333,7 @@ func OptimizeDelayedCtx(ctx context.Context, m Model) (DelayedParams, Evaluation
 		}
 		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
 	}
-	r := optimize.MinimizeRobust2D(obj, ub*1e-3, ub/2, 1.0005, 2.0)
+	r := optimize.MinimizeRobust2DPar(obj, ub*1e-3, ub/2, 1.0005, 2.0, workers)
 	if err := ctx.Err(); err != nil {
 		return DelayedParams{}, Evaluation{}, err
 	}
@@ -355,7 +356,7 @@ func OptimizeDelayedRatio(m Model, ratio float64) (DelayedParams, Evaluation) {
 	if ratio <= 1 || ratio > 2 {
 		panic(fmt.Sprintf("core: delayed ratio must be in (1, 2], got %v", ratio))
 	}
-	p, ev, err := OptimizeDelayedRatioCtx(context.Background(), m, ratio)
+	p, ev, err := OptimizeDelayedRatioCtx(context.Background(), m, ratio, 1)
 	if err != nil {
 		// Only reachable for a NaN ratio, which slips the panic guard
 		// above; keep the pre-Ctx convention of an infeasible result.
@@ -364,10 +365,12 @@ func OptimizeDelayedRatio(m Model, ratio float64) (DelayedParams, Evaluation) {
 	return p, ev
 }
 
-// OptimizeDelayedRatioCtx is OptimizeDelayedRatio with validation and
-// cancellation: an out-of-range ratio is an error, not a panic, and a
-// done ctx aborts the scan.
-func OptimizeDelayedRatioCtx(ctx context.Context, m Model, ratio float64) (DelayedParams, Evaluation, error) {
+// OptimizeDelayedRatioCtx is OptimizeDelayedRatio with validation,
+// cancellation and a worker count: an out-of-range ratio is an error,
+// not a panic, a done ctx aborts the scan, and the grid rounds fan
+// across up to `workers` goroutines (<= 0 means all cores; results are
+// identical for every count).
+func OptimizeDelayedRatioCtx(ctx context.Context, m Model, ratio float64, workers int) (DelayedParams, Evaluation, error) {
 	if !(ratio > 1 && ratio <= 2) {
 		return DelayedParams{}, Evaluation{}, fmt.Errorf("core: delayed ratio must be in (1, 2], got %v", ratio)
 	}
@@ -378,7 +381,7 @@ func OptimizeDelayedRatioCtx(ctx context.Context, m Model, ratio float64) (Delay
 		}
 		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
 	}
-	r := optimize.GridScan1D(obj, ub*1e-3, ub/2, 400, 4)
+	r := optimize.GridScan1DPar(obj, ub*1e-3, ub/2, 400, 4, workers)
 	if err := ctx.Err(); err != nil {
 		return DelayedParams{}, Evaluation{}, err
 	}

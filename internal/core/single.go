@@ -44,11 +44,12 @@ func OptimizeSingle(m Model) (tInf float64, ev Evaluation) {
 	return tInf, ev
 }
 
-// OptimizeSingleCtx is OptimizeSingle with cancellation: the scan
+// OptimizeSingleCtx is OptimizeSingle with cancellation (the scan
 // aborts between objective evaluations once ctx is done and the
-// context's error is returned.
-func OptimizeSingleCtx(ctx context.Context, m Model) (float64, Evaluation, error) {
-	return OptimizeMultipleCtx(ctx, m, 1)
+// context's error is returned) and a worker count for the grid rounds
+// (<= 0 means all cores; results are identical for every count).
+func OptimizeSingleCtx(ctx context.Context, m Model, workers int) (float64, Evaluation, error) {
+	return OptimizeMultipleCtx(ctx, m, 1, workers)
 }
 
 // timeoutLowerBracket returns a small positive lower bound for timeout
@@ -64,7 +65,10 @@ func timeoutLowerBracket(m Model) float64 {
 // optimizeTimeout scans EJ(t∞) for a fixed evaluator. Shared by the
 // single and multiple strategies. When ctx is cancelled the remaining
 // grid points short-circuit to +Inf and the context error is returned.
-func optimizeTimeout(ctx context.Context, m Model, eval func(tInf float64) float64) (optimize.Result1D, error) {
+// Each refinement round's grid is evaluated by up to `workers`
+// goroutines; the objective must therefore be safe for concurrent
+// calls (all Model implementations are).
+func optimizeTimeout(ctx context.Context, m Model, eval func(tInf float64) float64, workers int) (optimize.Result1D, error) {
 	lo := timeoutLowerBracket(m)
 	hi := m.UpperBound()
 	if !(lo < hi) {
@@ -82,7 +86,7 @@ func optimizeTimeout(ctx context.Context, m Model, eval func(tInf float64) float
 	}
 	// EJ(t∞) profiles are piecewise smooth but can be multimodal in
 	// b (Table 2 optima jump between basins), so grid-scan first.
-	r := optimize.GridScan1D(obj, lo, hi, 400, 4)
+	r := optimize.GridScan1DPar(obj, lo, hi, 400, 4, workers)
 	if err := ctx.Err(); err != nil {
 		return optimize.Result1D{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -352,6 +353,75 @@ func TestFigureRendering(t *testing.T) {
 	out := f.Render()
 	if !strings.Contains(out, "# curve: c1") || !strings.Contains(out, "1\t2") {
 		t.Fatalf("bad figure output: %q", out)
+	}
+}
+
+// TestRunAllParallelMatchesSequential pins the end-to-end determinism
+// contract of the parallel harness: every artifact is byte-identical
+// whether the suite runs sequentially or fanned across workers (the
+// generators share only the Context's mutex-guarded caches, and the
+// sharded Monte Carlo replays are worker-count-independent).
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full RunAll passes are slow; parallel RunAll is still race-checked via the facade test")
+	}
+	if raceEnabled {
+		t.Skip("byte-equality is asserted without -race; the race detector covers parallel RunAll via the root facade test")
+	}
+	c, err := NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunAll(c, io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(c, io.Discard, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("artifact order differs at %d: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		if seq[i].Content != par[i].Content {
+			t.Errorf("artifact %s differs between sequential and parallel runs", seq[i].ID)
+		}
+	}
+}
+
+// TestRunAllWorkerPool exercises the artifact worker pool with an
+// explicit worker count over a prefix of the suite — cheap enough to
+// run under -race, where it is the targeted check that concurrent
+// generators sharing the Context's caches are safe (GOMAXPROCS may be
+// 1, but the race detector tracks the interleavings regardless).
+func TestRunAllWorkerPool(t *testing.T) {
+	c := ctx(t)
+	gens := generators(c)[:5]
+	arts, err := runGenerators(gens, io.Discard, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(gens) {
+		t.Fatalf("got %d artifacts, want %d", len(arts), len(gens))
+	}
+	for i, a := range arts {
+		if a.ID != gens[i].id {
+			t.Fatalf("artifact %d is %s, want %s (input order must be preserved)", i, a.ID, gens[i].id)
+		}
+		if a.Content == "" {
+			t.Fatalf("artifact %s is empty", a.ID)
+		}
+	}
+	// A failing generator surfaces deterministically, by input order.
+	boom := append([]gen{}, gens[:2]...)
+	boom = append(boom, gen{"boom-a", func() (string, error) { return "", io.ErrUnexpectedEOF }})
+	boom = append(boom, gen{"boom-b", func() (string, error) { return "", io.ErrClosedPipe }})
+	if _, err := runGenerators(boom, io.Discard, 4); err == nil || !strings.Contains(err.Error(), "boom-a") {
+		t.Fatalf("err = %v, want the first failure in input order (boom-a)", err)
 	}
 }
 

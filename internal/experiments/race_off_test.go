@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// determinism tests that are already race-covered elsewhere skip under
+// -race to keep the suite inside the default per-package timeout.
+const raceEnabled = false

@@ -5,6 +5,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+
+	"gridstrat/internal/optimize"
 )
 
 // Artifact is a rendered experiment output.
@@ -13,14 +16,29 @@ type Artifact struct {
 	Content string
 }
 
-// RunAll regenerates every table and figure, in paper order. Progress
-// lines go to progress (pass io.Discard to silence).
-func RunAll(c *Context, progress io.Writer) ([]Artifact, error) {
-	type gen struct {
-		id  string
-		run func() (string, error)
-	}
-	gens := []gen{
+// syncWriter serializes Write calls so concurrent generators can share
+// one progress stream without interleaving partial lines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// gen is one artifact generator of the evaluation suite.
+type gen struct {
+	id  string
+	run func() (string, error)
+}
+
+// generators returns every table and figure of the evaluation, in
+// paper order.
+func generators(c *Context) []gen {
+	return []gen{
 		{"table1", func() (string, error) { return renderTable(Table1(c)) }},
 		{"figure1", func() (string, error) { return renderFigure(Figure1(c)) }},
 		{"table2", func() (string, error) { return renderTable(Table2(c)) }},
@@ -41,25 +59,63 @@ func RunAll(c *Context, progress io.Writer) ([]Artifact, error) {
 		{"ext3-makespan", func() (string, error) { return renderTable(ExtMakespan(c)) }},
 		{"ext4-stationarity", func() (string, error) { return renderTable(ExtStationarity(c)) }},
 	}
-	var out []Artifact
-	for _, g := range gens {
-		fmt.Fprintf(progress, "generating %s...\n", g.id)
+}
+
+// RunAll regenerates every table and figure and returns them in paper
+// order. The artifacts are independent (they share only the Context's
+// mutex-guarded model/cost caches), so they are fanned across up to
+// `workers` goroutines (<= 0 means all cores, 1 preserves the fully
+// sequential behavior). Artifact contents are identical for every
+// worker count: generation order affects only the progress lines,
+// which go to progress (pass io.Discard to silence).
+func RunAll(c *Context, progress io.Writer, workers int) ([]Artifact, error) {
+	return runGenerators(generators(c), progress, workers)
+}
+
+// runGenerators executes a generator list on the shared worker pool
+// and collects the artifacts in input order.
+func runGenerators(gens []gen, progress io.Writer, workers int) ([]Artifact, error) {
+	pw := &syncWriter{w: progress}
+	out := make([]Artifact, len(gens))
+	errs := make([]error, len(gens))
+	do := func(i int) bool {
+		g := gens[i]
+		fmt.Fprintf(pw, "generating %s...\n", g.id)
 		content, err := g.run()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", g.id, err)
+			errs[i] = fmt.Errorf("experiments: %s: %w", g.id, err)
+			return false
 		}
-		out = append(out, Artifact{ID: g.id, Content: content})
+		out[i] = Artifact{ID: g.id, Content: content}
+		return true
+	}
+	if w := optimize.Workers(workers); w <= 1 {
+		// Sequential runs keep their historical fail-fast: the first
+		// failing artifact aborts the remaining (expensive) ones.
+		for i := range gens {
+			if !do(i) {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		optimize.ParallelFor(len(gens), w, func(i int) { do(i) })
+		// Report the first failure in paper order, deterministically.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }
 
-// WriteAll runs everything and writes one file per artifact into dir
-// (tables as .txt, figures as .dat).
-func WriteAll(c *Context, dir string, progress io.Writer) error {
+// WriteAll runs everything on up to `workers` goroutines and writes
+// one file per artifact into dir (tables as .txt, figures as .dat).
+func WriteAll(c *Context, dir string, progress io.Writer, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("experiments: %w", err)
 	}
-	arts, err := RunAll(c, progress)
+	arts, err := RunAll(c, progress, workers)
 	if err != nil {
 		return err
 	}

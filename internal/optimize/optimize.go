@@ -13,6 +13,9 @@ package optimize
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Result1D is the outcome of a one-dimensional minimization.
@@ -33,7 +36,11 @@ const invPhi = 0.6180339887498949 // (√5-1)/2
 
 // GoldenSection minimizes f over [a, b] to interval tolerance tol
 // using golden-section search. It assumes f is unimodal on [a, b];
-// on multimodal objectives it converges to *a* local minimum.
+// on multimodal objectives it converges to *a* local minimum. The
+// returned point is the best one actually evaluated: on objectives
+// with +Inf plateaus (infeasible-region encoding) the final bracket
+// midpoint can sit on the plateau even though interior probes were
+// finite, so the incumbent — not the midpoint — is the answer.
 func GoldenSection(f func(float64) float64, a, b, tol float64) Result1D {
 	if !(a < b) {
 		panic(fmt.Sprintf("optimize: invalid bracket [%v, %v]", a, b))
@@ -42,7 +49,15 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) Result1D {
 		tol = 1e-8
 	}
 	evals := 0
-	eval := func(x float64) float64 { evals++; return f(x) }
+	bestX, bestF := math.NaN(), math.Inf(1)
+	eval := func(x float64) float64 {
+		evals++
+		v := f(x)
+		if v < bestF {
+			bestX, bestF = x, v
+		}
+		return v
+	}
 
 	x1 := b - invPhi*(b-a)
 	x2 := a + invPhi*(b-a)
@@ -59,7 +74,13 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) Result1D {
 		}
 	}
 	x := 0.5 * (a + b)
-	return Result1D{X: x, F: eval(x), Evals: evals}
+	// Prefer the midpoint on ties (the historical answer on smooth
+	// objectives); fall back to it only when no probe ever beat it —
+	// including the all-infeasible case where bestX was never set.
+	if fx := eval(x); fx <= bestF || math.IsNaN(bestX) {
+		return Result1D{X: x, F: fx, Evals: evals}
+	}
+	return Result1D{X: bestX, F: bestF, Evals: evals}
 }
 
 // Brent minimizes f over [a, b] using Brent's method (golden section
@@ -151,6 +172,50 @@ func Brent(f func(float64) float64, a, b, tol float64) Result1D {
 	return Result1D{X: x, F: fx, Evals: evals}
 }
 
+// Workers normalizes a parallelism degree: values <= 0 mean "all
+// cores" (runtime.GOMAXPROCS(0)); 1 means sequential execution on the
+// caller's goroutine.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelFor runs body(i) for i in [0, n) on up to `workers`
+// goroutines (work-stealing by atomic counter). With workers <= 1 it
+// degenerates to a plain loop on the caller's goroutine. body must be
+// safe for concurrent invocation when workers > 1. It is the one
+// worker pool shared by the grid scans, the sharded Monte Carlo
+// simulators and the experiments harness.
+func ParallelFor(n, workers int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // GridScan1D minimizes f over [a, b] by evaluating n+1 uniformly
 // spaced points and then refining around the best point with `refine`
 // further rounds, each shrinking the window by the grid spacing. It is
@@ -158,19 +223,32 @@ func Brent(f func(float64) float64, a, b, tol float64) Result1D {
 // the paper's EJ(t∞) profiles whose optimum can jump between local
 // minima as b changes (Table 2 shows exactly such jumps).
 func GridScan1D(f func(float64) float64, a, b float64, n, refine int) Result1D {
+	return GridScan1DPar(f, a, b, n, refine, 1)
+}
+
+// GridScan1DPar is GridScan1D with each round's grid evaluated by up
+// to `workers` goroutines (<= 0 means all cores). f must be safe for
+// concurrent calls when workers > 1. Results are bit-identical for
+// every worker count: the grid points are fixed per round and the
+// incumbent reduction always runs sequentially in index order.
+func GridScan1DPar(f func(float64) float64, a, b float64, n, refine, workers int) Result1D {
 	if !(a < b) || n < 2 {
 		panic(fmt.Sprintf("optimize: invalid grid scan [%v, %v] n=%d", a, b, n))
 	}
+	workers = Workers(workers)
 	evals := 0
 	bestX, bestF := a, math.Inf(1)
 	lo, hi := a, b
+	vals := make([]float64, n+1)
 	for round := 0; round <= refine; round++ {
 		h := (hi - lo) / float64(n)
+		ParallelFor(n+1, workers, func(i int) {
+			vals[i] = f(lo + float64(i)*h)
+		})
+		evals += n + 1
 		for i := 0; i <= n; i++ {
 			x := lo + float64(i)*h
-			v := f(x)
-			evals++
-			if v < bestF || (v == bestF && x < bestX) {
+			if v := vals[i]; v < bestF || (v == bestF && x < bestX) {
 				bestX, bestF = x, v
 			}
 		}
@@ -186,23 +264,36 @@ func GridScan1D(f func(float64) float64, a, b float64, n, refine int) Result1D {
 // GridScan2D minimizes f over the rectangle [ax, bx] × [ay, by] with
 // an (nx+1) × (ny+1) scan refined `refine` times around the incumbent.
 func GridScan2D(f func(x, y float64) float64, ax, bx, ay, by float64, nx, ny, refine int) Result2D {
+	return GridScan2DPar(f, ax, bx, ay, by, nx, ny, refine, 1)
+}
+
+// GridScan2DPar is GridScan2D with each round's rows fanned across up
+// to `workers` goroutines (<= 0 means all cores). f must be safe for
+// concurrent calls when workers > 1; results are bit-identical for
+// every worker count (sequential row-major reduction).
+func GridScan2DPar(f func(x, y float64) float64, ax, bx, ay, by float64, nx, ny, refine, workers int) Result2D {
 	if !(ax < bx) || !(ay < by) || nx < 2 || ny < 2 {
 		panic(fmt.Sprintf("optimize: invalid 2D grid scan [%v,%v]x[%v,%v]", ax, bx, ay, by))
 	}
+	workers = Workers(workers)
 	evals := 0
 	bestX, bestY, bestF := ax, ay, math.Inf(1)
 	lox, hix, loy, hiy := ax, bx, ay, by
+	vals := make([]float64, (nx+1)*(ny+1))
 	for round := 0; round <= refine; round++ {
 		hx := (hix - lox) / float64(nx)
 		hy := (hiy - loy) / float64(ny)
+		ParallelFor(nx+1, workers, func(i int) {
+			x := lox + float64(i)*hx
+			for j := 0; j <= ny; j++ {
+				vals[i*(ny+1)+j] = f(x, loy+float64(j)*hy)
+			}
+		})
+		evals += (nx + 1) * (ny + 1)
 		for i := 0; i <= nx; i++ {
 			for j := 0; j <= ny; j++ {
-				x := lox + float64(i)*hx
-				y := loy + float64(j)*hy
-				v := f(x, y)
-				evals++
-				if v < bestF {
-					bestX, bestY, bestF = x, y, v
+				if v := vals[i*(ny+1)+j]; v < bestF {
+					bestX, bestY, bestF = lox+float64(i)*hx, loy+float64(j)*hy, v
 				}
 			}
 		}
@@ -318,7 +409,14 @@ func nelderMeadOnce(f func(x, y float64) float64, x0, y0, scale, tol float64, ma
 // polish: the scan locates the basin, the simplex refines within it.
 // This is the default optimizer for EJ(t0, t∞).
 func MinimizeRobust2D(f func(x, y float64) float64, ax, bx, ay, by float64) Result2D {
-	coarse := GridScan2D(f, ax, bx, ay, by, 40, 40, 2)
+	return MinimizeRobust2DPar(f, ax, bx, ay, by, 1)
+}
+
+// MinimizeRobust2DPar is MinimizeRobust2D with the coarse scan fanned
+// across up to `workers` goroutines; the (cheap) simplex polish stays
+// sequential, so results are bit-identical for every worker count.
+func MinimizeRobust2DPar(f func(x, y float64) float64, ax, bx, ay, by float64, workers int) Result2D {
+	coarse := GridScan2DPar(f, ax, bx, ay, by, 40, 40, 2, workers)
 	scale := math.Max((bx-ax)/80, (by-ay)/80)
 	polish := NelderMead(f, coarse.X, coarse.Y, scale, 1e-9, 300)
 	polish.Evals += coarse.Evals

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -22,20 +23,28 @@ var (
 
 // Planner is the high-level facade over the strategy models: it owns a
 // latency model, a parallel-copy budget, an optional deadline and cost
-// ceiling, a context for cancelling long optimizations, and a random
-// source for Monte Carlo. All integral evaluations on the model are
-// memoized behind the Planner, so repeated queries (Recommend, then
-// Rank, then CompareDeadline on the same model) are cheap.
+// ceiling, a context for cancelling long optimizations, a random
+// source for Monte Carlo, and an execution parallelism degree. All
+// integral evaluations on the model are memoized behind the Planner,
+// so repeated queries (Recommend, then Rank, then CompareDeadline on
+// the same model) are cheap.
 //
-// A Planner is safe for concurrent use as long as the Monte Carlo
-// entry points (Simulate) are not raced against each other — they
-// share the configured random source.
+// A Planner is safe for concurrent use, including Simulate: the
+// configured random source is only ever consumed under the Planner's
+// lock to derive per-call master seeds, and everything downstream runs
+// on derived, call-local RNG streams.
 type Planner struct {
 	model Model // memoized wrapper around the user's model
 	cfg   plannerConfig
 
 	mu sync.Mutex
 	cc *core.CostContext // lazily established cost baseline
+
+	// rngMu guards only the master-seed draws of Simulate. It is
+	// separate from mu so a Simulate call never blocks behind the
+	// (potentially seconds-long) first-query cost-baseline
+	// optimization that costContext runs under mu.
+	rngMu sync.Mutex
 }
 
 type plannerConfig struct {
@@ -45,6 +54,7 @@ type plannerConfig struct {
 	ctx         context.Context
 	rng         Rand
 	b           int
+	parallelism int
 }
 
 // PlannerOption configures a Planner at construction.
@@ -114,6 +124,23 @@ func WithRand(rng Rand) PlannerOption {
 	}
 }
 
+// WithParallelism sets the number of worker goroutines the Planner's
+// execution engine uses for grid-scan optimizations and Monte Carlo
+// simulation. The default is runtime.GOMAXPROCS(0); n = 1 restores
+// fully sequential execution on the calling goroutine. Results are
+// independent of n: grid scans reduce in a fixed order and the
+// sharded simulators derive per-shard RNG streams from a single seed
+// draw, so a seeded run is bit-reproducible at any parallelism.
+func WithParallelism(n int) PlannerOption {
+	return func(c *plannerConfig) error {
+		if n < 1 {
+			return fmt.Errorf("gridstrat: parallelism %d must be >= 1", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
 // WithCollectionSize sets the collection size b used where the Planner
 // needs a default Multiple configuration (CompareDeadline, Rank with
 // no arguments). It must be >= 1; the default is 2.
@@ -139,6 +166,7 @@ func NewPlanner(m Model, opts ...PlannerOption) (*Planner, error) {
 		ctx:         context.Background(),
 		rng:         rand.New(rand.NewSource(1)),
 		b:           2,
+		parallelism: runtime.GOMAXPROCS(0),
 	}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
@@ -161,7 +189,7 @@ func (p *Planner) costContext() (*core.CostContext, error) {
 	if p.cc != nil {
 		return p.cc, nil
 	}
-	cc, err := core.NewCostContextCtx(p.cfg.ctx, p.model)
+	cc, err := core.NewCostContextCtx(p.cfg.ctx, p.model, p.cfg.parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +244,7 @@ func (p *Planner) Recommend() (Recommendation, error) {
 
 	// Multiple submission with the largest affordable collection.
 	if b := affordableB(p.cfg.maxParallel); b >= 2 {
-		tInf, ev, err := core.OptimizeMultipleCtx(p.cfg.ctx, p.model, b)
+		tInf, ev, err := core.OptimizeMultipleCtx(p.cfg.ctx, p.model, b, p.cfg.parallelism)
 		if err != nil {
 			return Recommendation{}, err
 		}
@@ -228,7 +256,7 @@ func (p *Planner) Recommend() (Recommendation, error) {
 
 	// Delayed: sweep ratios, keep budget-compatible configurations.
 	for _, ratio := range delayedRatioGrid {
-		dp, ev, err := core.OptimizeDelayedRatioCtx(p.cfg.ctx, p.model, ratio)
+		dp, ev, err := core.OptimizeDelayedRatioCtx(p.cfg.ctx, p.model, ratio, p.cfg.parallelism)
 		if err != nil {
 			return Recommendation{}, err
 		}
@@ -256,7 +284,7 @@ func (p *Planner) RecommendCheapest() (Recommendation, error) {
 		return Recommendation{}, err
 	}
 	best := p.singleBaseline(cc)
-	res, err := cc.OptimizeDelayedCostCtx(p.cfg.ctx)
+	res, err := cc.OptimizeDelayedCostCtx(p.cfg.ctx, p.cfg.parallelism)
 	if err != nil {
 		return Recommendation{}, err
 	}
@@ -289,27 +317,38 @@ func (p *Planner) CompareDeadline() (DeadlineReport, error) {
 	if p.cfg.deadline <= 0 {
 		return DeadlineReport{}, fmt.Errorf("gridstrat: no deadline configured (use WithDeadline)")
 	}
-	return core.CompareDeadlineCtx(p.cfg.ctx, p.model, p.cfg.deadline, p.cfg.b)
+	return core.CompareDeadlineCtx(p.cfg.ctx, p.model, p.cfg.deadline, p.cfg.b, p.cfg.parallelism)
 }
 
 // Optimize tunes a strategy's free parameters on the Planner's model
-// under the Planner's context.
+// under the Planner's context and parallelism.
 func (p *Planner) Optimize(s Strategy) (Strategy, Evaluation, error) {
 	cs, ok := s.(ctxStrategy)
 	if !ok {
 		return s.Optimize(p.model)
 	}
-	return cs.optimizeCtx(p.cfg.ctx, p.model)
+	return cs.optimizeCtx(p.cfg.ctx, p.model, p.cfg.parallelism)
 }
 
 // Simulate replays a parameterized strategy against the Planner's
-// model with the Planner's random source and context.
+// model with the Planner's random source, context and parallelism.
+// Each call draws one master seed from the configured source (under
+// the Planner's lock, so concurrent Simulate calls are safe) and runs
+// the sharded simulator on a stream derived from it; for a fixed seed
+// and call order the result is bit-identical at any WithParallelism
+// setting.
 func (p *Planner) Simulate(s Strategy, runs int) (SimResult, error) {
+	p.rngMu.Lock()
+	seed := p.cfg.rng.Uint64()
+	p.rngMu.Unlock()
+	// Full-64-bit derivation: rand.NewSource would truncate the seed
+	// modulo 2³¹−1 and could hand two calls identical streams.
+	rng := core.NewSeededRand(seed)
 	cs, ok := s.(ctxStrategy)
 	if !ok {
-		return s.Simulate(p.model, runs, p.cfg.rng)
+		return s.Simulate(p.model, runs, rng)
 	}
-	return cs.simulateCtx(p.cfg.ctx, p.model, runs, p.cfg.rng)
+	return cs.simulateCtx(p.cfg.ctx, p.model, runs, rng, p.cfg.parallelism)
 }
 
 // resolve returns a fully parameterized version of s with its
@@ -457,6 +496,11 @@ func (p *Planner) SmallestCollection(app Application, maxB int) (int, MakespanEs
 // CompareDeadline's three optimizations, Rank), so one Planner-level
 // cache makes repeated queries on one model cheap. Sample is
 // deliberately not cached.
+//
+// NaN arguments bypass the cache entirely: NaN != NaN, so a NaN key
+// could never be hit again and every NaN query would leak one dead map
+// entry. With NaN excluded, total memory is bounded by the five maps ×
+// memoLimit entries each (each map is reset wholesale when full).
 type memoModel struct {
 	base Model
 
@@ -499,6 +543,9 @@ func newMemoModel(m Model) *memoModel {
 }
 
 func (m *memoModel) Ftilde(t float64) float64 {
+	if math.IsNaN(t) {
+		return m.base.Ftilde(t)
+	}
 	return cached(&m.mu, &m.ftilde, t, func() float64 { return m.base.Ftilde(t) })
 }
 
@@ -506,25 +553,39 @@ func (m *memoModel) Rho() float64        { return m.base.Rho() }
 func (m *memoModel) UpperBound() float64 { return m.base.UpperBound() }
 
 func (m *memoModel) IntOneMinusFPow(T float64, b int) float64 {
+	if math.IsNaN(T) {
+		return m.base.IntOneMinusFPow(T, b)
+	}
 	return cached(&m.mu, &m.pow, powKey{t: T, b: b}, func() float64 { return m.base.IntOneMinusFPow(T, b) })
 }
 
 func (m *memoModel) IntUOneMinusFPow(T float64, b int) float64 {
+	if math.IsNaN(T) {
+		return m.base.IntUOneMinusFPow(T, b)
+	}
 	return cached(&m.mu, &m.upow, powKey{t: T, b: b}, func() float64 { return m.base.IntUOneMinusFPow(T, b) })
 }
 
 func (m *memoModel) IntProdOneMinusF(T, shift float64) float64 {
+	if math.IsNaN(T) || math.IsNaN(shift) {
+		return m.base.IntProdOneMinusF(T, shift)
+	}
 	return cached(&m.mu, &m.prod, prodKey{t: T, shift: shift}, func() float64 { return m.base.IntProdOneMinusF(T, shift) })
 }
 
 func (m *memoModel) IntUProdOneMinusF(T, shift float64) float64 {
+	if math.IsNaN(T) || math.IsNaN(shift) {
+		return m.base.IntUProdOneMinusF(T, shift)
+	}
 	return cached(&m.mu, &m.uprod, prodKey{t: T, shift: shift}, func() float64 { return m.base.IntUProdOneMinusF(T, shift) })
 }
 
 // cached is the memoModel lookup-or-compute step: the value is
 // computed outside the lock (duplicate concurrent computes are benign
 // — the integrals are pure), and a full cache hitting memoLimit is
-// reset wholesale.
+// reset wholesale. Callers must keep NaN out of k (see memoModel);
+// this is the cache boundary the parallel grid scans hammer
+// concurrently, so it must stay correct under -race.
 func cached[K comparable](mu *sync.Mutex, slot *map[K]float64, k K, compute func() float64) float64 {
 	mu.Lock()
 	if v, ok := (*slot)[k]; ok {

@@ -63,7 +63,10 @@ func sameRecommendation(a, b Recommendation) bool {
 // identical answers.
 func TestPlannerRecommendMatchesLegacyOnPaperDatasets(t *testing.T) {
 	specs := PaperDatasets()
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
+		// The full 12-dataset sweep dominates the race build's runtime
+		// without adding race coverage (the loop is sequential); three
+		// datasets keep the pinning meaningful there.
 		specs = specs[:3]
 	}
 	for _, spec := range specs {

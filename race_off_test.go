@@ -1,0 +1,9 @@
+//go:build !race
+
+package gridstrat
+
+// raceEnabled reports whether the race detector is compiled in. The
+// race build trades coverage breadth for time on the heaviest tests
+// (the per-dataset pinning loop) so `go test -race ./...` fits the
+// default per-package timeout; the full breadth runs without -race.
+const raceEnabled = false

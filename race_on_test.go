@@ -1,0 +1,6 @@
+//go:build race
+
+package gridstrat
+
+// See race_off_test.go.
+const raceEnabled = true

@@ -49,8 +49,8 @@ type StrategyParams struct {
 // all concrete types; the Planner threads its context through it.
 type ctxStrategy interface {
 	Strategy
-	optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluation, error)
-	simulateCtx(ctx context.Context, m Model, runs int, rng Rand) (SimResult, error)
+	optimizeCtx(ctx context.Context, m Model, workers int) (Strategy, Evaluation, error)
+	simulateCtx(ctx context.Context, m Model, runs int, rng Rand, workers int) (SimResult, error)
 }
 
 var errNilRand = errors.New("gridstrat: nil random source (use rand.New or Planner's WithRand)")
@@ -102,11 +102,11 @@ func (s Single) CDF(m Model) func(float64) float64 {
 
 // Optimize minimizes EJ over the timeout (the paper's Eq. 1 optimum).
 func (s Single) Optimize(m Model) (Strategy, Evaluation, error) {
-	return s.optimizeCtx(context.Background(), m)
+	return s.optimizeCtx(context.Background(), m, 1)
 }
 
-func (s Single) optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluation, error) {
-	tInf, ev, err := core.OptimizeSingleCtx(ctx, m)
+func (s Single) optimizeCtx(ctx context.Context, m Model, workers int) (Strategy, Evaluation, error) {
+	tInf, ev, err := core.OptimizeSingleCtx(ctx, m, workers)
 	if err != nil {
 		return nil, Evaluation{}, err
 	}
@@ -115,17 +115,17 @@ func (s Single) optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluation,
 
 // Simulate replays the strategy against sampled latencies.
 func (s Single) Simulate(m Model, runs int, rng Rand) (SimResult, error) {
-	return s.simulateCtx(context.Background(), m, runs, rng)
+	return s.simulateCtx(context.Background(), m, runs, rng, 1)
 }
 
-func (s Single) simulateCtx(ctx context.Context, m Model, runs int, rng Rand) (SimResult, error) {
+func (s Single) simulateCtx(ctx context.Context, m Model, runs int, rng Rand, workers int) (SimResult, error) {
 	if rng == nil {
 		return SimResult{}, errNilRand
 	}
 	if err := s.validate(); err != nil {
 		return SimResult{}, err
 	}
-	return core.SimulateSingleCtx(ctx, m, s.TInf, runs, rng)
+	return core.SimulateSingleCtx(ctx, m, s.TInf, runs, rng, workers)
 }
 
 // --- Multiple submission (paper §5) ---
@@ -181,11 +181,11 @@ func (s Multiple) CDF(m Model) func(float64) float64 {
 // Optimize minimizes EJ over the timeout for the fixed collection
 // size B.
 func (s Multiple) Optimize(m Model) (Strategy, Evaluation, error) {
-	return s.optimizeCtx(context.Background(), m)
+	return s.optimizeCtx(context.Background(), m, 1)
 }
 
-func (s Multiple) optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluation, error) {
-	tInf, ev, err := core.OptimizeMultipleCtx(ctx, m, s.B)
+func (s Multiple) optimizeCtx(ctx context.Context, m Model, workers int) (Strategy, Evaluation, error) {
+	tInf, ev, err := core.OptimizeMultipleCtx(ctx, m, s.B, workers)
 	if err != nil {
 		return nil, Evaluation{}, err
 	}
@@ -194,17 +194,17 @@ func (s Multiple) optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluatio
 
 // Simulate replays the strategy against sampled latencies.
 func (s Multiple) Simulate(m Model, runs int, rng Rand) (SimResult, error) {
-	return s.simulateCtx(context.Background(), m, runs, rng)
+	return s.simulateCtx(context.Background(), m, runs, rng, 1)
 }
 
-func (s Multiple) simulateCtx(ctx context.Context, m Model, runs int, rng Rand) (SimResult, error) {
+func (s Multiple) simulateCtx(ctx context.Context, m Model, runs int, rng Rand, workers int) (SimResult, error) {
 	if rng == nil {
 		return SimResult{}, errNilRand
 	}
 	if err := s.validate(); err != nil {
 		return SimResult{}, err
 	}
-	return core.SimulateMultipleCtx(ctx, m, s.B, s.TInf, runs, rng)
+	return core.SimulateMultipleCtx(ctx, m, s.B, s.TInf, runs, rng, workers)
 }
 
 // --- Delayed resubmission (paper §6) ---
@@ -249,11 +249,11 @@ func (s Delayed) CDF(m Model) func(float64) float64 {
 // Optimize minimizes the exact EJ over (t0, t∞) subject to
 // t0 < t∞ <= 2·t0.
 func (s Delayed) Optimize(m Model) (Strategy, Evaluation, error) {
-	return s.optimizeCtx(context.Background(), m)
+	return s.optimizeCtx(context.Background(), m, 1)
 }
 
-func (s Delayed) optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluation, error) {
-	p, ev, err := core.OptimizeDelayedCtx(ctx, m)
+func (s Delayed) optimizeCtx(ctx context.Context, m Model, workers int) (Strategy, Evaluation, error) {
+	p, ev, err := core.OptimizeDelayedCtx(ctx, m, workers)
 	if err != nil {
 		return nil, Evaluation{}, err
 	}
@@ -262,14 +262,14 @@ func (s Delayed) optimizeCtx(ctx context.Context, m Model) (Strategy, Evaluation
 
 // Simulate replays the strategy against sampled latencies.
 func (s Delayed) Simulate(m Model, runs int, rng Rand) (SimResult, error) {
-	return s.simulateCtx(context.Background(), m, runs, rng)
+	return s.simulateCtx(context.Background(), m, runs, rng, 1)
 }
 
-func (s Delayed) simulateCtx(ctx context.Context, m Model, runs int, rng Rand) (SimResult, error) {
+func (s Delayed) simulateCtx(ctx context.Context, m Model, runs int, rng Rand, workers int) (SimResult, error) {
 	if rng == nil {
 		return SimResult{}, errNilRand
 	}
-	return core.SimulateDelayedCtx(ctx, m, s.DelayedParams(), runs, rng)
+	return core.SimulateDelayedCtx(ctx, m, s.DelayedParams(), runs, rng, workers)
 }
 
 // Strategies returns one un-tuned strategy per family — the natural
