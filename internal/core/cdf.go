@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+
+	"gridstrat/internal/stats"
 )
 
 // SingleCDF returns the distribution function of the total latency J
@@ -19,16 +21,28 @@ func MultipleCDF(m Model, b int, tInf float64) func(t float64) float64 {
 	if b < 1 {
 		return nil
 	}
-	q := math.Pow(1-m.Ftilde(tInf), float64(b))
+	q := stats.PowInt(1-m.Ftilde(tInf), b)
 	return func(t float64) float64 {
 		if t <= 0 {
 			return 0
 		}
 		k := math.Floor(t / tInf)
 		u := t - k*tInf
-		survivalRound := math.Pow(1-m.Ftilde(u), float64(b))
-		return 1 - math.Pow(q, k)*survivalRound
+		survivalRound := stats.PowInt(1-m.Ftilde(u), b)
+		return 1 - powFloorExp(q, k)*survivalRound
 	}
+}
+
+// powFloorExp raises q to a non-negative integer-valued float exponent
+// (the output of math.Floor): integer fast exponentiation when the
+// exponent safely fits the platform int (half of MaxInt — 2⁶² on
+// 64-bit, 2³⁰ on 32-bit), math.Pow beyond — an out-of-range float→int
+// conversion is implementation-defined and must not reach PowInt.
+func powFloorExp(q, e float64) float64 {
+	if e < float64(math.MaxInt>>1) {
+		return stats.PowInt(q, int(e))
+	}
+	return math.Pow(q, e)
 }
 
 // DelayedCDF returns the distribution function of J under the delayed
@@ -56,7 +70,7 @@ func ExpectedMax(cdf func(float64) float64, n int, hint float64) float64 {
 		hint = 1
 	}
 	integrand := func(t float64) float64 {
-		return 1 - math.Pow(cdf(t), float64(n))
+		return 1 - stats.PowInt(cdf(t), n)
 	}
 	// Find the effective support.
 	hi := hint

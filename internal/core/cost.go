@@ -98,7 +98,30 @@ func (c *CostContext) OptimizeDelayedCostCtx(ctx context.Context, workers int) (
 		}
 		return c.Delta(ej, nParallelExpectedCells(c.Model, p, costScanCells))
 	}
-	r := optimize.MinimizeRobust2DPar(obj, ub*1e-3, ub/2, 1.0005, 2.0, workers)
+	var r optimize.Result2D
+	if bi, ok := c.Model.(BatchIntegrals); ok {
+		// Row-sweep mode: the row's EJ values come from one kernel
+		// sweep; the N‖ expectation stays per-cell (its integrand is
+		// the survival series, not an ECDF integral) but skips the
+		// cells the sweep already proved infeasible.
+		frow := func(t0 float64, ratios []float64) []float64 {
+			if ctx.Err() != nil {
+				return infSlice(len(ratios))
+			}
+			ejs := ejDelayedRow(c.Model, bi, t0, ratios)
+			for i, ratio := range ratios {
+				if math.IsInf(ejs[i], 1) {
+					continue
+				}
+				p := DelayedParams{T0: t0, TInf: ratio * t0}
+				ejs[i] = c.Delta(ejs[i], nParallelExpectedCells(c.Model, p, costScanCells))
+			}
+			return ejs
+		}
+		r = optimize.MinimizeRobust2DSweep(obj, frow, ub*1e-3, ub/2, 1.0005, 2.0, workers)
+	} else {
+		r = optimize.MinimizeRobust2DPar(obj, ub*1e-3, ub/2, 1.0005, 2.0, workers)
+	}
 	if err := ctx.Err(); err != nil {
 		return CostResult{}, err
 	}
@@ -158,7 +181,7 @@ func nParallelExpectedCells(m Model, p DelayedParams, cells int) float64 {
 		base := float64(j) * p.T0
 		for i := 1; i <= cells; i++ {
 			t := base + float64(i)*h
-			gt := DelayedSurvival(m, p, t)
+			gt := delayedSurvivalQ(m, p, q, t)
 			if mass := prevG - gt; mass > 0 {
 				sum += mass * NParallelGivenLatency(t-h/2, p)
 			}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"gridstrat/internal/optimize"
+	"gridstrat/internal/stats"
 )
 
 // DelayedParams are the two knobs of the delayed-resubmission strategy
@@ -51,19 +52,34 @@ func DelayedSurvival(m Model, p DelayedParams, t float64) float64 {
 	if t <= 0 {
 		return 1
 	}
-	j := int(math.Floor(t / p.T0)) // interval index: t ∈ [j·T0, (j+1)·T0)
-	if j == 0 {
+	if t < p.T0 { // interval 0: one copy, q never needed
 		return 1 - m.Ftilde(t)
 	}
-	q := 1 - m.Ftilde(p.TInf)
-	u := t - float64(j)*p.T0
+	return delayedSurvivalQ(m, p, 1-m.Ftilde(p.TInf), t)
+}
+
+// delayedSurvivalQ is DelayedSurvival with the per-round survival
+// probability q = 1 - F̃R(t∞) precomputed — the inner loops of
+// ExpectDelayed and nParallelExpectedCells evaluate the survival
+// function thousands of times per (t0, t∞) pair and q is constant
+// across all of them. Integer fast exponentiation replaces
+// math.Pow(q, j).
+func delayedSurvivalQ(m Model, p DelayedParams, q, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	jf := math.Floor(t / p.T0) // interval index: t ∈ [j·T0, (j+1)·T0)
+	if jf == 0 {
+		return 1 - m.Ftilde(t)
+	}
+	u := t - jf*p.T0
 	if u < p.TInf-p.T0 {
 		// Copies j and j+1 are both racing.
-		return math.Pow(q, float64(j-1)) *
+		return powFloorExp(q, jf-1) *
 			(1 - m.Ftilde(u+p.T0)) * (1 - m.Ftilde(u))
 	}
 	// Copy j was canceled at (j-1)·T0 + TInf; only copy j+1 races.
-	return math.Pow(q, float64(j)) * (1 - m.Ftilde(u))
+	return powFloorExp(q, jf) * (1 - m.Ftilde(u))
 }
 
 // delayedMoments returns E[J] and E[J²] of the delayed strategy in
@@ -86,14 +102,107 @@ func delayedMoments(m Model, p DelayedParams) (ej, ej2 float64) {
 
 	ia := m.IntOneMinusFPow(t0, 1)
 	ia2 := m.IntUOneMinusFPow(t0, 1)
-	c := m.IntProdOneMinusF(w, t0)
-	cu := m.IntUProdOneMinusF(w, t0)
+	var c, cu float64
+	if pb, ok := m.(ProdBothIntegrals); ok {
+		c, cu = pb.IntProdBothOneMinusF(w, t0) // both cross terms, one walk
+	} else {
+		c = m.IntProdOneMinusF(w, t0)
+		cu = m.IntUProdOneMinusF(w, t0)
+	}
 	d := ia - m.IntOneMinusFPow(w, 1)
 	du := ia2 - m.IntUOneMinusFPow(w, 1)
 
 	ej = ia + (c+q*d)/(1-q)
 	ej2 = 2 * (ia2 + (cu+q*du)/(1-q) + t0*(c+q*d)/((1-q)*(1-q)))
 	return ej, ej2
+}
+
+// ejDelayedRow evaluates EJDelayed across one row of the (t0, ratio)
+// surface — fixed t0, ascending ratio grid — through the batch
+// kernels: the per-row integrals at t0 are computed once, the
+// w = t∞ - t0 integrals are answered by one prefix-kernel sweep, and
+// both cross terms come from a single merged walk sharing the row's
+// shift = t0. Values are identical to per-cell EJDelayed calls.
+func ejDelayedRow(m Model, bi BatchIntegrals, t0 float64, ratios []float64) []float64 {
+	out := make([]float64, len(ratios))
+	if !(t0 > 0) {
+		return infSlice(len(ratios))
+	}
+	ws := make([]float64, len(ratios))
+	ascending := true
+	for i, r := range ratios {
+		// Same expression as the scalar path: w = TInf - T0 with
+		// TInf = ratio·t0.
+		ws[i] = r*t0 - t0
+		if i > 0 && ws[i] < ws[i-1] {
+			ascending = false
+		}
+	}
+	if !ascending {
+		// Float rounding produced a non-monotone w grid (ratios are
+		// ascending, so this is a rounding edge case): keep exactness
+		// by evaluating cell by cell.
+		for i, r := range ratios {
+			out[i] = EJDelayed(m, DelayedParams{T0: t0, TInf: r * t0})
+		}
+		return out
+	}
+	ia := m.IntOneMinusFPow(t0, 1)
+	iw := bi.IntOneMinusFPowBatch(ws, 1)
+	cs, _ := bi.IntProdBothBatch(ws, t0)
+	for i, r := range ratios {
+		p := DelayedParams{T0: t0, TInf: r * t0}
+		if p.Validate() != nil {
+			out[i] = math.Inf(1)
+			continue
+		}
+		q := 1 - m.Ftilde(p.TInf)
+		if q >= 1 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		d := ia - iw[i]
+		out[i] = ia + (cs[i]+q*d)/(1-q)
+	}
+	return out
+}
+
+// ejDelayedRatioBatch evaluates EJDelayed along an ascending t0 grid
+// with t∞ = ratio·t0 fixed (the §6.2 per-ratio scan). The shift of the
+// cross term varies per point, so only the pow-integrals batch; each
+// cross term is one windowed walk over [0, w] — already proportional
+// to the window, not the support. Values are identical to per-point
+// EJDelayed calls.
+func ejDelayedRatioBatch(m Model, bi BatchIntegrals, ratio float64, t0s []float64) []float64 {
+	out := make([]float64, len(t0s))
+	ws := make([]float64, len(t0s))
+	for i, t0 := range t0s {
+		ws[i] = ratio*t0 - t0
+	}
+	ia := bi.IntOneMinusFPowBatch(t0s, 1)
+	iw := bi.IntOneMinusFPowBatch(ws, 1)
+	pb, hasProdBoth := m.(ProdBothIntegrals)
+	for i, t0 := range t0s {
+		p := DelayedParams{T0: t0, TInf: ratio * t0}
+		if p.Validate() != nil {
+			out[i] = math.Inf(1)
+			continue
+		}
+		q := 1 - m.Ftilde(p.TInf)
+		if q >= 1 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		var c float64
+		if hasProdBoth {
+			c, _ = pb.IntProdBothOneMinusF(ws[i], t0)
+		} else {
+			c = m.IntProdOneMinusF(ws[i], t0)
+		}
+		d := ia[i] - iw[i]
+		out[i] = ia[i] + (c+q*d)/(1-q)
+	}
+	return out
 }
 
 // EJDelayed returns the exact expected total latency of the delayed
@@ -174,7 +283,7 @@ func ExpectDelayed(m Model, p DelayedParams, g func(l float64) float64) float64 
 		base := float64(j) * p.T0
 		for i := 1; i <= delayedExpectCells; i++ {
 			t := base + float64(i)*h
-			gt := DelayedSurvival(m, p, t)
+			gt := delayedSurvivalQ(m, p, q, t)
 			mass := prevG - gt
 			if mass > 0 {
 				sum += mass * g(t-h/2)
@@ -254,7 +363,7 @@ func EJDelayedPaper(m Model, p DelayedParams) float64 {
 	base := ft0 // FJ at n·t0 for n=1
 	for n := 1; ; n++ {
 		fn := float64(n)
-		qn1 := math.Pow(q, fn-1)
+		qn1 := stats.PowInt(q, n-1)
 
 		// I0_n = [n·t0, (n-1)·t0 + tInf].
 		a0, b0 := fn*t0, (fn-1)*t0+tInf
@@ -333,7 +442,19 @@ func OptimizeDelayedCtx(ctx context.Context, m Model, workers int) (DelayedParam
 		}
 		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
 	}
-	r := optimize.MinimizeRobust2DPar(obj, ub*1e-3, ub/2, 1.0005, 2.0, workers)
+	var r optimize.Result2D
+	if bi, ok := m.(BatchIntegrals); ok {
+		// Row-sweep mode: one kernel sweep per grid row (fixed t0).
+		frow := func(t0 float64, ratios []float64) []float64 {
+			if ctx.Err() != nil {
+				return infSlice(len(ratios))
+			}
+			return ejDelayedRow(m, bi, t0, ratios)
+		}
+		r = optimize.MinimizeRobust2DSweep(obj, frow, ub*1e-3, ub/2, 1.0005, 2.0, workers)
+	} else {
+		r = optimize.MinimizeRobust2DPar(obj, ub*1e-3, ub/2, 1.0005, 2.0, workers)
+	}
 	if err := ctx.Err(); err != nil {
 		return DelayedParams{}, Evaluation{}, err
 	}
@@ -375,13 +496,24 @@ func OptimizeDelayedRatioCtx(ctx context.Context, m Model, ratio float64, worker
 		return DelayedParams{}, Evaluation{}, fmt.Errorf("core: delayed ratio must be in (1, 2], got %v", ratio)
 	}
 	ub := m.UpperBound()
-	obj := func(t0 float64) float64 {
-		if ctx.Err() != nil {
-			return math.Inf(1)
+	var r optimize.Result1D
+	if bi, ok := m.(BatchIntegrals); ok {
+		fb := func(t0s []float64) []float64 {
+			if ctx.Err() != nil {
+				return infSlice(len(t0s))
+			}
+			return ejDelayedRatioBatch(m, bi, ratio, t0s)
 		}
-		return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
+		r = optimize.GridScan1DSweep(fb, ub*1e-3, ub/2, 400, 4, workers)
+	} else {
+		obj := func(t0 float64) float64 {
+			if ctx.Err() != nil {
+				return math.Inf(1)
+			}
+			return EJDelayed(m, DelayedParams{T0: t0, TInf: ratio * t0})
+		}
+		r = optimize.GridScan1DPar(obj, ub*1e-3, ub/2, 400, 4, workers)
 	}
-	r := optimize.GridScan1DPar(obj, ub*1e-3, ub/2, 400, 4, workers)
 	if err := ctx.Err(); err != nil {
 		return DelayedParams{}, Evaluation{}, err
 	}

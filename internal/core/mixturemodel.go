@@ -87,7 +87,7 @@ func (m *MixtureModel) IntOneMinusFPow(T float64, b int) float64 {
 		}
 		return sum
 	}
-	f := func(u float64) float64 { return math.Pow(1-m.Ftilde(u), float64(b)) }
+	f := func(u float64) float64 { return stats.PowInt(1-m.Ftilde(u), b) }
 	return chunkedAdaptive(f, T, 1e-10*T)
 }
 
@@ -103,7 +103,7 @@ func (m *MixtureModel) IntUOneMinusFPow(T float64, b int) float64 {
 		}
 		return sum
 	}
-	f := func(u float64) float64 { return u * math.Pow(1-m.Ftilde(u), float64(b)) }
+	f := func(u float64) float64 { return u * stats.PowInt(1-m.Ftilde(u), b) }
 	return chunkedAdaptive(f, T, 1e-10*T*T)
 }
 

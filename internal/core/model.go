@@ -67,6 +67,33 @@ type Model interface {
 	Sample(rng *rand.Rand) float64
 }
 
+// BatchIntegrals is an optional Model extension the grid-scan
+// optimizers detect with a type assertion: a model that can answer a
+// whole ascending grid of integral queries in one sweep (the ECDF
+// prefix-sum kernels answer G queries in O(n + G) instead of G
+// separate O(n) walks). Batch results must be identical — bit for bit
+// — to the corresponding scalar methods at every entry, so detecting
+// the extension is purely a wall-clock optimization and never changes
+// an optimizer's answer.
+type BatchIntegrals interface {
+	// IntOneMinusFPowBatch returns ∫₀ᵀ (1-F̃R(u))^b du for every T in Ts
+	// (ascending for the swept path).
+	IntOneMinusFPowBatch(Ts []float64, b int) []float64
+	// IntUOneMinusFPowBatch returns ∫₀ᵀ u·(1-F̃R(u))^b du for every T.
+	IntUOneMinusFPowBatch(Ts []float64, b int) []float64
+	// IntProdBothBatch returns both delayed cross terms for every T in
+	// Ts at a single shared shift — one merged walk for a whole grid
+	// row of the (t0, t∞) surface.
+	IntProdBothBatch(Ts []float64, shift float64) (plain, uweighted []float64)
+}
+
+// ProdBothIntegrals is an optional Model extension: both delayed
+// cross-term integrals from one merged walk. delayedMoments detects it
+// to halve its walk count; results must equal the two scalar methods.
+type ProdBothIntegrals interface {
+	IntProdBothOneMinusF(T, shift float64) (plain, uweighted float64)
+}
+
 // --- Empirical model ---
 
 // EmpiricalModel is the exact trace-driven Model: FR is the ECDF of
@@ -125,6 +152,29 @@ func (m *EmpiricalModel) IntUProdOneMinusF(T, shift float64) float64 {
 	return m.ecdf.IntegralUProdOneMinusF(T, shift, 1-m.rho)
 }
 
+// IntOneMinusFPowBatch implements BatchIntegrals over the ECDF
+// prefix-sum kernel.
+func (m *EmpiricalModel) IntOneMinusFPowBatch(Ts []float64, b int) []float64 {
+	return m.ecdf.IntegralOneMinusFPowBatch(Ts, 1-m.rho, b)
+}
+
+// IntUOneMinusFPowBatch implements BatchIntegrals.
+func (m *EmpiricalModel) IntUOneMinusFPowBatch(Ts []float64, b int) []float64 {
+	return m.ecdf.IntegralUOneMinusFPowBatch(Ts, 1-m.rho, b)
+}
+
+// IntProdBothBatch implements BatchIntegrals: one merged walk answers
+// both cross terms for a whole sorted grid sharing one shift.
+func (m *EmpiricalModel) IntProdBothBatch(Ts []float64, shift float64) (plain, uweighted []float64) {
+	return m.ecdf.IntegralProdBothBatch(Ts, shift, 1-m.rho)
+}
+
+// IntProdBothOneMinusF implements ProdBothIntegrals: both cross terms
+// from one walk.
+func (m *EmpiricalModel) IntProdBothOneMinusF(T, shift float64) (plain, uweighted float64) {
+	return m.ecdf.IntegralProdBoth(T, shift, 1-m.rho)
+}
+
 func (m *EmpiricalModel) Sample(rng *rand.Rand) float64 {
 	if rng.Float64() < m.rho {
 		return Inf
@@ -176,7 +226,7 @@ func (m *ParametricModel) IntOneMinusFPow(T float64, b int) float64 {
 		return 0
 	}
 	f := func(u float64) float64 {
-		return math.Pow(1-m.Ftilde(u), float64(b))
+		return stats.PowInt(1-m.Ftilde(u), b)
 	}
 	return chunkedAdaptive(f, T, 1e-10*T)
 }
@@ -186,7 +236,7 @@ func (m *ParametricModel) IntUOneMinusFPow(T float64, b int) float64 {
 		return 0
 	}
 	f := func(u float64) float64 {
-		return u * math.Pow(1-m.Ftilde(u), float64(b))
+		return u * stats.PowInt(1-m.Ftilde(u), b)
 	}
 	return chunkedAdaptive(f, T, 1e-10*T*T)
 }

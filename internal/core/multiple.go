@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"gridstrat/internal/stats"
 )
 
 // EJMultiple evaluates Eq. 3: the expected total latency of the
@@ -20,11 +22,32 @@ func EJMultiple(m Model, b int, tInf float64) float64 {
 	if b < 1 || tInf <= 0 {
 		return math.Inf(1)
 	}
-	success := 1 - math.Pow(1-m.Ftilde(tInf), float64(b))
+	success := 1 - stats.PowInt(1-m.Ftilde(tInf), b)
 	if success <= 0 {
 		return math.Inf(1)
 	}
 	return m.IntOneMinusFPow(tInf, b) / success
+}
+
+// ejMultipleBatch evaluates EJMultiple over an ascending timeout grid
+// through the model's batch kernels: one O(n+G) integral sweep instead
+// of G O(n) walks. Values are identical to per-point EJMultiple calls.
+func ejMultipleBatch(m Model, bi BatchIntegrals, b int, ts []float64) []float64 {
+	ints := bi.IntOneMinusFPowBatch(ts, b)
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		if t <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		success := 1 - stats.PowInt(1-m.Ftilde(t), b)
+		if success <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = ints[i] / success
+	}
+	return out
 }
 
 // SigmaMultiple evaluates Eq. 4: the standard deviation of the total
@@ -34,7 +57,7 @@ func SigmaMultiple(m Model, b int, tInf float64) float64 {
 	if b < 1 || tInf <= 0 {
 		return math.Inf(1)
 	}
-	qb := math.Pow(1-m.Ftilde(tInf), float64(b))
+	qb := stats.PowInt(1-m.Ftilde(tInf), b)
 	success := 1 - qb
 	if success <= 0 {
 		return math.Inf(1)
@@ -73,7 +96,11 @@ func OptimizeMultipleCtx(ctx context.Context, m Model, b int, workers int) (floa
 	if err := ValidateB(b); err != nil {
 		return 0, Evaluation{}, err
 	}
-	r, err := optimizeTimeout(ctx, m, func(t float64) float64 { return EJMultiple(m, b, t) }, workers)
+	var evalBatch func(ts []float64) []float64
+	if bi, ok := m.(BatchIntegrals); ok {
+		evalBatch = func(ts []float64) []float64 { return ejMultipleBatch(m, bi, b, ts) }
+	}
+	r, err := optimizeTimeout(ctx, m, func(t float64) float64 { return EJMultiple(m, b, t) }, evalBatch, workers)
 	if err != nil {
 		return 0, Evaluation{}, err
 	}
@@ -92,10 +119,16 @@ func MultipleCurve(m Model, b int, hi float64, n int) (timeouts, ej []float64) {
 		panic(fmt.Sprintf("core: invalid curve spec hi=%v n=%d", hi, n))
 	}
 	timeouts = make([]float64, n)
-	ej = make([]float64, n)
 	for i := 0; i < n; i++ {
-		t := hi * float64(i+1) / float64(n)
-		timeouts[i] = t
+		timeouts[i] = hi * float64(i+1) / float64(n)
+	}
+	// The curve grid is ascending, so a batch-capable model tabulates
+	// the whole figure in one integral sweep.
+	if bi, ok := m.(BatchIntegrals); ok {
+		return timeouts, ejMultipleBatch(m, bi, b, timeouts)
+	}
+	ej = make([]float64, n)
+	for i, t := range timeouts {
 		ej[i] = EJMultiple(m, b, t)
 	}
 	return timeouts, ej

@@ -261,6 +261,66 @@ func GridScan1DPar(f func(float64) float64, a, b float64, n, refine, workers int
 	return Result1D{X: bestX, F: bestF, Evals: evals}
 }
 
+// GridScan1DSweep is GridScan1D in sorted-query sweep mode: instead of
+// one objective call per grid point, each refinement round hands the
+// whole ascending grid to fb in contiguous chunks (one chunk per
+// worker), so batch-capable objectives — the ECDF prefix-sum kernels —
+// can answer a round in one O(n + G) sweep. fb must be pointwise
+// (fb(xs)[i] depends only on xs[i]) and, with workers != 1, safe for
+// concurrent calls; under those contracts the returned result is
+// bit-identical to GridScan1DPar over the equivalent scalar objective
+// at every worker count.
+func GridScan1DSweep(fb func(xs []float64) []float64, a, b float64, n, refine, workers int) Result1D {
+	if !(a < b) || n < 2 {
+		panic(fmt.Sprintf("optimize: invalid grid scan [%v, %v] n=%d", a, b, n))
+	}
+	workers = Workers(workers)
+	evals := 0
+	bestX, bestF := a, math.Inf(1)
+	lo, hi := a, b
+	grid := make([]float64, n+1)
+	vals := make([]float64, n+1)
+	for round := 0; round <= refine; round++ {
+		h := (hi - lo) / float64(n)
+		for i := 0; i <= n; i++ {
+			grid[i] = lo + float64(i)*h
+		}
+		chunks := workers
+		if chunks > n+1 {
+			chunks = n + 1
+		}
+		if chunks <= 1 {
+			copy(vals, fb(grid))
+		} else {
+			per := (n + chunks) / chunks // ⌈(n+1)/chunks⌉
+			ParallelFor(chunks, chunks, func(w int) {
+				loI := w * per
+				hiI := loI + per
+				if hiI > n+1 {
+					hiI = n + 1
+				}
+				if loI >= hiI {
+					return
+				}
+				copy(vals[loI:hiI], fb(grid[loI:hiI]))
+			})
+		}
+		evals += n + 1
+		for i := 0; i <= n; i++ {
+			x := lo + float64(i)*h
+			if v := vals[i]; v < bestF || (v == bestF && x < bestX) {
+				bestX, bestF = x, v
+			}
+		}
+		lo = math.Max(a, bestX-h)
+		hi = math.Min(b, bestX+h)
+		if hi <= lo {
+			break
+		}
+	}
+	return Result1D{X: bestX, F: bestF, Evals: evals}
+}
+
 // GridScan2D minimizes f over the rectangle [ax, bx] × [ay, by] with
 // an (nx+1) × (ny+1) scan refined `refine` times around the incumbent.
 func GridScan2D(f func(x, y float64) float64, ax, bx, ay, by float64, nx, ny, refine int) Result2D {
@@ -288,6 +348,55 @@ func GridScan2DPar(f func(x, y float64) float64, ax, bx, ay, by float64, nx, ny,
 			for j := 0; j <= ny; j++ {
 				vals[i*(ny+1)+j] = f(x, loy+float64(j)*hy)
 			}
+		})
+		evals += (nx + 1) * (ny + 1)
+		for i := 0; i <= nx; i++ {
+			for j := 0; j <= ny; j++ {
+				if v := vals[i*(ny+1)+j]; v < bestF {
+					bestX, bestY, bestF = lox+float64(i)*hx, loy+float64(j)*hy, v
+				}
+			}
+		}
+		lox = math.Max(ax, bestX-hx)
+		hix = math.Min(bx, bestX+hx)
+		loy = math.Max(ay, bestY-hy)
+		hiy = math.Min(by, bestY+hy)
+		if hix <= lox || hiy <= loy {
+			break
+		}
+	}
+	return Result2D{X: bestX, Y: bestY, F: bestF, Evals: evals}
+}
+
+// GridScan2DSweep is GridScan2D in row-sweep mode: each grid row
+// (fixed x, the full ascending y grid) is answered by one frow call,
+// and rows fan across up to `workers` goroutines. This is the natural
+// shape for the delayed-resubmission surface, where a whole row shares
+// one shift = t0 and the ECDF cross-term kernel can answer the row in
+// a single merged walk. frow must be pointwise per row (result j
+// depends only on (x, ys[j])), must not retain or modify ys, and must
+// be safe for concurrent calls when workers != 1; the reduction is the
+// same sequential row-major pass as GridScan2DPar, so results are
+// bit-identical to it over the equivalent scalar objective at every
+// worker count.
+func GridScan2DSweep(frow func(x float64, ys []float64) []float64, ax, bx, ay, by float64, nx, ny, refine, workers int) Result2D {
+	if !(ax < bx) || !(ay < by) || nx < 2 || ny < 2 {
+		panic(fmt.Sprintf("optimize: invalid 2D grid scan [%v,%v]x[%v,%v]", ax, bx, ay, by))
+	}
+	workers = Workers(workers)
+	evals := 0
+	bestX, bestY, bestF := ax, ay, math.Inf(1)
+	lox, hix, loy, hiy := ax, bx, ay, by
+	ys := make([]float64, ny+1)
+	vals := make([]float64, (nx+1)*(ny+1))
+	for round := 0; round <= refine; round++ {
+		hx := (hix - lox) / float64(nx)
+		hy := (hiy - loy) / float64(ny)
+		for j := 0; j <= ny; j++ {
+			ys[j] = loy + float64(j)*hy
+		}
+		ParallelFor(nx+1, workers, func(i int) {
+			copy(vals[i*(ny+1):(i+1)*(ny+1)], frow(lox+float64(i)*hx, ys))
 		})
 		evals += (nx + 1) * (ny + 1)
 		for i := 0; i <= nx; i++ {
@@ -417,6 +526,21 @@ func MinimizeRobust2D(f func(x, y float64) float64, ax, bx, ay, by float64) Resu
 // sequential, so results are bit-identical for every worker count.
 func MinimizeRobust2DPar(f func(x, y float64) float64, ax, bx, ay, by float64, workers int) Result2D {
 	coarse := GridScan2DPar(f, ax, bx, ay, by, 40, 40, 2, workers)
+	return robustPolish(f, coarse, ax, bx, ay, by)
+}
+
+// MinimizeRobust2DSweep is MinimizeRobust2D with the coarse scan in
+// row-sweep mode (see GridScan2DSweep) and the Nelder–Mead polish on
+// the scalar objective f. frow must agree pointwise with f; under that
+// contract the result is bit-identical to MinimizeRobust2DPar.
+func MinimizeRobust2DSweep(f func(x, y float64) float64, frow func(x float64, ys []float64) []float64, ax, bx, ay, by float64, workers int) Result2D {
+	coarse := GridScan2DSweep(frow, ax, bx, ay, by, 40, 40, 2, workers)
+	return robustPolish(f, coarse, ax, bx, ay, by)
+}
+
+// robustPolish runs the shared Nelder–Mead refinement step of the
+// MinimizeRobust2D family and keeps the better of scan and polish.
+func robustPolish(f func(x, y float64) float64, coarse Result2D, ax, bx, ay, by float64) Result2D {
 	scale := math.Max((bx-ax)/80, (by-ay)/80)
 	polish := NelderMead(f, coarse.X, coarse.Y, scale, 1e-9, 300)
 	polish.Evals += coarse.Evals

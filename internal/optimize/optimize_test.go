@@ -286,3 +286,95 @@ func BenchmarkNelderMead(b *testing.B) {
 		NelderMead(f, -1.2, 1, 0.5, 1e-12, 500)
 	}
 }
+
+// pointwiseWrap turns a scalar objective into the batch form the sweep
+// modes consume.
+func pointwiseWrap(f func(float64) float64) func(xs []float64) []float64 {
+	return func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = f(x)
+		}
+		return out
+	}
+}
+
+// TestGridScan1DSweepMatchesPar pins the sweep-mode contract: over a
+// pointwise batch objective, GridScan1DSweep returns exactly the
+// GridScan1DPar result at every worker count — including on a
+// multimodal objective with an +Inf plateau.
+func TestGridScan1DSweepMatchesPar(t *testing.T) {
+	objs := []func(float64) float64{
+		func(x float64) float64 { return (x - 3.7) * (x - 3.7) },
+		func(x float64) float64 { return math.Cos(3*x) + x/10 },
+		func(x float64) float64 {
+			if x < 1 {
+				return math.Inf(1)
+			}
+			return math.Sin(5*x) + (x-4)*(x-4)/10
+		},
+	}
+	for oi, f := range objs {
+		want := GridScan1DPar(f, 0, 10, 57, 3, 1)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := GridScan1DSweep(pointwiseWrap(f), 0, 10, 57, 3, workers)
+			if got.X != want.X || got.F != want.F || got.Evals != want.Evals {
+				t.Fatalf("obj %d workers %d: sweep %+v != par %+v", oi, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestGridScan2DSweepMatchesPar pins the 2D row-sweep contract against
+// GridScan2DPar, including the MinimizeRobust2DSweep composition.
+func TestGridScan2DSweepMatchesPar(t *testing.T) {
+	f := func(x, y float64) float64 {
+		if y > 2*x {
+			return math.Inf(1) // the delayed-constraint shape
+		}
+		return (x-3)*(x-3) + math.Abs(y-1.4) + math.Sin(x*y)/5
+	}
+	frow := func(x float64, ys []float64) []float64 {
+		out := make([]float64, len(ys))
+		for j, y := range ys {
+			out[j] = f(x, y)
+		}
+		return out
+	}
+	want := GridScan2DPar(f, 0.1, 8, 0.2, 2, 33, 21, 2, 1)
+	for _, workers := range []int{1, 2, 5} {
+		got := GridScan2DSweep(frow, 0.1, 8, 0.2, 2, 33, 21, 2, workers)
+		if got != want {
+			t.Fatalf("workers %d: 2D sweep %+v != par %+v", workers, got, want)
+		}
+	}
+	wantR := MinimizeRobust2DPar(f, 0.1, 8, 0.2, 2, 1)
+	for _, workers := range []int{1, 4} {
+		gotR := MinimizeRobust2DSweep(f, frow, 0.1, 8, 0.2, 2, workers)
+		if gotR != wantR {
+			t.Fatalf("workers %d: robust sweep %+v != par %+v", workers, gotR, wantR)
+		}
+	}
+}
+
+// TestGridScan1DSweepPanicsLikePar keeps the sweep's precondition
+// surface aligned with the scalar scans.
+func TestGridScan1DSweepPanicsLikePar(t *testing.T) {
+	for _, fn := range []func(){
+		func() { GridScan1DSweep(pointwiseWrap(func(x float64) float64 { return x }), 5, 1, 10, 1, 1) },
+		func() { GridScan1DSweep(pointwiseWrap(func(x float64) float64 { return x }), 0, 1, 1, 1, 1) },
+		func() {
+			GridScan2DSweep(func(x float64, ys []float64) []float64 { return make([]float64, len(ys)) },
+				1, 0, 0, 1, 10, 10, 1, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

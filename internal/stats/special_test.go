@@ -147,3 +147,23 @@ func TestNormalPDFIntegratesToCDF(t *testing.T) {
 		almostEq(t, got, NormalCDF(x), 1e-9, "pdf integral vs cdf")
 	}
 }
+
+func TestPowInt(t *testing.T) {
+	if PowInt(2, 10) != 1024 || PowInt(2, 0) != 1 || PowInt(0.5, -2) != 4 {
+		t.Fatal("PowInt basic values wrong")
+	}
+	for _, b := range []int{1, 2, 3, 5, 10, 17} {
+		got := PowInt(0.73, b)
+		want := math.Pow(0.73, float64(b))
+		if math.Abs(got-want) > 1e-15*want {
+			t.Fatalf("PowInt(0.73, %d) = %v, want %v", b, got, want)
+		}
+	}
+	// The overflowed-conversion sentinel must terminate, not recurse.
+	if got := PowInt(0.9, math.MinInt); got != math.Inf(1) {
+		t.Fatalf("PowInt(0.9, MinInt) = %v, want +Inf", got)
+	}
+	if got := PowInt(2, math.MinInt); got != 0 {
+		t.Fatalf("PowInt(2, MinInt) = %v, want 0", got)
+	}
+}

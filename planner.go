@@ -566,6 +566,60 @@ func (m *memoModel) IntUOneMinusFPow(T float64, b int) float64 {
 	return cached(&m.mu, &m.upow, powKey{t: T, b: b}, func() float64 { return m.base.IntUOneMinusFPow(T, b) })
 }
 
+// IntOneMinusFPowBatch implements core.BatchIntegrals so the swept
+// grid scans stay available behind the Planner's memo layer: a
+// batch-capable base model answers the whole ascending grid in one
+// kernel sweep (identical to the scalar values, so bypassing the memo
+// maps is safe); any other base model falls back to the memoized
+// scalar method per point, keeping the memoization guarantees of
+// repeated Planner queries intact.
+func (m *memoModel) IntOneMinusFPowBatch(Ts []float64, b int) []float64 {
+	if bi, ok := m.base.(core.BatchIntegrals); ok {
+		return bi.IntOneMinusFPowBatch(Ts, b)
+	}
+	out := make([]float64, len(Ts))
+	for i, t := range Ts {
+		out[i] = m.IntOneMinusFPow(t, b)
+	}
+	return out
+}
+
+// IntUOneMinusFPowBatch implements core.BatchIntegrals (see
+// IntOneMinusFPowBatch).
+func (m *memoModel) IntUOneMinusFPowBatch(Ts []float64, b int) []float64 {
+	if bi, ok := m.base.(core.BatchIntegrals); ok {
+		return bi.IntUOneMinusFPowBatch(Ts, b)
+	}
+	out := make([]float64, len(Ts))
+	for i, t := range Ts {
+		out[i] = m.IntUOneMinusFPow(t, b)
+	}
+	return out
+}
+
+// IntProdBothBatch implements core.BatchIntegrals (see
+// IntOneMinusFPowBatch).
+func (m *memoModel) IntProdBothBatch(Ts []float64, shift float64) (plain, uweighted []float64) {
+	if bi, ok := m.base.(core.BatchIntegrals); ok {
+		return bi.IntProdBothBatch(Ts, shift)
+	}
+	plain = make([]float64, len(Ts))
+	uweighted = make([]float64, len(Ts))
+	for i, t := range Ts {
+		plain[i] = m.IntProdOneMinusF(t, shift)
+		uweighted[i] = m.IntUProdOneMinusF(t, shift)
+	}
+	return plain, uweighted
+}
+
+// IntProdBothOneMinusF implements core.ProdBothIntegrals through the
+// memoized scalar cross terms: behind the Planner the memo maps are
+// the cache of record, so a repeated query is free either way and a
+// cold one stays a pair of cacheable scalar lookups.
+func (m *memoModel) IntProdBothOneMinusF(T, shift float64) (plain, uweighted float64) {
+	return m.IntProdOneMinusF(T, shift), m.IntUProdOneMinusF(T, shift)
+}
+
 func (m *memoModel) IntProdOneMinusF(T, shift float64) float64 {
 	if math.IsNaN(T) || math.IsNaN(shift) {
 		return m.base.IntProdOneMinusF(T, shift)
