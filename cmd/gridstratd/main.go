@@ -1,0 +1,117 @@
+// Gridstratd is the long-running HTTP planning service over the
+// gridstrat library: a sharded model registry serving strategy
+// recommendations, rankings, optimizations, Monte Carlo replays and
+// makespan estimates, with live probe-trace ingestion that keeps each
+// model tuned on a rolling window — the paper's §7.2 deployment loop
+// run continuously.
+//
+// Usage:
+//
+//	gridstratd [flags]
+//
+// Flags:
+//
+//	-addr string      listen address (default ":8372")
+//	-preload string   comma-separated paper datasets to register at
+//	                  boot, or "all" (default "")
+//	-window duration  default rolling-window width for new models
+//	                  (default 168h, the paper's weekly granularity)
+//	-shards int       registry shard count (default 8)
+//	-max-models int   registry capacity; LRU eviction past it (default 256)
+//	-max-runs int     per-request Monte Carlo run cap (default 2000000)
+//	-max-body int     request body cap in bytes (default 33554432)
+//	-shutdown-timeout duration
+//	                  grace period for in-flight requests on
+//	                  SIGINT/SIGTERM (default 10s)
+//	-quiet            disable per-request logging
+//
+// The API is specified in docs/openapi.yaml; see README.md for a curl
+// walkthrough of every endpoint.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridstrat/internal/server"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8372", "listen address")
+		preload         = flag.String("preload", "", `comma-separated paper datasets to register at boot, or "all"`)
+		window          = flag.Duration("window", 168*time.Hour, "default rolling-window width for new models")
+		shards          = flag.Int("shards", 8, "registry shard count")
+		maxModels       = flag.Int("max-models", 256, "registry capacity (LRU eviction past it)")
+		maxRuns         = flag.Int("max-runs", 2_000_000, "per-request Monte Carlo run cap")
+		maxBody         = flag.Int64("max-body", 32<<20, "request body cap in bytes")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		quiet           = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gridstratd: ", log.LstdFlags)
+	cfg := server.Config{
+		Shards:        *shards,
+		MaxModels:     *maxModels,
+		DefaultWindow: window.Seconds(),
+		MaxBodyBytes:  *maxBody,
+		MaxRuns:       *maxRuns,
+	}
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	srv := server.New(cfg)
+
+	if *preload != "" {
+		names := strings.Split(*preload, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		start := time.Now()
+		if err := srv.Preload(names...); err != nil {
+			logger.Fatalf("preload: %v", err)
+		}
+		logger.Printf("preloaded %d model(s) in %v", srv.Registry().Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s (models: %d)", *addr, srv.Registry().Len())
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down (grace %v)", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+		}
+		logger.Printf("bye")
+	}
+}

@@ -1,0 +1,122 @@
+// Service: the §7.2 deployment loop as a live planning service.
+//
+// This example starts the gridstratd HTTP server in-process, uploads
+// a GWF probe trace to seed a model with a rolling window, asks for a
+// recommendation, then streams observation batches from a drifting
+// latency regime — watching the recommended strategy re-tune as fresh
+// probes push stale ones out of the window. It is the programmatic
+// twin of the curl walkthrough in README.md.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"gridstrat"
+	"gridstrat/internal/server"
+)
+
+func main() {
+	// 1. An in-process gridstratd with a 2,000-second rolling window:
+	// small enough that this example's observation stream visibly
+	// retires the uploaded history.
+	srv := server.New(server.Config{DefaultWindow: 2000})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("gridstratd listening on %s\n\n", base)
+
+	ctx := context.Background()
+	client := server.NewClient(base, nil)
+
+	// 2. Upload a GWF trace. We synthesize the paper's 2007-51 week
+	// and re-encode it as GWF — in production this is your own probe
+	// log exported from Grid Workload Archive tooling.
+	tr, err := gridstrat.SynthesizeDataset("2007-51")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Compact the campaign onto a 1,500 s submit span so the rolling
+	// window has something to retire.
+	for i := range tr.Records {
+		tr.Records[i].Submit = float64(i) * 1500 / float64(len(tr.Records))
+	}
+	var gwf bytes.Buffer
+	if err := gridstrat.WriteTraceGWF(&gwf, tr); err != nil {
+		log.Fatal(err)
+	}
+	info, err := client.UploadTrace(ctx, "prod", "gwf", gwf.Bytes(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded %q: %d probes, rho=%.3f, mean=%.0fs (version %d)\n",
+		info.ID, info.Stats.Probes, info.Stats.Rho, info.Stats.MeanBodyS, info.Version)
+
+	rec, err := client.Recommend(ctx, "prod", server.RecommendRequest{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial recommendation:   %s\n\n", rec.Recommendation.Summary)
+
+	// 3. Stream observations from a degrading grid: each batch is a
+	// probe campaign whose latencies grow, as if the infrastructure
+	// were congesting week over week. The rolling window drops the old
+	// regime and the recommendation follows the drift.
+	mean := info.Stats.MeanBodyS
+	for batch := 1; batch <= 3; batch++ {
+		mean *= 2.5
+		lats := make([]float64, 0, 120)
+		outliers := 6
+		for i := 0; i < 120; i++ {
+			lat := mean * (0.6 + 0.8*float64(i%5)/4) // spread around the new mean
+			if lat >= info.TimeoutS {
+				outliers++ // a probe slower than the censoring bound is an outlier
+				continue
+			}
+			lats = append(lats, lat)
+		}
+		obs, err := client.Observe(ctx, "prod", server.ObserveRequest{
+			Latencies: lats,
+			Outliers:  outliers,
+			SpacingS:  10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := client.Recommend(ctx, "prod", server.RecommendRequest{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d (mean→%5.0fs): window=%d records (dropped %d), version %d\n",
+			batch, mean, obs.WindowRecords, obs.Dropped, obs.Version)
+		fmt.Printf("  re-tuned recommendation: %s\n", rec.Recommendation.Summary)
+	}
+
+	// 4. Service-level counters, then a graceful shutdown.
+	st, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: %d model(s), %d hits, %d ingested records across %d batches\n",
+		st.Models, st.Totals.Hits, st.Totals.IngestRecords, st.Totals.IngestBatches)
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server shut down cleanly")
+}

@@ -102,13 +102,16 @@ func SynthesizeDataset(name string) (*Trace, error) {
 // "2007/08" aggregate.
 func SynthesizeAll() (*TraceSet, error) { return trace.SynthesizeAll() }
 
-// ReadTraceCSV / WriteTraceCSV serialize traces in the library's CSV
-// format.
-func ReadTraceCSV(r io.Reader) (*Trace, error)  { return trace.ReadCSV(r) }
+// ReadTraceCSV parses a trace from the library's CSV format.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteTraceCSV serializes a trace in the library's CSV format.
 func WriteTraceCSV(w io.Writer, t *Trace) error { return trace.WriteCSV(w, t) }
 
-// ReadTraceJSON / WriteTraceJSON serialize traces as JSON.
-func ReadTraceJSON(r io.Reader) (*Trace, error)  { return trace.ReadJSON(r) }
+// ReadTraceJSON parses a trace from its JSON form.
+func ReadTraceJSON(r io.Reader) (*Trace, error) { return trace.ReadJSON(r) }
+
+// WriteTraceJSON serializes a trace as JSON.
 func WriteTraceJSON(w io.Writer, t *Trace) error { return trace.WriteJSON(w, t) }
 
 // --- Latency models ---
@@ -168,17 +171,28 @@ type DelayedParams = core.DelayedParams
 // SimResult is a Monte Carlo outcome.
 type SimResult = core.SimResult
 
-// EJSingle evaluates Eq. 1; SigmaSingle Eq. 2.
-func EJSingle(m Model, tInf float64) float64    { return core.EJSingle(m, tInf) }
+// EJSingle evaluates Eq. 1: the expected total latency of single
+// resubmission at timeout tInf.
+func EJSingle(m Model, tInf float64) float64 { return core.EJSingle(m, tInf) }
+
+// SigmaSingle evaluates Eq. 2: the standard deviation of the single
+// resubmission total latency at timeout tInf.
 func SigmaSingle(m Model, tInf float64) float64 { return core.SigmaSingle(m, tInf) }
 
-// EJMultiple evaluates Eq. 3; SigmaMultiple Eq. 4.
-func EJMultiple(m Model, b int, tInf float64) float64    { return core.EJMultiple(m, b, tInf) }
+// EJMultiple evaluates Eq. 3: the expected total latency of b-fold
+// multiple submission at timeout tInf.
+func EJMultiple(m Model, b int, tInf float64) float64 { return core.EJMultiple(m, b, tInf) }
+
+// SigmaMultiple evaluates Eq. 4: the standard deviation of the b-fold
+// multiple submission total latency at timeout tInf.
 func SigmaMultiple(m Model, b int, tInf float64) float64 { return core.SigmaMultiple(m, b, tInf) }
 
 // EJDelayed evaluates the exact delayed-resubmission expectation (the
-// quantity approximated by the paper's Eq. 5); SigmaDelayed its σ.
-func EJDelayed(m Model, p DelayedParams) float64    { return core.EJDelayed(m, p) }
+// quantity approximated by the paper's Eq. 5).
+func EJDelayed(m Model, p DelayedParams) float64 { return core.EJDelayed(m, p) }
+
+// SigmaDelayed evaluates the standard deviation of the delayed
+// resubmission total latency at fixed parameters.
 func SigmaDelayed(m Model, p DelayedParams) float64 { return core.SigmaDelayed(m, p) }
 
 // NParallelExpected returns E[N‖] of the delayed strategy (§6.1).
@@ -218,14 +232,20 @@ func NewCostContext(m Model) (*CostContext, error) { return core.NewCostContext(
 
 // --- Monte Carlo validation ---
 
-// SimulateSingle, SimulateMultiple and SimulateDelayed replay the
-// strategies against latencies sampled from the model.
+// SimulateSingle replays single resubmission at timeout tInf against
+// latencies sampled from the model.
 func SimulateSingle(m Model, tInf float64, runs int, rng Rand) (SimResult, error) {
 	return core.SimulateSingle(m, tInf, runs, rng)
 }
+
+// SimulateMultiple replays b-fold multiple submission at timeout tInf
+// against latencies sampled from the model.
 func SimulateMultiple(m Model, b int, tInf float64, runs int, rng Rand) (SimResult, error) {
 	return core.SimulateMultiple(m, b, tInf, runs, rng)
 }
+
+// SimulateDelayed replays delayed resubmission at fixed parameters
+// against latencies sampled from the model.
 func SimulateDelayed(m Model, p DelayedParams, runs int, rng Rand) (SimResult, error) {
 	return core.SimulateDelayed(m, p, runs, rng)
 }

@@ -107,9 +107,9 @@ func TestGoldenSectionPlateauIncumbent(t *testing.T) {
 // overlaps its probes.
 func TestGoldenSectionIncumbentProperty(t *testing.T) {
 	prop := func(rawLo, rawW, rawM float64) bool {
-		lo := math.Mod(math.Abs(rawLo), 8)          // plateau edge in [0, 8)
-		w := math.Mod(math.Abs(rawW), 2) + 0.05     // feasible width
-		mid := lo + math.Mod(math.Abs(rawM), 1)*w   // minimum inside window
+		lo := math.Mod(math.Abs(rawLo), 8)        // plateau edge in [0, 8)
+		w := math.Mod(math.Abs(rawW), 2) + 0.05   // feasible width
+		mid := lo + math.Mod(math.Abs(rawM), 1)*w // minimum inside window
 		obj := func(x float64) float64 {
 			if x < lo || x > lo+w {
 				return math.Inf(1)

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// APIError is a non-2xx response decoded from the service's error
+// envelope.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // envelope code, e.g. "not_found"
+	Message string // envelope message
+}
+
+// Error renders the status, code and message on one line.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gridstratd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client is a typed Go client for the gridstratd HTTP API. The zero
+// value is not usable; construct it with NewClient. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the service at base (for example
+// "http://127.0.0.1:8372"). A nil http.Client falls back to
+// http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil). Non-2xx responses are returned as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.roundTrip(req, out)
+}
+
+// roundTrip executes a prebuilt request, maps non-2xx responses to
+// *APIError via the error envelope, and decodes a 2xx body into out
+// (when non-nil).
+func (c *Client) roundTrip(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code == "" {
+			return &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+		}
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// CreateModel registers a model (dataset-seeded or inline upload) via
+// POST /v1/models.
+func (c *Client) CreateModel(ctx context.Context, req CreateModelRequest) (ModelInfo, error) {
+	var out ModelInfo
+	err := c.do(ctx, http.MethodPost, "/v1/models", req, &out)
+	return out, err
+}
+
+// UploadTrace registers a model from a raw trace document (format
+// "csv", "gwf" or "json") via the non-JSON upload shape of
+// POST /v1/models. A zero window keeps the server default.
+func (c *Client) UploadTrace(ctx context.Context, id, format string, doc []byte, windowS float64) (ModelInfo, error) {
+	q := url.Values{"id": {id}, "format": {format}}
+	if windowS > 0 {
+		q.Set("window_s", strconv.FormatFloat(windowS, 'g', -1, 64))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/models?"+q.Encode(), bytes.NewReader(doc))
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var out ModelInfo
+	return out, c.roundTrip(req, &out)
+}
+
+// ListModels fetches GET /v1/models.
+func (c *Client) ListModels(ctx context.Context) ([]ModelInfo, error) {
+	var out ListModelsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out)
+	return out.Models, err
+}
+
+// GetModel fetches GET /v1/models/{id}. A positive stationarityWindow
+// adds the drift/trend report at that analysis width.
+func (c *Client) GetModel(ctx context.Context, id string, stationarityWindow float64) (ModelInfo, error) {
+	path := "/v1/models/" + url.PathEscape(id)
+	if stationarityWindow > 0 {
+		path += "?window_s=" + strconv.FormatFloat(stationarityWindow, 'g', -1, 64)
+	}
+	var out ModelInfo
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// DeleteModel issues DELETE /v1/models/{id}.
+func (c *Client) DeleteModel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/models/"+url.PathEscape(id), nil, nil)
+}
+
+// Recommend fetches POST /v1/models/{id}/recommend.
+func (c *Client) Recommend(ctx context.Context, id string, req RecommendRequest) (RecommendResponse, error) {
+	var out RecommendResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/recommend", req, &out)
+	return out, err
+}
+
+// Rank fetches POST /v1/models/{id}/rank.
+func (c *Client) Rank(ctx context.Context, id string, req RankRequest) (RankResponse, error) {
+	var out RankResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/rank", req, &out)
+	return out, err
+}
+
+// Optimize fetches POST /v1/models/{id}/optimize.
+func (c *Client) Optimize(ctx context.Context, id string, req OptimizeRequest) (OptimizeResponse, error) {
+	var out OptimizeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/optimize", req, &out)
+	return out, err
+}
+
+// Simulate fetches POST /v1/models/{id}/simulate.
+func (c *Client) Simulate(ctx context.Context, id string, req SimulateRequest) (SimulateResponse, error) {
+	var out SimulateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/simulate", req, &out)
+	return out, err
+}
+
+// Makespan fetches POST /v1/models/{id}/makespan.
+func (c *Client) Makespan(ctx context.Context, id string, req MakespanRequest) (MakespanResponse, error) {
+	var out MakespanResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/makespan", req, &out)
+	return out, err
+}
+
+// Observe streams one observation batch to
+// POST /v1/models/{id}/observations.
+func (c *Client) Observe(ctx context.Context, id string, req ObserveRequest) (ObserveResponse, error) {
+	var out ObserveResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/observations", req, &out)
+	return out, err
+}

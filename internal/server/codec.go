@@ -1,0 +1,382 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"gridstrat"
+	"gridstrat/internal/trace"
+)
+
+// This file holds the JSON wire schema of every endpoint (documented
+// normatively in docs/openapi.yaml) and the converters between wire
+// types and the gridstrat library types.
+
+// ErrorBody is the payload of the error envelope every non-2xx
+// response carries.
+type ErrorBody struct {
+	Code    string `json:"code"`    // stable machine-readable identifier
+	Message string `json:"message"` // human-readable detail
+}
+
+// ErrorEnvelope is the uniform error response: {"error": {code, message}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// TraceStatsJSON is the wire form of a model window's Table-1-style
+// summary statistics.
+type TraceStatsJSON struct {
+	Probes        int     `json:"probes"`
+	Completed     int     `json:"completed"`
+	Outliers      int     `json:"outliers"`
+	Rho           float64 `json:"rho"`
+	MeanBodyS     float64 `json:"mean_body_s"`
+	StdBodyS      float64 `json:"std_body_s"`
+	MeanCensoredS float64 `json:"mean_censored_s"`
+	MedianS       float64 `json:"median_s"`
+}
+
+func statsToJSON(s trace.Stats) TraceStatsJSON {
+	return TraceStatsJSON{
+		Probes:        s.Probes,
+		Completed:     s.Completed,
+		Outliers:      s.Outliers,
+		Rho:           s.Rho,
+		MeanBodyS:     s.MeanBody,
+		StdBodyS:      s.StdBody,
+		MeanCensoredS: s.MeanCensored,
+		MedianS:       s.Median,
+	}
+}
+
+// StationarityJSON is the wire form of a windowed drift/trend report.
+type StationarityJSON struct {
+	Windows      int     `json:"windows"`
+	MeanDrift    float64 `json:"mean_drift"`
+	RhoDrift     float64 `json:"rho_drift"`
+	TrendPValue  float64 `json:"trend_p_value"`
+	TrendSlopeS  float64 `json:"trend_slope_s"`
+	TrendRising  bool    `json:"trend_rising"`
+	WindowWidthS float64 `json:"window_width_s"`
+}
+
+// ModelInfo describes one registered model.
+type ModelInfo struct {
+	ID           string            `json:"id"`
+	Source       string            `json:"source"`
+	Version      int64             `json:"version"`
+	WindowS      float64           `json:"window_s"`
+	TimeoutS     float64           `json:"timeout_s"`
+	Stats        TraceStatsJSON    `json:"stats"`
+	Stationarity *StationarityJSON `json:"stationarity,omitempty"`
+}
+
+func modelInfo(e *Entry) ModelInfo { return modelInfoAt(e, e.State()) }
+
+// modelInfoAt renders the info of one explicit snapshot; handlers
+// that also derive other response fields from the state use it to
+// keep the whole response on a single snapshot.
+func modelInfoAt(e *Entry, st *ModelState) ModelInfo {
+	return ModelInfo{
+		ID:       e.ID,
+		Source:   e.Source,
+		Version:  st.Version,
+		WindowS:  e.Window,
+		TimeoutS: st.Trace.Timeout,
+		Stats:    statsToJSON(st.Stats),
+	}
+}
+
+// CreateModelRequest registers a model from a named paper dataset or
+// an inline trace document.
+type CreateModelRequest struct {
+	ID      string  `json:"id"`
+	Dataset string  `json:"dataset,omitempty"` // paper dataset name, e.g. "2006-IX"
+	Format  string  `json:"format,omitempty"`  // "csv", "gwf" or "json" for inline traces
+	Trace   string  `json:"trace,omitempty"`   // inline trace document in Format
+	WindowS float64 `json:"window_s,omitempty"`
+}
+
+// ListModelsResponse is the body of GET /v1/models.
+type ListModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// Options carries the per-request planning constraints; zero fields
+// keep the Planner defaults (documented on the gridstrat options).
+type Options struct {
+	MaxParallel    float64 `json:"max_parallel,omitempty"`
+	DeadlineS      float64 `json:"deadline_s,omitempty"`
+	Budget         float64 `json:"budget,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	CollectionSize int     `json:"collection_size,omitempty"`
+	Seed           *uint64 `json:"seed,omitempty"`
+}
+
+// plannerOptions converts wire options to gridstrat options. Invalid
+// values are rejected by the option constructors at NewPlanner time,
+// which the handlers map to 400.
+func (o *Options) plannerOptions(maxWorkers int) []gridstrat.PlannerOption {
+	if o == nil {
+		return nil
+	}
+	var opts []gridstrat.PlannerOption
+	if o.MaxParallel != 0 {
+		opts = append(opts, gridstrat.WithMaxParallel(o.MaxParallel))
+	}
+	if o.DeadlineS != 0 {
+		opts = append(opts, gridstrat.WithDeadline(o.DeadlineS))
+	}
+	if o.Budget != 0 {
+		opts = append(opts, gridstrat.WithBudget(o.Budget))
+	}
+	if o.Workers != 0 {
+		w := o.Workers
+		if w > maxWorkers {
+			w = maxWorkers
+		}
+		opts = append(opts, gridstrat.WithParallelism(w))
+	}
+	if o.CollectionSize != 0 {
+		opts = append(opts, gridstrat.WithCollectionSize(o.CollectionSize))
+	}
+	if o.Seed != nil {
+		opts = append(opts, gridstrat.WithSeed(*o.Seed))
+	}
+	return opts
+}
+
+// StrategySpec is the wire form of a (possibly partially
+// parameterized) strategy. Zero timing fields (t_inf_s, t0_s) mean
+// "unset" — the same convention as the library's zero-value
+// strategies, so a spec without them passed to optimize is tuned and
+// a parameterized spec passed to rank is evaluated exactly as given.
+// The collection size b is never tuned: an omitted b on a multiple
+// spec defaults to 2 (mirroring the Planner's default collection
+// size), as documented in docs/openapi.yaml.
+type StrategySpec struct {
+	Strategy string  `json:"strategy"` // "single", "multiple" or "delayed"
+	B        int     `json:"b,omitempty"`
+	TInfS    float64 `json:"t_inf_s,omitempty"`
+	T0S      float64 `json:"t0_s,omitempty"`
+}
+
+// toStrategy converts the spec to a library Strategy value.
+func (sp StrategySpec) toStrategy() (gridstrat.Strategy, error) {
+	switch strings.ToLower(sp.Strategy) {
+	case "single":
+		return gridstrat.Single{TInf: sp.TInfS}, nil
+	case "multiple":
+		b := sp.B
+		if b == 0 {
+			b = 2
+		}
+		return gridstrat.Multiple{B: b, TInf: sp.TInfS}, nil
+	case "delayed":
+		return gridstrat.Delayed{T0: sp.T0S, TInf: sp.TInfS}, nil
+	case "":
+		return nil, fmt.Errorf("missing strategy name (want single, multiple or delayed)")
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want single, multiple or delayed)", sp.Strategy)
+	}
+}
+
+// specOf converts a library Strategy back to its wire form.
+func specOf(s gridstrat.Strategy) StrategySpec {
+	p := s.Params()
+	return StrategySpec{
+		Strategy: string(s.Name()),
+		B:        p.B,
+		TInfS:    p.TInf,
+		T0S:      p.T0,
+	}
+}
+
+// EvaluationJSON is the wire form of a strategy evaluation.
+type EvaluationJSON struct {
+	EJS      float64 `json:"ej_s"`
+	SigmaS   float64 `json:"sigma_s"`
+	Parallel float64 `json:"parallel"`
+}
+
+func evalToJSON(ev gridstrat.Evaluation) EvaluationJSON {
+	return EvaluationJSON{EJS: ev.EJ, SigmaS: ev.Sigma, Parallel: ev.Parallel}
+}
+
+// RecommendationJSON is the wire form of an advisor outcome.
+type RecommendationJSON struct {
+	StrategySpec
+	Eval      EvaluationJSON `json:"eval"`
+	DeltaCost float64        `json:"delta_cost"`
+	Summary   string         `json:"summary"`
+}
+
+func recToJSON(rec gridstrat.Recommendation) RecommendationJSON {
+	return RecommendationJSON{
+		StrategySpec: specOf(rec.AsStrategy()),
+		Eval:         evalToJSON(rec.Eval),
+		DeltaCost:    rec.Delta,
+		Summary:      rec.String(),
+	}
+}
+
+// RecommendRequest is the body of POST /v1/models/{id}/recommend.
+// The body may be empty; Cheapest switches from the fastest-in-budget
+// advisor to the Δcost minimizer.
+type RecommendRequest struct {
+	Options  *Options `json:"options,omitempty"`
+	Cheapest bool     `json:"cheapest,omitempty"`
+}
+
+// RecommendResponse is the advisor's answer, stamped with the model
+// version it was computed on.
+type RecommendResponse struct {
+	Model          string             `json:"model"`
+	Version        int64              `json:"version"`
+	Recommendation RecommendationJSON `json:"recommendation"`
+}
+
+// RankedJSON is one entry of a ranking.
+type RankedJSON struct {
+	StrategySpec
+	Eval      EvaluationJSON `json:"eval"`
+	DeltaCost float64        `json:"delta_cost"`
+}
+
+// RankRequest is the body of POST /v1/models/{id}/rank. With no
+// strategies the three paper families are ranked with the Planner's
+// collection size.
+type RankRequest struct {
+	Options    *Options       `json:"options,omitempty"`
+	Strategies []StrategySpec `json:"strategies,omitempty"`
+}
+
+// RankResponse lists strategies by ascending expected latency.
+type RankResponse struct {
+	Model   string       `json:"model"`
+	Version int64        `json:"version"`
+	Ranking []RankedJSON `json:"ranking"`
+}
+
+// OptimizeRequest is the body of POST /v1/models/{id}/optimize.
+type OptimizeRequest struct {
+	Strategy StrategySpec `json:"strategy"`
+	Options  *Options     `json:"options,omitempty"`
+}
+
+// OptimizeResponse carries the tuned strategy and its evaluation.
+type OptimizeResponse struct {
+	Model    string         `json:"model"`
+	Version  int64          `json:"version"`
+	Strategy StrategySpec   `json:"strategy"`
+	Eval     EvaluationJSON `json:"eval"`
+}
+
+// SimResultJSON is the wire form of a Monte Carlo outcome.
+type SimResultJSON struct {
+	Runs            int     `json:"runs"`
+	EJS             float64 `json:"ej_s"`
+	SigmaS          float64 `json:"sigma_s"`
+	StdErrS         float64 `json:"std_err_s"`
+	MeanSubmissions float64 `json:"mean_submissions"`
+	MeanParallel    float64 `json:"mean_parallel"`
+}
+
+// SimulateRequest is the body of POST /v1/models/{id}/simulate. The
+// strategy must be fully parameterized; Seed in Options makes the
+// replay reproducible.
+type SimulateRequest struct {
+	Strategy StrategySpec `json:"strategy"`
+	Runs     int          `json:"runs"`
+	Options  *Options     `json:"options,omitempty"`
+}
+
+// SimulateResponse carries the Monte Carlo result and the seed it ran
+// under — the request's seed when given, a freshly drawn one
+// otherwise, so any replay can be reproduced by sending the echoed
+// seed back.
+type SimulateResponse struct {
+	Model   string        `json:"model"`
+	Version int64         `json:"version"`
+	Seed    uint64        `json:"seed"`
+	Result  SimResultJSON `json:"result"`
+}
+
+// ApplicationJSON is the wire form of a bag-of-tasks application.
+type ApplicationJSON struct {
+	Tasks     int     `json:"tasks"`
+	WaveWidth int     `json:"wave_width"`
+	RuntimeS  float64 `json:"runtime_s"`
+}
+
+// MakespanJSON is the wire form of a makespan estimate.
+type MakespanJSON struct {
+	Strategy     string  `json:"strategy"`
+	MakespanS    float64 `json:"makespan_s"`
+	PerWaveS     float64 `json:"per_wave_s"`
+	GridLoad     float64 `json:"grid_load"`
+	TotalTaskSec float64 `json:"total_task_sec"`
+}
+
+// MakespanRequest is the body of POST /v1/models/{id}/makespan. With
+// a Strategy the estimate is computed under it; with MaxB (and a
+// deadline in Options) the smallest collection size meeting the
+// deadline is searched; with neither, the recommended strategy is
+// used.
+type MakespanRequest struct {
+	App      ApplicationJSON `json:"app"`
+	Strategy *StrategySpec   `json:"strategy,omitempty"`
+	MaxB     int             `json:"max_b,omitempty"`
+	Options  *Options        `json:"options,omitempty"`
+}
+
+// MakespanResponse carries the estimate (and, for smallest-collection
+// searches, the chosen b; a search where no b up to MaxB meets the
+// deadline answers 422, so a 200 always carries a real estimate).
+type MakespanResponse struct {
+	Model    string       `json:"model"`
+	Version  int64        `json:"version"`
+	Estimate MakespanJSON `json:"estimate"`
+	B        int          `json:"b,omitempty"`
+}
+
+// ObserveRequest is the body of POST /v1/models/{id}/observations:
+// one batch of fresh probe outcomes. Latencies lists completed-probe
+// grid latencies; Outliers counts probes that exceeded the model's
+// timeout (censored at it). Submit times are assigned sequentially
+// from StartS (default: right after the current newest record) with
+// SpacingS between consecutive probes (default 1 s).
+type ObserveRequest struct {
+	Latencies []float64 `json:"latencies"`
+	Outliers  int       `json:"outliers,omitempty"`
+	StartS    *float64  `json:"start_s,omitempty"`
+	SpacingS  float64   `json:"spacing_s,omitempty"`
+}
+
+// ObserveResponse reports the effect of one ingestion batch on the
+// rolling window.
+type ObserveResponse struct {
+	Model         string         `json:"model"`
+	Version       int64          `json:"version"`
+	Appended      int            `json:"appended"`
+	Dropped       int            `json:"dropped"`
+	WindowRecords int            `json:"window_records"`
+	Stats         TraceStatsJSON `json:"stats"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string  `json:"status"`
+	Models  int     `json:"models"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeS  float64      `json:"uptime_s"`
+	Models   int          `json:"models"`
+	Capacity int          `json:"capacity"`
+	Shards   []ShardStats `json:"shards"`
+	Totals   ShardStats   `json:"totals"`
+}

@@ -1,0 +1,634 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gridstrat"
+	"gridstrat/internal/trace"
+)
+
+// statusClientClosedRequest is the nginx-convention status reported
+// when the client went away before the computation finished (there is
+// no standard code for it; 499 is the de-facto one).
+const statusClientClosedRequest = 499
+
+// maxObservationBatch caps the records one ingestion batch may carry.
+const maxObservationBatch = 1 << 20
+
+// maxSubmitTime bounds explicit start_s values (~31,000 years in
+// seconds) so submit cursors stay far below float64's 2^53 integer
+// precision limit.
+const maxSubmitTime = 1e12
+
+// maxSpacing bounds spacing_s (~11.6 days between probes). Together
+// with maxSubmitTime and maxObservationBatch it keeps the submit
+// cursor exact: 1e12 + 2^20·1e6 ≈ 1.05e12 per batch stays far below
+// 2^53, and Entry.Observe re-bases the window near its absolute
+// ceiling so the cursor can never drift there across batches.
+const maxSpacing = 1e6
+
+// maxStationarityWindows caps the window count a stationarity query
+// may sweep: the WindowStats advance loop walks one window at a time
+// across the trace's submit span, so an adversarially tiny width
+// against a long trace would otherwise pin a CPU with no cancellation
+// point.
+const maxStationarityWindows = 100_000
+
+// writeJSON serializes v with the given status. Encoding errors are
+// ignored: the header is already out, and the likely cause is the
+// client hanging up.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// failCompute maps an error from planning/simulation work to an
+// envelope: context cancellation becomes 499 (client closed) or 504
+// (deadline), registry misses 404, everything else 422 — the request
+// was well-formed but the computation rejected it (unparameterized
+// strategy, no strategy within budget, no success mass, …).
+func failCompute(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "cancelled", "request cancelled: "+err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "unprocessable", err.Error())
+	}
+}
+
+// decodeJSON decodes the request body into v under the configured
+// size cap. An entirely empty body is allowed when allowEmpty is set
+// (endpoints whose every field is optional).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) && allowEmpty {
+		return nil
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		return err
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+	return err
+}
+
+// submitSpan returns the submit-time extent of a trace's records.
+func submitSpan(tr *trace.Trace) float64 {
+	if len(tr.Records) == 0 {
+		return 0
+	}
+	lo, hi := tr.Records[0].Submit, tr.Records[0].Submit
+	for _, rec := range tr.Records[1:] {
+		if rec.Submit < lo {
+			lo = rec.Submit
+		}
+		if rec.Submit > hi {
+			hi = rec.Submit
+		}
+	}
+	return hi - lo
+}
+
+// entryFor resolves the {id} path segment against the registry,
+// writing the 404 envelope on a miss.
+func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	e, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return nil, false
+	}
+	return e, true
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Models:  s.reg.Len(),
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleStats serves GET /v1/stats: the per-shard registry counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	shards := s.reg.Stats()
+	var totals ShardStats
+	for _, sh := range shards {
+		totals.Models += sh.Models
+		totals.Hits += sh.Hits
+		totals.Misses += sh.Misses
+		totals.Evictions += sh.Evictions
+		totals.IngestBatches += sh.IngestBatches
+		totals.IngestRecords += sh.IngestRecords
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeS:  time.Since(s.start).Seconds(),
+		Models:   totals.Models,
+		Capacity: s.reg.Capacity(),
+		Shards:   shards,
+		Totals:   totals,
+	})
+}
+
+// handleCreateModel serves POST /v1/models. Two request shapes are
+// accepted: an application/json body (CreateModelRequest, with the
+// trace document inline for uploads), or a raw trace document in any
+// other content type with ?id=, ?format= and optional ?window_s=
+// query parameters — the curl-friendly upload path.
+func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	var req CreateModelRequest
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt // strip parameters like "; charset=utf-8"
+	}
+	if ct == "" || ct == "application/json" {
+		if err := s.decodeJSON(w, r, &req, false); err != nil {
+			return
+		}
+	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+					fmt.Sprintf("trace upload exceeds %d bytes", tooLarge.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, "bad_request", "reading trace upload: "+err.Error())
+			return
+		}
+		q := r.URL.Query()
+		req = CreateModelRequest{ID: q.Get("id"), Format: q.Get("format"), Trace: string(raw)}
+		if ws := q.Get("window_s"); ws != "" {
+			v, err := strconv.ParseFloat(ws, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", "bad window_s: "+err.Error())
+				return
+			}
+			req.WindowS = v
+		}
+	}
+
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing model id")
+		return
+	}
+	if (req.Dataset == "") == (req.Trace == "") {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"exactly one of dataset or trace (with format) must be provided")
+		return
+	}
+
+	var (
+		tr     *trace.Trace
+		source string
+		err    error
+	)
+	if req.Dataset != "" {
+		tr, err = gridstrat.SynthesizeDataset(req.Dataset)
+		source = "dataset:" + req.Dataset
+	} else {
+		tr, err = parseTrace(req.Format, req.Trace)
+		source = "upload:" + req.Format
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	window := req.WindowS
+	if window == 0 {
+		window = s.cfg.DefaultWindow
+	}
+	e, err := s.reg.Put(req.ID, source, window, tr)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrExists):
+			writeError(w, http.StatusConflict, "conflict", err.Error())
+		case errors.Is(err, ErrInvalid):
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "unprocessable",
+				"building model: "+err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, modelInfo(e))
+}
+
+// handleListModels serves GET /v1/models.
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	resp := ListModelsResponse{Models: []ModelInfo{}}
+	for _, e := range s.reg.List() {
+		resp.Models = append(resp.Models, modelInfo(e))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGetModel serves GET /v1/models/{id}. With ?window_s=<width>
+// the response also carries a stationarity report of the model's
+// trace at that analysis window.
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	// One snapshot load for both the info and the stationarity report,
+	// so a concurrent ingestion swap cannot make the response describe
+	// two different windows.
+	st := e.State()
+	info := modelInfoAt(e, st)
+	if ws := r.URL.Query().Get("window_s"); ws != "" {
+		width, err := strconv.ParseFloat(ws, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "bad window_s: "+err.Error())
+			return
+		}
+		if width <= 0 || math.IsNaN(width) {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("window_s must be positive, got %v", width))
+			return
+		}
+		if span := submitSpan(st.Trace); span/width > maxStationarityWindows {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("window_s %v sweeps more than %d windows over the trace's %.0f s submit span",
+					width, maxStationarityWindows, span))
+			return
+		}
+		rep, err := gridstrat.AnalyzeStationarity(st.Trace, width)
+		if err != nil {
+			failCompute(w, r, err)
+			return
+		}
+		info.Stationarity = &StationarityJSON{
+			Windows:      rep.Windows,
+			MeanDrift:    rep.MeanDrift,
+			RhoDrift:     rep.RhoDrift,
+			TrendPValue:  rep.MeanTrend.PValue,
+			TrendSlopeS:  rep.TrendSlope,
+			TrendRising:  rep.TrendSlope > 0,
+			WindowWidthS: width,
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDeleteModel serves DELETE /v1/models/{id}.
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("%s: %q", ErrNotFound.Error(), r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRecommend serves POST /v1/models/{id}/recommend.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req RecommendRequest
+	if err := s.decodeJSON(w, r, &req, true); err != nil {
+		return
+	}
+	st := e.State()
+	p, err := s.plannerFor(r, st, req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var rec gridstrat.Recommendation
+	if req.Cheapest {
+		rec, err = p.RecommendCheapest()
+	} else {
+		rec, err = p.Recommend()
+	}
+	if err != nil {
+		failCompute(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecommendResponse{
+		Model:          e.ID,
+		Version:        st.Version,
+		Recommendation: recToJSON(rec),
+	})
+}
+
+// handleRank serves POST /v1/models/{id}/rank.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req RankRequest
+	if err := s.decodeJSON(w, r, &req, true); err != nil {
+		return
+	}
+	var strategies []gridstrat.Strategy
+	for i, sp := range req.Strategies {
+		st, err := sp.toStrategy()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("strategies[%d]: %v", i, err))
+			return
+		}
+		strategies = append(strategies, st)
+	}
+	st := e.State()
+	p, err := s.plannerFor(r, st, req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ranked, err := p.Rank(strategies...)
+	if err != nil {
+		failCompute(w, r, err)
+		return
+	}
+	resp := RankResponse{Model: e.ID, Version: st.Version, Ranking: []RankedJSON{}}
+	for _, rs := range ranked {
+		resp.Ranking = append(resp.Ranking, RankedJSON{
+			StrategySpec: specOf(rs.Strategy),
+			Eval:         evalToJSON(rs.Eval),
+			DeltaCost:    rs.Delta,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleOptimize serves POST /v1/models/{id}/optimize: tune the
+// strategy's free parameters on the model.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req OptimizeRequest
+	if err := s.decodeJSON(w, r, &req, false); err != nil {
+		return
+	}
+	strat, err := req.Strategy.toStrategy()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	st := e.State()
+	p, err := s.plannerFor(r, st, req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	tuned, ev, err := p.Optimize(strat)
+	if err != nil {
+		failCompute(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		Model:    e.ID,
+		Version:  st.Version,
+		Strategy: specOf(tuned),
+		Eval:     evalToJSON(ev),
+	})
+}
+
+// handleSimulate serves POST /v1/models/{id}/simulate: a Monte Carlo
+// replay of a fully parameterized strategy.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req SimulateRequest
+	if err := s.decodeJSON(w, r, &req, false); err != nil {
+		return
+	}
+	if req.Runs <= 0 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("runs must be positive, got %d", req.Runs))
+		return
+	}
+	if req.Runs > s.cfg.MaxRuns {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("runs %d exceeds the per-request cap %d", req.Runs, s.cfg.MaxRuns))
+		return
+	}
+	strat, err := req.Strategy.toStrategy()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// An omitted seed draws a fresh one per request (the Planner's
+	// default RNG is fixed, which would make every unseeded replay
+	// byte-identical); echoing it in the response keeps even unseeded
+	// runs reproducible after the fact.
+	if req.Options == nil {
+		req.Options = &Options{}
+	}
+	if req.Options.Seed == nil {
+		seed := rand.Uint64()
+		req.Options.Seed = &seed
+	}
+	st := e.State()
+	p, err := s.plannerFor(r, st, req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	res, err := p.Simulate(strat, req.Runs)
+	if err != nil {
+		failCompute(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Model:   e.ID,
+		Version: st.Version,
+		Seed:    *req.Options.Seed,
+		Result: SimResultJSON{
+			Runs:            res.Runs,
+			EJS:             res.EJ,
+			SigmaS:          res.Sigma,
+			StdErrS:         res.StdErr,
+			MeanSubmissions: res.MeanSubmissions,
+			MeanParallel:    res.MeanParallel,
+		},
+	})
+}
+
+// handleMakespan serves POST /v1/models/{id}/makespan.
+func (s *Server) handleMakespan(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req MakespanRequest
+	if err := s.decodeJSON(w, r, &req, false); err != nil {
+		return
+	}
+	if req.MaxB < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("max_b must be >= 0, got %d", req.MaxB))
+		return
+	}
+	if req.MaxB > 0 && req.Strategy != nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"max_b and strategy are mutually exclusive")
+		return
+	}
+	app := gridstrat.Application{
+		Tasks:     req.App.Tasks,
+		WaveWidth: req.App.WaveWidth,
+		Runtime:   req.App.RuntimeS,
+	}
+	if err := app.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	st := e.State()
+	p, err := s.plannerFor(r, st, req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	resp := MakespanResponse{Model: e.ID, Version: st.Version}
+	var est gridstrat.MakespanEstimate
+	switch {
+	case req.MaxB > 0:
+		resp.B, est, err = p.SmallestCollection(app, req.MaxB)
+		if err == nil && resp.B == 0 {
+			writeError(w, http.StatusUnprocessableEntity, "unprocessable",
+				fmt.Sprintf("no collection size up to %d meets the deadline", req.MaxB))
+			return
+		}
+	case req.Strategy != nil:
+		var strat gridstrat.Strategy
+		strat, err = req.Strategy.toStrategy()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		est, err = p.EstimateMakespanUnder(app, strat)
+	default:
+		est, err = p.EstimateMakespan(app)
+	}
+	if err != nil {
+		failCompute(w, r, err)
+		return
+	}
+	resp.Estimate = MakespanJSON{
+		Strategy:     est.Strategy,
+		MakespanS:    est.Makespan,
+		PerWaveS:     est.PerWave,
+		GridLoad:     est.GridLoad,
+		TotalTaskSec: est.TotalTaskSec,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleObservations serves POST /v1/models/{id}/observations: append
+// one batch of fresh probe outcomes and swap in the rebuilt
+// rolling-window model.
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req ObserveRequest
+	if err := s.decodeJSON(w, r, &req, false); err != nil {
+		return
+	}
+	if len(req.Latencies)+req.Outliers == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"empty batch: provide latencies and/or outliers")
+		return
+	}
+	if req.Outliers < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("outliers must be >= 0, got %d", req.Outliers))
+		return
+	}
+	// The latency list is bounded by the body cap, but the outlier
+	// count is a bare integer — without this cap a 40-byte request
+	// could demand gigabytes of records. Each term is checked before
+	// the sum so a MaxInt-scale outlier count cannot overflow past the
+	// guard into a makeslice panic.
+	if req.Outliers > maxObservationBatch || len(req.Latencies) > maxObservationBatch ||
+		len(req.Latencies)+req.Outliers > maxObservationBatch {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d + %d records exceeds the cap %d",
+				len(req.Latencies), req.Outliers, maxObservationBatch))
+		return
+	}
+	if req.SpacingS < 0 || math.IsNaN(req.SpacingS) || req.SpacingS > maxSpacing {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("spacing_s must be within [0, %g], got %v", float64(maxSpacing), req.SpacingS))
+		return
+	}
+	// start_s must stay in a range where cursor arithmetic is exact:
+	// past ~2^53 adding the spacing no longer changes the float64
+	// cursor, which would freeze the rolling-window cutoff onto every
+	// future record and silently stop regimes from aging out.
+	if req.StartS != nil && !(*req.StartS >= 0 && *req.StartS <= maxSubmitTime) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("start_s must be within [0, %g], got %v", maxSubmitTime, *req.StartS))
+		return
+	}
+	timeout := e.State().Trace.Timeout
+	recs := make([]trace.ProbeRecord, 0, len(req.Latencies)+req.Outliers)
+	for i, lat := range req.Latencies {
+		if lat < 0 || math.IsNaN(lat) || lat > timeout {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("latencies[%d] = %v outside [0, timeout %v]", i, lat, timeout))
+			return
+		}
+		recs = append(recs, trace.ProbeRecord{Latency: lat, Status: trace.StatusCompleted})
+	}
+	for i := 0; i < req.Outliers; i++ {
+		recs = append(recs, trace.ProbeRecord{Latency: timeout, Status: trace.StatusOutlier})
+	}
+	res, err := e.Observe(recs, req.StartS, req.SpacingS)
+	if err != nil {
+		failCompute(w, r, err)
+		return
+	}
+	s.reg.noteIngest(e.ID, res.Appended)
+	writeJSON(w, http.StatusOK, ObserveResponse{
+		Model:         e.ID,
+		Version:       res.State.Version,
+		Appended:      res.Appended,
+		Dropped:       res.Dropped,
+		WindowRecords: len(res.State.Trace.Records),
+		Stats:         statsToJSON(res.State.Stats),
+	})
+}

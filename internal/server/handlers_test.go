@@ -1,0 +1,704 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gridstrat"
+	"gridstrat/internal/trace"
+)
+
+// newTestServer builds a service and an httptest front for it.
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s := New(Config{})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs, NewClient(hs.URL, hs.Client())
+}
+
+// smallTraceCSV renders a compact synthetic trace: n completed probes
+// with latencies drawn around mean, plus a few outliers, spaced
+// spacing seconds apart starting at start. Small on purpose — handler
+// tests hammer many endpoints and model builds must stay cheap.
+func smallTraceCSV(t *testing.T, name string, n int, mean, start, spacing float64, outliers int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tr := &trace.Trace{Name: name, Timeout: trace.DefaultTimeout}
+	id := 0
+	for i := 0; i < n; i++ {
+		lat := mean * (0.5 + rng.Float64()) // U[0.5, 1.5]·mean
+		tr.Records = append(tr.Records, trace.ProbeRecord{
+			ID: id, Submit: start + float64(i)*spacing, Latency: lat, Status: trace.StatusCompleted,
+		})
+		id++
+	}
+	for i := 0; i < outliers; i++ {
+		tr.Records = append(tr.Records, trace.ProbeRecord{
+			ID: id, Submit: start + float64(n+i)*spacing, Latency: tr.Timeout, Status: trace.StatusOutlier,
+		})
+		id++
+	}
+	var buf bytes.Buffer
+	if err := gridstrat.WriteTraceCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// mustCreateUpload registers a small uploaded model and returns its info.
+func mustCreateUpload(t *testing.T, c *Client, id string, windowS float64) ModelInfo {
+	t.Helper()
+	doc := smallTraceCSV(t, id, 120, 100, 0, 10, 6)
+	info, err := c.CreateModel(context.Background(), CreateModelRequest{
+		ID: id, Format: "csv", Trace: doc, WindowS: windowS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, c := newTestServer(t)
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Models != 0 {
+		t.Fatalf("unexpected health %+v", h)
+	}
+}
+
+func TestCreateModelFromDataset(t *testing.T) {
+	_, _, c := newTestServer(t)
+	info, err := c.CreateModel(context.Background(), CreateModelRequest{ID: "paper", Dataset: "2006-IX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "paper" || info.Source != "dataset:2006-IX" || info.Version != 1 {
+		t.Fatalf("unexpected info %+v", info)
+	}
+	if info.Stats.Completed == 0 || info.Stats.Rho <= 0 {
+		t.Fatalf("stats not populated: %+v", info.Stats)
+	}
+
+	// Duplicate IDs conflict.
+	_, err = c.CreateModel(context.Background(), CreateModelRequest{ID: "paper", Dataset: "2006-IX"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict || apiErr.Code != "conflict" {
+		t.Fatalf("want 409 conflict, got %v", err)
+	}
+
+	// Unknown datasets are a client error.
+	_, err = c.CreateModel(context.Background(), CreateModelRequest{ID: "x", Dataset: "1999-00"})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400, got %v", err)
+	}
+}
+
+func TestCreateModelUploadShapes(t *testing.T) {
+	_, hs, c := newTestServer(t)
+	ctx := context.Background()
+
+	// Inline JSON shape with a CSV document.
+	mustCreateUpload(t, c, "inline", 0)
+
+	// Raw-body shape with a GWF document.
+	tr, err := gridstrat.ReadTraceCSV(strings.NewReader(smallTraceCSV(t, "raw", 80, 200, 0, 5, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gwf bytes.Buffer
+	if err := gridstrat.WriteTraceGWF(&gwf, tr); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadTrace(ctx, "rawgwf", "gwf", gwf.Bytes(), 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != "upload:gwf" || info.WindowS != 3600 {
+		t.Fatalf("unexpected info %+v", info)
+	}
+
+	// Listing returns both, sorted.
+	models, err := c.ListModels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models[0].ID != "inline" || models[1].ID != "rawgwf" {
+		t.Fatalf("unexpected listing %+v", models)
+	}
+
+	// A JSON content type carrying parameters still routes to the JSON
+	// shape (axios et al. default to "application/json; charset=utf-8").
+	resp, err := hs.Client().Post(hs.URL+"/v1/models", "application/json; charset=utf-8",
+		strings.NewReader(`{"id":"charset","dataset":"2006-IX"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("charset content type: status %d, want 201", resp.StatusCode)
+	}
+
+	// Missing id / missing source / both sources are client errors.
+	for _, body := range []string{
+		`{"dataset":"2006-IX"}`,
+		`{"id":"z"}`,
+		`{"id":"z","dataset":"2006-IX","trace":"x","format":"csv"}`,
+	} {
+		resp, err := hs.Client().Post(hs.URL+"/v1/models", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Negative rolling windows are rejected up front as client errors.
+	var apiErr *APIError
+	if _, err := c.CreateModel(ctx, CreateModelRequest{ID: "negwin", Dataset: "2006-IX", WindowS: -5}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("negative window_s: want 400, got %v", err)
+	}
+
+	// Malformed trace documents are client errors.
+	if _, err := c.CreateModel(ctx, CreateModelRequest{ID: "bad", Format: "csv", Trace: "not,a,trace"}); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+	if _, err := c.CreateModel(ctx, CreateModelRequest{ID: "bad", Format: "tsv", Trace: "x"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestGetAndDeleteModel(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	info, err := c.GetModel(ctx, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "m" || info.Stationarity != nil {
+		t.Fatalf("unexpected info %+v", info)
+	}
+
+	// Stationarity on demand: 120 completed probes spaced 10 s apart
+	// span 1290 s; 300 s analysis windows give several usable windows.
+	info, err = c.GetModel(ctx, "m", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stationarity == nil || info.Stationarity.Windows < 2 {
+		t.Fatalf("stationarity not populated: %+v", info.Stationarity)
+	}
+
+	// Adversarially tiny analysis windows are rejected, not spun on.
+	var apiErr2 *APIError
+	if _, err := c.GetModel(ctx, "m", 1e-12); !errors.As(err, &apiErr2) || apiErr2.Status != http.StatusBadRequest {
+		t.Fatalf("tiny window_s: want 400, got %v", err)
+	}
+
+	if err := c.DeleteModel(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *APIError
+	if _, err := c.GetModel(ctx, "m", 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("want 404 after delete, got %v", err)
+	}
+	if err := c.DeleteModel(ctx, "m"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("double delete: want 404, got %v", err)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	rec, err := c.Recommend(ctx, "m", RecommendRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Model != "m" || rec.Version != 1 {
+		t.Fatalf("unexpected response %+v", rec)
+	}
+	if rec.Recommendation.Eval.EJS <= 0 || rec.Recommendation.Summary == "" {
+		t.Fatalf("empty recommendation %+v", rec.Recommendation)
+	}
+
+	// A copy budget of 1 rules multiple submission out.
+	rec1, err := c.Recommend(ctx, "m", RecommendRequest{Options: &Options{MaxParallel: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Recommendation.Strategy == "multiple" {
+		t.Fatalf("multiple recommended under copy budget 1: %+v", rec1.Recommendation)
+	}
+
+	// Cheapest mode yields Δcost <= the fast recommendation's.
+	cheap, err := c.Recommend(ctx, "m", RecommendRequest{Cheapest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Recommendation.DeltaCost > rec.Recommendation.DeltaCost+1e-9 {
+		t.Fatalf("cheapest Δcost %v > fastest Δcost %v",
+			cheap.Recommendation.DeltaCost, rec.Recommendation.DeltaCost)
+	}
+
+	// Bad options are client errors.
+	var apiErr *APIError
+	if _, err := c.Recommend(ctx, "m", RecommendRequest{Options: &Options{MaxParallel: 0.5}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 for bad options, got %v", err)
+	}
+	// Unknown models are 404.
+	if _, err := c.Recommend(ctx, "ghost", RecommendRequest{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("want 404 for unknown model, got %v", err)
+	}
+	// An unsatisfiable Δcost budget is a computation failure (422).
+	if _, err := c.Recommend(ctx, "m", RecommendRequest{Options: &Options{Budget: 1e-9}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422 for unsatisfiable budget, got %v", err)
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	// Default ranking: the three families.
+	res, err := c.Rank(ctx, "m", RankRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 3 {
+		t.Fatalf("%d entries, want 3", len(res.Ranking))
+	}
+	for i := 1; i < len(res.Ranking); i++ {
+		if res.Ranking[i].Eval.EJS < res.Ranking[i-1].Eval.EJS {
+			t.Fatalf("ranking not sorted by EJ: %+v", res.Ranking)
+		}
+	}
+
+	// Explicit strategies, one pinned: evaluated as given.
+	pinned := res.Ranking[0]
+	res2, err := c.Rank(ctx, "m", RankRequest{Strategies: []StrategySpec{
+		{Strategy: "single"},
+		pinned.StrategySpec,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Ranking) != 2 {
+		t.Fatalf("%d entries, want 2", len(res2.Ranking))
+	}
+
+	// Unknown strategy names are client errors.
+	var apiErr *APIError
+	if _, err := c.Rank(ctx, "m", RankRequest{Strategies: []StrategySpec{{Strategy: "quantum"}}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400, got %v", err)
+	}
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	for _, name := range []string{"single", "multiple", "delayed"} {
+		res, err := c.Optimize(ctx, "m", OptimizeRequest{Strategy: StrategySpec{Strategy: name, B: 3}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Strategy.Strategy != name || res.Strategy.TInfS <= 0 || res.Eval.EJS <= 0 {
+			t.Fatalf("%s: unexpected result %+v", name, res)
+		}
+		if name == "multiple" && res.Strategy.B != 3 {
+			t.Fatalf("collection size not preserved: %+v", res.Strategy)
+		}
+	}
+
+	var apiErr *APIError
+	if _, err := c.Optimize(ctx, "m", OptimizeRequest{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("missing strategy: want 400, got %v", err)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	tuned, err := c.Optimize(ctx, "m", OptimizeRequest{Strategy: StrategySpec{Strategy: "single"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(42)
+	req := SimulateRequest{Strategy: tuned.Strategy, Runs: 4000, Options: &Options{Seed: &seed}}
+	res1, err := c.Simulate(ctx, "m", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Result.Runs != 4000 || res1.Result.EJS <= 0 {
+		t.Fatalf("unexpected result %+v", res1.Result)
+	}
+	// MC mean lands near the analytic expectation.
+	if res1.Result.EJS < tuned.Eval.EJS-5*res1.Result.StdErrS || res1.Result.EJS > tuned.Eval.EJS+5*res1.Result.StdErrS {
+		t.Fatalf("simulated EJ %v far from analytic %v (stderr %v)",
+			res1.Result.EJS, tuned.Eval.EJS, res1.Result.StdErrS)
+	}
+	// Seeded replays are reproducible at any parallelism.
+	res2, err := c.Simulate(ctx, "m", SimulateRequest{
+		Strategy: tuned.Strategy, Runs: 4000, Options: &Options{Seed: &seed, Workers: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Result != res2.Result {
+		t.Fatalf("seeded replay not reproducible: %+v vs %+v", res1.Result, res2.Result)
+	}
+	if res1.Seed != seed || res2.Seed != seed {
+		t.Fatalf("request seed not echoed: %d, %d, want %d", res1.Seed, res2.Seed, seed)
+	}
+
+	// Unseeded replays draw fresh seeds: independent samples, with the
+	// drawn seed echoed so the run stays reproducible after the fact.
+	u1, err := c.Simulate(ctx, "m", SimulateRequest{Strategy: tuned.Strategy, Runs: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := c.Simulate(ctx, "m", SimulateRequest{Strategy: tuned.Strategy, Runs: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Seed == u2.Seed || u1.Result == u2.Result {
+		t.Fatalf("unseeded replays not independent: seeds %d/%d, results %+v vs %+v",
+			u1.Seed, u2.Seed, u1.Result, u2.Result)
+	}
+	echoed := u1.Seed
+	r1, err := c.Simulate(ctx, "m", SimulateRequest{Strategy: tuned.Strategy, Runs: 4000, Options: &Options{Seed: &echoed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Result != u1.Result {
+		t.Fatalf("echoed seed did not reproduce the unseeded run: %+v vs %+v", r1.Result, u1.Result)
+	}
+
+	var apiErr *APIError
+	// Unparameterized strategies cannot be replayed.
+	if _, err := c.Simulate(ctx, "m", SimulateRequest{Strategy: StrategySpec{Strategy: "single"}, Runs: 100}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422, got %v", err)
+	}
+	// Run counts are validated and capped.
+	if _, err := c.Simulate(ctx, "m", SimulateRequest{Strategy: tuned.Strategy, Runs: 0}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("runs=0: want 400, got %v", err)
+	}
+	if _, err := c.Simulate(ctx, "m", SimulateRequest{Strategy: tuned.Strategy, Runs: 1 << 30}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("huge runs: want 400, got %v", err)
+	}
+}
+
+func TestMakespanEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	app := ApplicationJSON{Tasks: 100, WaveWidth: 20, RuntimeS: 30}
+
+	// Recommended strategy.
+	res, err := c.Makespan(ctx, "m", MakespanRequest{App: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.MakespanS <= 0 || res.B != 0 {
+		t.Fatalf("unexpected estimate %+v", res)
+	}
+
+	// Explicit strategy.
+	res2, err := c.Makespan(ctx, "m", MakespanRequest{App: app, Strategy: &StrategySpec{Strategy: "multiple", B: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Estimate.MakespanS <= 0 {
+		t.Fatalf("unexpected estimate %+v", res2)
+	}
+
+	// Smallest collection under a generous deadline: b=1 suffices.
+	res3, err := c.Makespan(ctx, "m", MakespanRequest{
+		App: app, MaxB: 5, Options: &Options{DeadlineS: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.B != 1 {
+		t.Fatalf("b=%d under an infinite deadline, want 1", res3.B)
+	}
+
+	var apiErr *APIError
+	// Invalid application shape.
+	if _, err := c.Makespan(ctx, "m", MakespanRequest{App: ApplicationJSON{Tasks: 0, WaveWidth: 5}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400, got %v", err)
+	}
+	// max_b needs a deadline.
+	if _, err := c.Makespan(ctx, "m", MakespanRequest{App: app, MaxB: 5}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("max_b without deadline: want 422, got %v", err)
+	}
+	// A deadline no collection size can meet is an explicit 422, not a
+	// zero-valued 200.
+	if _, err := c.Makespan(ctx, "m", MakespanRequest{App: app, MaxB: 3, Options: &Options{DeadlineS: 0.001}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible deadline: want 422, got %v", err)
+	}
+	// A negative max_b is rejected, not silently treated as absent.
+	if _, err := c.Makespan(ctx, "m", MakespanRequest{App: app, MaxB: -5}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("negative max_b: want 400, got %v", err)
+	}
+	// max_b and strategy are mutually exclusive.
+	if _, err := c.Makespan(ctx, "m", MakespanRequest{App: app, MaxB: 5, Strategy: &StrategySpec{Strategy: "single"}, Options: &Options{DeadlineS: 1e9}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("max_b+strategy: want 400, got %v", err)
+	}
+}
+
+// TestObservationsShiftRecommendation is the acceptance-criteria
+// assertion: posting observations visibly shifts a subsequent
+// recommendation. The uploaded model sees ~100 s latencies; streaming
+// a much slower regime through the rolling window (which drops the
+// fast history) must raise the recommended strategy's expected
+// latency.
+func TestObservationsShiftRecommendation(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+
+	// Window of 2000 s; the seed trace spans 1260 s of submits.
+	mustCreateUpload(t, c, "drift", 2000)
+
+	before, err := c.Recommend(ctx, "drift", RecommendRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream a 10× slower regime far enough ahead that the old records
+	// fall out of the window.
+	slow := make([]float64, 150)
+	for i := range slow {
+		slow[i] = 900 + 20*float64(i%7)
+	}
+	start := 10000.0
+	obs, err := c.Observe(ctx, "drift", ObserveRequest{Latencies: slow, Outliers: 10, StartS: &start, SpacingS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Version != 2 {
+		t.Fatalf("version %d after one batch, want 2", obs.Version)
+	}
+	if obs.Dropped == 0 {
+		t.Fatalf("no records dropped from the rolling window: %+v", obs)
+	}
+	if obs.WindowRecords != obs.Appended {
+		t.Fatalf("window should hold only the new regime: %+v", obs)
+	}
+
+	after, err := c.Recommend(ctx, "drift", RecommendRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Version != 2 {
+		t.Fatalf("recommendation computed on version %d, want 2", after.Version)
+	}
+	if after.Recommendation.Eval.EJS < 3*before.Recommendation.Eval.EJS {
+		t.Fatalf("recommendation did not shift with the regime: before EJ=%v, after EJ=%v",
+			before.Recommendation.Eval.EJS, after.Recommendation.Eval.EJS)
+	}
+}
+
+func TestObservationsValidation(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	var apiErr *APIError
+	cases := []ObserveRequest{
+		{},                                      // empty batch
+		{Latencies: []float64{-1}},              // negative latency
+		{Latencies: []float64{1e12}},            // beyond timeout
+		{Latencies: []float64{1}, Outliers: -1}, // negative outliers
+		{Outliers: 1 << 30},                     // absurd batch size
+		{Latencies: []float64{1}, StartS: f64(1e300)},          // submit beyond float-safe range
+		{Latencies: []float64{1}, StartS: f64(-1)},             // negative submit
+		{Latencies: []float64{1}, SpacingS: 1e18},              // spacing would freeze the cursor
+		{Latencies: []float64{1}, Outliers: math.MaxInt64 - 5}, // int-overflow probe on the batch cap
+	}
+	for i, req := range cases {
+		if _, err := c.Observe(ctx, "m", req); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("case %d: want 400, got %v", i, err)
+		}
+	}
+
+	// A batch that would leave the window without any completed probe
+	// is rejected atomically: the model keeps its previous state.
+	start := 1e7
+	if _, err := c.Observe(ctx, "m", ObserveRequest{Outliers: 50, StartS: &start}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("all-outlier window: want 422, got %v", err)
+	}
+	info, err := c.GetModel(ctx, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("failed batch bumped version to %d", info.Version)
+	}
+	if _, err := c.Recommend(ctx, "m", RecommendRequest{}); err != nil {
+		t.Fatalf("model unusable after rejected batch: %v", err)
+	}
+}
+
+func TestMalformedBodies(t *testing.T) {
+	_, hs, c := newTestServer(t)
+	mustCreateUpload(t, c, "m", 0)
+
+	paths := []string{
+		"/v1/models",
+		"/v1/models/m/recommend",
+		"/v1/models/m/rank",
+		"/v1/models/m/optimize",
+		"/v1/models/m/simulate",
+		"/v1/models/m/makespan",
+		"/v1/models/m/observations",
+	}
+	for _, path := range paths {
+		resp, err := hs.Client().Post(hs.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env ErrorEnvelope
+		if err := jsonDecode(resp, &env); err != nil {
+			t.Fatalf("%s: error envelope not decodable: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest || env.Error.Code != "bad_request" {
+			t.Fatalf("%s: status %d code %q, want 400 bad_request", path, resp.StatusCode, env.Error.Code)
+		}
+	}
+
+	// Endpoints requiring a body reject an empty one.
+	for _, path := range []string{"/v1/models/m/optimize", "/v1/models/m/simulate", "/v1/models/m/makespan", "/v1/models/m/observations"} {
+		resp, err := hs.Client().Post(hs.URL+path, "application/json", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with empty body: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownModel404(t *testing.T) {
+	_, hs, _ := newTestServer(t)
+	reqs := []struct{ method, path string }{
+		{http.MethodGet, "/v1/models/ghost"},
+		{http.MethodDelete, "/v1/models/ghost"},
+		{http.MethodPost, "/v1/models/ghost/recommend"},
+		{http.MethodPost, "/v1/models/ghost/rank"},
+		{http.MethodPost, "/v1/models/ghost/optimize"},
+		{http.MethodPost, "/v1/models/ghost/simulate"},
+		{http.MethodPost, "/v1/models/ghost/makespan"},
+		{http.MethodPost, "/v1/models/ghost/observations"},
+	}
+	for _, tc := range reqs {
+		req, err := http.NewRequest(tc.method, hs.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env ErrorEnvelope
+		if err := jsonDecode(resp, &env); err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		if resp.StatusCode != http.StatusNotFound || env.Error.Code != "not_found" {
+			t.Fatalf("%s %s: status %d code %q, want 404 not_found",
+				tc.method, tc.path, resp.StatusCode, env.Error.Code)
+		}
+	}
+}
+
+// TestCancelledRequest exercises the context path: a request arriving
+// with an already-cancelled context must not burn the optimizer
+// budget and must map to the 499 envelope.
+func TestCancelledRequest(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	tr, err := gridstrat.ReadTraceCSV(strings.NewReader(smallTraceCSV(t, "c", 120, 100, 0, 10, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Put("c", "upload:csv", 1e6, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/models/c/recommend", strings.NewReader("{}")).WithContext(ctx)
+	rw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw, req)
+	if rw.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want %d (body %s)", rw.Code, statusClientClosedRequest, rw.Body)
+	}
+	if !strings.Contains(rw.Body.String(), "cancelled") {
+		t.Fatalf("unexpected body %s", rw.Body)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 0)
+
+	if _, err := c.Recommend(ctx, "m", RecommendRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recommend(ctx, "ghost", RecommendRequest{}); err == nil {
+		t.Fatal("ghost model should 404")
+	}
+	if _, err := c.Observe(ctx, "m", ObserveRequest{Latencies: []float64{50, 60}}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Models != 1 || st.Capacity <= 0 || len(st.Shards) == 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	if st.Totals.Hits < 2 || st.Totals.Misses < 1 {
+		t.Fatalf("counters not advancing: %+v", st.Totals)
+	}
+	if st.Totals.IngestBatches != 1 || st.Totals.IngestRecords != 2 {
+		t.Fatalf("ingest counters %+v", st.Totals)
+	}
+}
+
+// f64 returns a pointer to the value, for optional wire fields.
+func f64(v float64) *float64 { return &v }
+
+// jsonDecode decodes a response body and closes it.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("decoding %s: %w", resp.Request.URL, err)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// loggingMiddleware writes one line per request: method, path,
+// status, duration.
+func loggingMiddleware(l *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		l.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// recoverMiddleware converts handler panics into a 500 envelope so
+// one bad request cannot take the daemon down. If the header already
+// went out there is nothing to be done beyond closing the stream —
+// WriteHeader would just log a superfluous-call warning.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// net/http's sanctioned abort: let it propagate so
+					// the connection is dropped silently as documented.
+					panic(p)
+				}
+				if rec.status == 0 {
+					writeError(w, http.StatusInternalServerError, "internal",
+						"internal error (see server log)")
+				}
+				log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gridstrat"
+	"gridstrat/internal/trace"
+)
+
+// TestConcurrentIngestAndQuery hammers one model from 8 goroutines —
+// half streaming observation batches (each swapping in a rebuilt
+// model), half running recommend/rank/simulate/stats queries — and
+// checks that every request either succeeds or fails with a declared
+// API error. Run under -race this pins the registry's concurrency
+// story: RWMutex-per-shard lookups, atomic model-state swaps, and the
+// ingest lock serializing rebuilds.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+
+	// A generous window so ingestion only ever grows the trace: the
+	// point here is contention, not drift.
+	mustCreateUpload(t, c, "hot", 1e9)
+
+	const (
+		writers       = 4
+		readers       = 4
+		opsPerRoutine = 12
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, (writers+readers)*opsPerRoutine)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerRoutine; i++ {
+				lat := []float64{80 + float64(w), 120 + float64(i), 95}
+				if _, err := c.Observe(ctx, "hot", ObserveRequest{Latencies: lat, Outliers: i % 2}); err != nil {
+					errc <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	seed := uint64(9)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < opsPerRoutine; i++ {
+				var err error
+				switch i % 4 {
+				case 0:
+					_, err = c.Recommend(ctx, "hot", RecommendRequest{})
+				case 1:
+					_, err = c.Rank(ctx, "hot", RankRequest{})
+				case 2:
+					_, err = c.Simulate(ctx, "hot", SimulateRequest{
+						Strategy: StrategySpec{Strategy: "single", TInfS: 600},
+						Runs:     2000,
+						Options:  &Options{Seed: &seed},
+					})
+				case 3:
+					_, err = c.Stats(ctx)
+				}
+				if err != nil {
+					errc <- fmt.Errorf("reader %d op %d: %w", r, i, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Every writer batch landed: version == 1 + writers·ops.
+	info, err := c.GetModel(ctx, "hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1 + writers*opsPerRoutine); info.Version != want {
+		t.Fatalf("version %d after %d batches, want %d", info.Version, writers*opsPerRoutine, want)
+	}
+}
+
+// TestRegistryLRUEviction pins the per-shard LRU: filling a
+// one-shard registry past its capacity evicts the least-recently-used
+// entry and counts it.
+func TestRegistryLRUEviction(t *testing.T) {
+	reg := NewRegistry(1, 3)
+	tr, err := gridstrat.ReadTraceCSV(strings.NewReader(smallTraceCSV(t, "lru", 40, 100, 0, 5, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := reg.Put(id, "upload:csv", 1e6, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a and c so b is the LRU victim.
+	if _, err := reg.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("d", "upload:csv", 1e6, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("b should have been evicted, got %v", err)
+	}
+	for _, id := range []string{"a", "c", "d"} {
+		if _, err := reg.Get(id); err != nil {
+			t.Fatalf("%s missing after eviction: %v", id, err)
+		}
+	}
+	var evictions uint64
+	for _, sh := range reg.Stats() {
+		evictions += sh.Evictions
+	}
+	if evictions != 1 {
+		t.Fatalf("%d evictions recorded, want 1", evictions)
+	}
+}
+
+// TestObserveRebasesNearCeiling pins the self-healing cursor: when
+// the default submit cursor approaches the absolute ceiling, Observe
+// re-bases the whole window onto t = 0 instead of wedging ingestion.
+func TestObserveRebasesNearCeiling(t *testing.T) {
+	reg := NewRegistry(1, 4)
+	tr := &trace.Trace{Name: "r", Timeout: trace.DefaultTimeout}
+	base := 9.9999999e12 // just under maxTraceSubmit
+	for i := 0; i < 50; i++ {
+		tr.Records = append(tr.Records, trace.ProbeRecord{
+			ID: i, Submit: base + float64(i), Latency: 100, Status: trace.StatusCompleted,
+		})
+	}
+	e, err := reg.Put("r", "upload:csv", 1e8, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default cursor would land at base+49+1e6 and the projected batch
+	// end past maxTraceSubmit: the window must re-base, not error.
+	res, err := e.Observe([]trace.ProbeRecord{
+		{Latency: 120, Status: trace.StatusCompleted},
+		{Latency: 130, Status: trace.StatusCompleted},
+	}, nil, maxSpacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.State.Trace.Records {
+		if r.Submit > 1e9 {
+			t.Fatalf("record %d not re-based: submit %g", r.ID, r.Submit)
+		}
+	}
+	if got := len(res.State.Trace.Records); got != 52 {
+		t.Fatalf("window holds %d records, want 52 (nothing trimmed under the 1e8 window)", got)
+	}
+	// Ingestion keeps working afterwards.
+	if _, err := e.Observe([]trace.ProbeRecord{{Latency: 140, Status: trace.StatusCompleted}}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryShardDistribution sanity-checks that IDs spread across
+// shards rather than piling onto one.
+func TestRegistryShardDistribution(t *testing.T) {
+	reg := NewRegistry(8, 256)
+	tr, err := gridstrat.ReadTraceCSV(strings.NewReader(smallTraceCSV(t, "sh", 40, 100, 0, 5, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := reg.Put(fmt.Sprintf("model-%d", i), "upload:csv", 1e6, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occupied := 0
+	for _, sh := range reg.Stats() {
+		if sh.Models > 0 {
+			occupied++
+		}
+	}
+	if occupied < 4 {
+		t.Fatalf("32 models landed on only %d/8 shards", occupied)
+	}
+	if reg.Len() != 32 {
+		t.Fatalf("Len %d, want 32", reg.Len())
+	}
+}

@@ -1,0 +1,438 @@
+// Package server implements gridstratd, the long-running HTTP/JSON
+// planning service over the gridstrat library: a sharded model
+// registry mapping model IDs to memoized Planners, query endpoints for
+// every Planner question (recommend, rank, optimize, simulate,
+// makespan), and a trace-ingestion endpoint that turns the paper's
+// weekly tuning loop (§7.2) into a continuous rolling-window rebuild.
+//
+// The package is wired together by three layers: Registry (sharded,
+// RWMutex-per-shard storage of model entries with LRU eviction and
+// atomic model swaps), Server (route handlers, codecs, middleware),
+// and Client (a typed Go client used by the handler tests and the
+// examples).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridstrat"
+	"gridstrat/internal/trace"
+)
+
+// Registry errors reported to handlers; the HTTP layer maps them to
+// 404, 409 and 400 envelopes respectively.
+var (
+	ErrNotFound = errors.New("server: model not found")
+	ErrExists   = errors.New("server: model already exists")
+	ErrInvalid  = errors.New("server: invalid argument")
+)
+
+// ModelState is one immutable snapshot of a registered model: the
+// rolling-window trace it was built from, the memoized latency model
+// shared by every Planner answering queries on it, and the summary
+// statistics of the window. Ingestion never mutates a ModelState; it
+// builds a successor and swaps the entry's pointer, so in-flight
+// queries keep computing on the snapshot they started with.
+type ModelState struct {
+	Trace   *trace.Trace // records inside the rolling window
+	Model   gridstrat.Model
+	Stats   trace.Stats
+	Version int64     // bumped on every successful rebuild
+	Built   time.Time // when this snapshot was constructed
+}
+
+// newModelState builds the model snapshot of a windowed trace. The
+// returned state's Model is the memoizing wrapper of a throwaway
+// Planner, so every per-request Planner constructed over it shares one
+// integral cache (NewPlanner detects an already-memoized model and
+// does not double-wrap).
+func newModelState(tr *trace.Trace, version int64) (*ModelState, error) {
+	em, err := gridstrat.ModelFromTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	p, err := gridstrat.NewPlanner(em)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelState{
+		Trace:   tr,
+		Model:   p.Model(),
+		Stats:   tr.ComputeStats(),
+		Version: version,
+		Built:   time.Now(),
+	}, nil
+}
+
+// Entry is one registered model. The queryable state lives behind an
+// atomic pointer: readers Load it without any entry-level lock, and
+// Observe swaps in a rebuilt snapshot, so queries and ingestion never
+// block each other. Only ingestion batches are serialized (ingestMu),
+// because each rebuild must extend its predecessor's window.
+type Entry struct {
+	ID     string
+	Source string  // "dataset:<name>" or "upload:<format>"
+	Window float64 // rolling-window width, seconds
+
+	state atomic.Pointer[ModelState]
+
+	// lastUsed is the entry's LRU clock (unix nanoseconds of the most
+	// recent Get), advanced with an atomic store so lookups stay on the
+	// shard's read lock; eviction picks the smallest value.
+	lastUsed atomic.Int64
+
+	ingestMu sync.Mutex
+	nextID   int // next free probe-record ID, guarded by ingestMu
+}
+
+// State returns the entry's current immutable model snapshot.
+func (e *Entry) State() *ModelState { return e.state.Load() }
+
+// ObserveResult summarizes one ingestion batch.
+type ObserveResult struct {
+	State    *ModelState // snapshot after the swap
+	Appended int         // records added by the batch
+	Dropped  int         // records that fell out of the rolling window
+}
+
+// maxWindowWidth bounds a model's rolling-window width (~317 years).
+// An unbounded (or infinite — ParseFloat accepts "Inf") window would
+// never trim, so every ingestion batch would grow the trace and the
+// per-rebuild cost without limit; it also keeps the re-based submit
+// span small enough that the Observe cursor stays below its ceiling.
+const maxWindowWidth = 1e10
+
+// maxTraceSubmit is the absolute ceiling on record submit times
+// (~0.1% of float64's 2^53 integer range): past it, cursor + spacing
+// could stop changing the float64 cursor and the rolling-window
+// cutoff would freeze. Handler-level per-batch bounds keep normal
+// traffic far below this; the check here makes the invariant durable
+// across arbitrarily many batches.
+const maxTraceSubmit = 1e13
+
+// Observe appends probe records to the entry's trace, trims the
+// result to the trailing rolling window, rebuilds the latency model
+// and atomically swaps it in. The batch is all-or-nothing: if the
+// windowed trace cannot support a model (for example, every remaining
+// record is an outlier), the entry keeps its previous state and the
+// error is returned.
+//
+// Record IDs and submit times are assigned under the entry's ingest
+// lock, so concurrent batches interleave cleanly: each record is
+// stamped spacing seconds after its predecessor, starting at *start
+// when given and right after the window's newest record otherwise.
+// Callers only provide Latency and Status.
+//
+// Observe holds no registry lock, so a batch racing a Delete (or an
+// LRU eviction) of the same model can be acknowledged against the
+// departing entry; the outcome is identical to the delete landing
+// just after the batch, so acknowledged-then-deleted is the same
+// at-most-once contract either way.
+func (e *Entry) Observe(recs []trace.ProbeRecord, start *float64, spacing float64) (ObserveResult, error) {
+	if len(recs) == 0 {
+		return ObserveResult{}, fmt.Errorf("server: empty observation batch")
+	}
+	if spacing <= 0 {
+		spacing = 1
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+
+	old := e.state.Load()
+	cursor := 0.0
+	if start != nil {
+		cursor = *start
+	} else {
+		for _, r := range old.Trace.Records {
+			if s := r.Submit + spacing; s > cursor {
+				cursor = s
+			}
+		}
+	}
+	// When the default cursor approaches the ceiling, re-base the
+	// window onto t = 0: trimming depends only on relative submit
+	// times, so shifting every record preserves each decision while
+	// resetting the cursor far below the ceiling (the post-trim span
+	// is at most the window width) — ingestion can never wedge itself.
+	offset := 0.0
+	if start == nil && cursor+spacing*float64(len(recs)) > maxTraceSubmit {
+		offset = math.Inf(1)
+		for _, r := range old.Trace.Records {
+			offset = math.Min(offset, r.Submit)
+		}
+		cursor -= offset
+	}
+	combined := &trace.Trace{
+		Name:    old.Trace.Name,
+		Timeout: old.Trace.Timeout,
+		Records: make([]trace.ProbeRecord, 0, len(old.Trace.Records)+len(recs)),
+	}
+	for _, r := range old.Trace.Records {
+		r.Submit -= offset
+		combined.Records = append(combined.Records, r)
+	}
+	id := e.nextID
+	for _, r := range recs {
+		r.ID = id
+		r.Submit = cursor
+		id++
+		cursor += spacing
+		combined.Records = append(combined.Records, r)
+	}
+	if cursor > maxTraceSubmit {
+		return ObserveResult{}, fmt.Errorf("server: submit cursor %g past the %g ceiling", cursor, float64(maxTraceSubmit))
+	}
+	if err := combined.Validate(); err != nil {
+		return ObserveResult{}, err
+	}
+	windowed, err := trace.LastWindow(combined, e.Window)
+	if err != nil {
+		return ObserveResult{}, err
+	}
+	next, err := newModelState(windowed, old.Version+1)
+	if err != nil {
+		return ObserveResult{}, fmt.Errorf("rebuilding windowed model: %w", err)
+	}
+	e.nextID = id
+	e.state.Store(next)
+	return ObserveResult{
+		State:    next,
+		Appended: len(recs),
+		Dropped:  len(combined.Records) - len(windowed.Records),
+	}, nil
+}
+
+// ShardStats is one shard's counter snapshot (or, summed, the
+// registry totals reported by /v1/stats).
+type ShardStats struct {
+	Models        int    `json:"models"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	IngestBatches uint64 `json:"ingest_batches"`
+	IngestRecords uint64 `json:"ingest_records"`
+}
+
+type registryShard struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	ingestBatches atomic.Uint64
+	ingestRecords atomic.Uint64
+}
+
+// Registry is the sharded model store. Model IDs are hashed onto a
+// fixed set of shards, each guarded by its own RWMutex, so lookups
+// from concurrent query handlers only contend within a shard — and
+// only on its read lock, since the LRU clock is advanced atomically.
+// Each shard holds at most ⌈capacity/shards⌉ entries; inserting past
+// that evicts the shard's least-recently-used entry (per-shard LRU is
+// the usual sharded approximation of a global LRU: an entry can be
+// evicted while a colder one survives in a different shard, in
+// exchange for never taking a cross-shard lock).
+type Registry struct {
+	shards   []*registryShard
+	perShard int
+	capacity int
+}
+
+// NewRegistry builds a registry with the given shard count and total
+// capacity. Non-positive arguments fall back to 8 shards / 256
+// models.
+func NewRegistry(shards, capacity int) *Registry {
+	if shards <= 0 {
+		shards = 8
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if capacity < shards {
+		capacity = shards // at least one model per shard
+	}
+	r := &Registry{
+		shards:   make([]*registryShard, shards),
+		perShard: (capacity + shards - 1) / shards,
+		capacity: capacity,
+	}
+	for i := range r.shards {
+		r.shards[i] = &registryShard{entries: make(map[string]*Entry)}
+	}
+	return r
+}
+
+// Capacity returns the registry's total model capacity.
+func (r *Registry) Capacity() int { return r.capacity }
+
+// shardFor hashes the ID onto its shard with an inline FNV-1a (the
+// hash/fnv API would allocate a hasher plus a []byte copy of the ID
+// on every registry operation — the service's hottest path).
+func (r *Registry) shardFor(id string) *registryShard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return r.shards[h%uint32(len(r.shards))]
+}
+
+// Put registers a model built from the trace under the given ID,
+// evicting the shard's least-recently-used entry when the shard is
+// full. The trace is trimmed to the trailing rolling window first, so
+// the ModelState invariant — records inside the window — holds from
+// registration, not only after the first observation batch. It
+// returns ErrExists if the ID is already registered and wraps
+// ErrInvalid for out-of-range arguments.
+func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Entry, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty model id", ErrInvalid)
+	}
+	if !(window > 0 && window <= maxWindowWidth) {
+		return nil, fmt.Errorf("%w: window %v outside (0, %g]", ErrInvalid, window, float64(maxWindowWidth))
+	}
+	// Cheap duplicate check before the expensive model build; the
+	// authoritative check re-runs under the write lock below (two
+	// concurrent Puts of one ID can both pass this one).
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	_, dup := sh.entries[id]
+	sh.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	windowed, err := trace.LastWindow(tr, window)
+	if err != nil {
+		return nil, err
+	}
+	state, err := newModelState(windowed, 1)
+	if err != nil {
+		return nil, err
+	}
+	// IDs stay unique against the full seed trace, including records
+	// the window trim dropped.
+	maxID := 0
+	for _, rec := range tr.Records {
+		if rec.ID >= maxID {
+			maxID = rec.ID + 1
+		}
+	}
+	e := &Entry{ID: id, Source: source, Window: window, nextID: maxID}
+	e.state.Store(state)
+	e.lastUsed.Store(time.Now().UnixNano())
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if len(sh.entries) >= r.perShard {
+		sh.evictLocked()
+	}
+	sh.entries[id] = e
+	return e, nil
+}
+
+// evictLocked removes the shard's least-recently-used entry. Caller
+// holds the shard write lock.
+func (sh *registryShard) evictLocked() {
+	var victim string
+	oldest := int64(1<<63 - 1)
+	for id, e := range sh.entries {
+		if t := e.lastUsed.Load(); t < oldest {
+			oldest, victim = t, id
+		}
+	}
+	if victim != "" {
+		delete(sh.entries, victim)
+		sh.evictions.Add(1)
+	}
+}
+
+// Get returns the entry for the ID, touching its LRU clock and the
+// shard's hit/miss counters.
+func (r *Registry) Get(id string) (*Entry, error) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.entries[id]
+	sh.mu.RUnlock()
+	if !ok {
+		sh.misses.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	sh.hits.Add(1)
+	e.lastUsed.Store(time.Now().UnixNano())
+	return e, nil
+}
+
+// Delete removes the entry for the ID, reporting whether it existed.
+func (r *Registry) Delete(id string) bool {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[id]; !ok {
+		return false
+	}
+	delete(sh.entries, id)
+	return true
+}
+
+// noteIngest records one ingestion batch in the owning shard's
+// counters.
+func (r *Registry) noteIngest(id string, records int) {
+	sh := r.shardFor(id)
+	sh.ingestBatches.Add(1)
+	sh.ingestRecords.Add(uint64(records))
+}
+
+// List returns every registered entry sorted by ID.
+func (r *Registry) List() []*Entry {
+	var out []*Entry
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns a per-shard counter snapshot.
+func (r *Registry) Stats() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i, sh := range r.shards {
+		sh.mu.RLock()
+		models := len(sh.entries)
+		sh.mu.RUnlock()
+		out[i] = ShardStats{
+			Models:        models,
+			Hits:          sh.hits.Load(),
+			Misses:        sh.misses.Load(),
+			Evictions:     sh.evictions.Load(),
+			IngestBatches: sh.ingestBatches.Load(),
+			IngestRecords: sh.ingestRecords.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"gridstrat"
+	"gridstrat/internal/trace"
+)
+
+// Config tunes a Server. The zero value is usable: every field falls
+// back to the default documented on it.
+type Config struct {
+	// Shards is the registry shard count (default 8).
+	Shards int
+	// MaxModels caps the registry size; inserting past it evicts the
+	// least-recently-used model of the target shard (default 256).
+	MaxModels int
+	// DefaultWindow is the rolling-window width (seconds) of models
+	// created without an explicit window_s (default 7 days — the
+	// paper's weekly tuning granularity).
+	DefaultWindow float64
+	// MaxBodyBytes bounds request bodies, trace uploads included
+	// (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxRuns caps the per-request Monte Carlo run count
+	// (default 2,000,000).
+	MaxRuns int
+	// MaxWorkers caps the per-request parallelism degree; larger
+	// requests are clamped, not rejected (default GOMAXPROCS).
+	MaxWorkers int
+	// Logger receives one line per request; nil disables request
+	// logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 256
+	}
+	if c.DefaultWindow <= 0 {
+		c.DefaultWindow = 7 * 24 * 3600
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 2_000_000
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is the gridstratd HTTP planning service: a model registry
+// plus the route handlers of the /v1 API. Construct it with New, then
+// serve Handler() with any http.Server. A Server is safe for
+// concurrent use; all mutable state lives in the registry.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server with an empty registry.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+	}
+	s.reg = NewRegistry(s.cfg.Shards, s.cfg.MaxModels)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// routes registers every endpoint. docs/openapi.yaml is the normative
+// description of this surface; the two must list exactly the same
+// routes.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/models", s.handleCreateModel)
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
+	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
+	s.mux.HandleFunc("POST /v1/models/{id}/recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /v1/models/{id}/rank", s.handleRank)
+	s.mux.HandleFunc("POST /v1/models/{id}/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/models/{id}/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/models/{id}/makespan", s.handleMakespan)
+	s.mux.HandleFunc("POST /v1/models/{id}/observations", s.handleObservations)
+}
+
+// Handler returns the service's HTTP handler: the route mux wrapped
+// in panic recovery and (when configured) request logging.
+func (s *Server) Handler() http.Handler {
+	var h http.Handler = s.mux
+	h = recoverMiddleware(h)
+	if s.cfg.Logger != nil {
+		h = loggingMiddleware(s.cfg.Logger, h)
+	}
+	return h
+}
+
+// Registry exposes the model registry (used by the daemon for preload
+// and by tests for direct inspection).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Preload registers the named paper datasets (or every one of them
+// for the single name "all") under their dataset names.
+func (s *Server) Preload(names ...string) error {
+	if len(names) == 1 && names[0] == "all" {
+		names = nil
+		for _, spec := range gridstrat.PaperDatasets() {
+			names = append(names, spec.Name)
+		}
+	}
+	for _, name := range names {
+		tr, err := gridstrat.SynthesizeDataset(name)
+		if err != nil {
+			return err
+		}
+		if _, err := s.reg.Put(name, "dataset:"+name, s.cfg.DefaultWindow, tr); err != nil {
+			return fmt.Errorf("preloading %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// plannerFor builds the per-request Planner: the entry's memoized
+// model (so every request on one model snapshot shares one integral
+// cache), the request context (so a dropped connection cancels the
+// optimization mid-scan), and the request's constraint options. The
+// server-wide worker cap is applied first so it also binds requests
+// that omit the workers option (whose Planner default, GOMAXPROCS,
+// may exceed the cap); an explicit clamped option overrides it.
+func (s *Server) plannerFor(r *http.Request, st *ModelState, o *Options) (*gridstrat.Planner, error) {
+	opts := []gridstrat.PlannerOption{
+		gridstrat.WithContext(r.Context()),
+		gridstrat.WithParallelism(s.cfg.MaxWorkers),
+	}
+	opts = append(opts, o.plannerOptions(s.cfg.MaxWorkers)...)
+	return gridstrat.NewPlanner(st.Model, opts...)
+}
+
+// parseTrace decodes an uploaded trace document in the given format.
+func parseTrace(format, doc string) (*trace.Trace, error) {
+	switch format {
+	case "csv":
+		return gridstrat.ReadTraceCSV(strings.NewReader(doc))
+	case "gwf":
+		return gridstrat.ReadTraceGWF(strings.NewReader(doc))
+	case "json":
+		return gridstrat.ReadTraceJSON(strings.NewReader(doc))
+	default:
+		return nil, fmt.Errorf("unknown trace format %q (want csv, gwf or json)", format)
+	}
+}

@@ -53,6 +53,36 @@ func WindowStats(t *Trace, window float64) ([]Stats, error) {
 	return out, nil
 }
 
+// LastWindow returns the sub-trace of records whose submit time falls
+// inside the trailing window of the given width: every record with
+// Submit >= max(Submit) - width. It is the rolling-window primitive of
+// the continuous tuning loop (§7.2 run online): append fresh probe
+// observations, keep only the trailing window, rebuild the latency
+// model. Record IDs and submit times are preserved; the input trace is
+// not modified. An empty trace yields ErrNoCompleted.
+func LastWindow(t *Trace, width float64) (*Trace, error) {
+	if width <= 0 || math.IsNaN(width) {
+		return nil, fmt.Errorf("trace: non-positive window %v", width)
+	}
+	if len(t.Records) == 0 {
+		return nil, ErrNoCompleted
+	}
+	maxSubmit := t.Records[0].Submit
+	for _, r := range t.Records[1:] {
+		if r.Submit > maxSubmit {
+			maxSubmit = r.Submit
+		}
+	}
+	cutoff := maxSubmit - width
+	out := &Trace{Name: t.Name, Timeout: t.Timeout}
+	for _, r := range t.Records {
+		if r.Submit >= cutoff {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out, nil
+}
+
 // StationarityReport summarizes how stationary a trace's latency
 // process is over submit time.
 type StationarityReport struct {

@@ -65,6 +65,50 @@ func TestWindowStatsSkipsEmptyWindows(t *testing.T) {
 	}
 }
 
+func TestLastWindow(t *testing.T) {
+	tr := &Trace{Name: "roll", Timeout: 1000}
+	for i := 0; i < 10; i++ {
+		tr.Records = append(tr.Records, ProbeRecord{
+			ID: i, Submit: float64(i) * 100, Latency: 50, Status: StatusCompleted,
+		})
+	}
+	// max submit = 900; width 250 keeps submits >= 650: 700, 800, 900.
+	w, err := LastWindow(tr, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Records) != 3 {
+		t.Fatalf("%d records in window, want 3", len(w.Records))
+	}
+	for _, r := range w.Records {
+		if r.Submit < 650 {
+			t.Fatalf("record %d (submit %v) outside window", r.ID, r.Submit)
+		}
+	}
+	if len(tr.Records) != 10 {
+		t.Fatalf("input trace mutated: %d records", len(tr.Records))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A width covering everything keeps everything.
+	all, err := LastWindow(tr, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Records) != 10 {
+		t.Fatalf("%d records, want all 10", len(all.Records))
+	}
+
+	if _, err := LastWindow(tr, 0); err == nil {
+		t.Fatal("zero width should fail")
+	}
+	if _, err := LastWindow(&Trace{Name: "e", Timeout: 10}, 100); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+}
+
 func TestAnalyzeStationaritySyntheticTraces(t *testing.T) {
 	// The synthetic paper traces are i.i.d. by construction: windowed
 	// means must show no strong monotone trend.

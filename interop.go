@@ -7,10 +7,13 @@ import (
 	"gridstrat/internal/trace"
 )
 
-// ReadTraceGWF / WriteTraceGWF serialize traces in a Grid-Workload-
-// Format flavored column layout (JobID SubmitTime WaitTime RunTime
-// Status), interoperable with Grid Workload Archive tooling.
-func ReadTraceGWF(r io.Reader) (*Trace, error)  { return trace.ReadGWF(r) }
+// ReadTraceGWF parses a trace from the Grid-Workload-Format flavored
+// column layout (JobID SubmitTime WaitTime RunTime Status),
+// interoperable with Grid Workload Archive tooling.
+func ReadTraceGWF(r io.Reader) (*Trace, error) { return trace.ReadGWF(r) }
+
+// WriteTraceGWF serializes a trace in the Grid-Workload-Format
+// flavored column layout read back by ReadTraceGWF.
 func WriteTraceGWF(w io.Writer, t *Trace) error { return trace.WriteGWF(w, t) }
 
 // DeadlineReport compares strategies on P(J <= deadline).

@@ -124,6 +124,19 @@ func WithRand(rng Rand) PlannerOption {
 	}
 }
 
+// WithSeed sets the Planner's random source to a deterministic stream
+// derived from the full 64-bit seed — shorthand for
+// WithRand(NewSeededRand(seed)). Two Planners built with the same seed
+// produce identical Simulate results for the same call sequence at any
+// WithParallelism setting, which is what a service needs to make a
+// simulation request reproducible from a wire-level seed field.
+func WithSeed(seed uint64) PlannerOption {
+	return func(c *plannerConfig) error {
+		c.rng = core.NewSeededRand(seed)
+		return nil
+	}
+}
+
 // WithParallelism sets the number of worker goroutines the Planner's
 // execution engine uses for grid-scan optimizations and Monte Carlo
 // simulation. The default is runtime.GOMAXPROCS(0); n = 1 restores

@@ -3,10 +3,19 @@ package gridstrat
 import (
 	"fmt"
 	"math/rand"
+
+	"gridstrat/internal/core"
 )
 
 // Rand is the random source consumed by the Monte Carlo simulators.
 type Rand = *rand.Rand
+
+// NewSeededRand returns a deterministic random source derived from the
+// full 64-bit seed via SplitMix64 (math/rand's own NewSource truncates
+// seeds to 31 bits, which can hand two nearby seeds identical
+// streams). Use it with WithRand — or the WithSeed shorthand — when a
+// Monte Carlo result must be reproducible from a serialized seed.
+func NewSeededRand(seed uint64) Rand { return core.NewSeededRand(seed) }
 
 // StrategyName identifies a recommended strategy.
 type StrategyName string

@@ -21,15 +21,27 @@ type MakespanEstimate = workload.MakespanEstimate
 // Planner's makespan methods instead.
 type WorkloadStrategy = workload.Strategy
 
-// NewSingleStrategy, NewMultipleStrategy and NewDelayedStrategy build
-// optimized strategy laws for makespan estimation.
+// NewSingleStrategy builds the optimized single-resubmission law for
+// makespan estimation.
 //
 // Deprecated: use Planner.EstimateMakespanUnder / Planner.CompareMakespan
-// with Single{}, Multiple{B: b} or Delayed{} — un-tuned strategies are
-// optimized by the Planner automatically.
-func NewSingleStrategy(m Model) WorkloadStrategy          { return workload.SingleStrategy(m) }
+// with Single{} — un-tuned strategies are optimized by the Planner
+// automatically.
+func NewSingleStrategy(m Model) WorkloadStrategy { return workload.SingleStrategy(m) }
+
+// NewMultipleStrategy builds the optimized b-fold multiple-submission
+// law for makespan estimation.
+//
+// Deprecated: use Planner.EstimateMakespanUnder / Planner.CompareMakespan
+// with Multiple{B: b}.
 func NewMultipleStrategy(m Model, b int) WorkloadStrategy { return workload.MultipleStrategy(m, b) }
-func NewDelayedStrategy(m Model) WorkloadStrategy         { return workload.DelayedStrategy(m) }
+
+// NewDelayedStrategy builds the optimized delayed-resubmission law for
+// makespan estimation.
+//
+// Deprecated: use Planner.EstimateMakespanUnder / Planner.CompareMakespan
+// with Delayed{}.
+func NewDelayedStrategy(m Model) WorkloadStrategy { return workload.DelayedStrategy(m) }
 
 // EstimateMakespan computes the expected wall-clock time of an
 // application under a strategy (order-statistics wave model).
@@ -57,12 +69,18 @@ func SmallestMeetingDeadline(m Model, a Application, deadline float64, maxB int)
 
 // --- Strategy CDFs and order statistics ---
 
-// SingleCDF, MultipleCDF and DelayedCDF return the distribution
-// function of the total latency J under each strategy.
+// SingleCDF returns the distribution function of the total latency J
+// under single resubmission at timeout tInf.
 func SingleCDF(m Model, tInf float64) func(float64) float64 { return core.SingleCDF(m, tInf) }
+
+// MultipleCDF returns the distribution function of the total latency J
+// under b-fold multiple submission at timeout tInf.
 func MultipleCDF(m Model, b int, tInf float64) func(float64) float64 {
 	return core.MultipleCDF(m, b, tInf)
 }
+
+// DelayedCDF returns the distribution function of the total latency J
+// under delayed resubmission at fixed parameters.
 func DelayedCDF(m Model, p DelayedParams) func(float64) float64 { return core.DelayedCDF(m, p) }
 
 // ExpectedMax returns E[max of n i.i.d. draws] for a non-negative law
