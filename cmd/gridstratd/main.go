@@ -20,6 +20,15 @@
 //	-max-models int   registry capacity; LRU eviction past it (default 256)
 //	-max-runs int     per-request Monte Carlo run cap (default 2000000)
 //	-max-body int     request body cap in bytes (default 33554432)
+//	-rebuild-interval duration
+//	                  decouple observation acks from model rebuilds:
+//	                  batches queue and a per-model worker coalesces
+//	                  everything that arrived within the interval into
+//	                  one rebuild (0, the default, rebuilds
+//	                  synchronously on every batch)
+//	-max-queued int   per-model cap on acknowledged-but-unapplied
+//	                  observation records; past it a batch pays for an
+//	                  inline drain (default 1048576)
 //	-shutdown-timeout duration
 //	                  grace period for in-flight requests on
 //	                  SIGINT/SIGTERM (default 10s)
@@ -53,6 +62,8 @@ func main() {
 		maxModels       = flag.Int("max-models", 256, "registry capacity (LRU eviction past it)")
 		maxRuns         = flag.Int("max-runs", 2_000_000, "per-request Monte Carlo run cap")
 		maxBody         = flag.Int64("max-body", 32<<20, "request body cap in bytes")
+		rebuildInterval = flag.Duration("rebuild-interval", 0, "coalesce observation batches into one model rebuild per interval (0 = rebuild on every batch)")
+		maxQueued       = flag.Int("max-queued", 1<<20, "per-model cap on queued observation records before an inline drain")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		quiet           = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -60,11 +71,13 @@ func main() {
 
 	logger := log.New(os.Stderr, "gridstratd: ", log.LstdFlags)
 	cfg := server.Config{
-		Shards:        *shards,
-		MaxModels:     *maxModels,
-		DefaultWindow: window.Seconds(),
-		MaxBodyBytes:  *maxBody,
-		MaxRuns:       *maxRuns,
+		Shards:           *shards,
+		MaxModels:        *maxModels,
+		DefaultWindow:    window.Seconds(),
+		MaxBodyBytes:     *maxBody,
+		MaxRuns:          *maxRuns,
+		RebuildInterval:  *rebuildInterval,
+		MaxQueuedRecords: *maxQueued,
 	}
 	if !*quiet {
 		cfg.Logger = logger

@@ -134,6 +134,14 @@ type ProdBothIntegrals = core.ProdBothIntegrals
 // EmpiricalModel is an exact trace-driven Model.
 type EmpiricalModel = core.EmpiricalModel
 
+// TableKey identifies one lazily built ECDF integral kernel. An
+// EmpiricalModel's TableKeys lists the kernels its queries have
+// built; Prewarm on a successor model rebuilds them ahead of an
+// atomic model swap, so the first post-swap queries run on hot tables
+// (the warm-cache handoff the gridstratd ingestion pipeline performs
+// on every rolling-window rebuild).
+type TableKey = stats.TableKey
+
 // ParametricModel is a Model over an analytic latency distribution.
 type ParametricModel = core.ParametricModel
 

@@ -182,6 +182,19 @@ func (m *EmpiricalModel) Sample(rng *rand.Rand) float64 {
 	return m.ecdf.Rand(rng)
 }
 
+// TableKeys returns the (s, b) prefix-sum kernel keys this model's
+// ECDF has built — the warm-cache manifest of an outgoing model epoch.
+// Handing it to the successor's Prewarm reproduces the old epoch's hot
+// tables ahead of an atomic model swap.
+func (m *EmpiricalModel) TableKeys() []stats.TableKey { return m.ecdf.TableKeys() }
+
+// Prewarm eagerly builds the ECDF kernels for the given keys, so the
+// first queries on a freshly swapped-in model cost a binary search
+// instead of an O(n) table build. Safe for concurrent use. The
+// bootstrap-sampler table warms separately (stats.ECDF.PrewarmSampler)
+// and only when the predecessor actually sampled.
+func (m *EmpiricalModel) Prewarm(keys []stats.TableKey) { m.ecdf.Prewarm(keys) }
+
 // --- Parametric model ---
 
 // ParametricModel is a Model over an analytic latency distribution;

@@ -185,7 +185,10 @@ func (c *Client) Makespan(ctx context.Context, id string, req MakespanRequest) (
 }
 
 // Observe streams one observation batch to
-// POST /v1/models/{id}/observations.
+// POST /v1/models/{id}/observations. Against a server running with a
+// rebuild interval the ack returns before the model rebuild — the
+// response's Pending counts the queued records — unless req.Sync
+// forces the coalesced rebuild inline.
 func (c *Client) Observe(ctx context.Context, id string, req ObserveRequest) (ObserveResponse, error) {
 	var out ObserveResponse
 	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/observations", req, &out)

@@ -346,21 +346,35 @@ type MakespanResponse struct {
 // grid latencies; Outliers counts probes that exceeded the model's
 // timeout (censored at it). Submit times are assigned sequentially
 // from StartS (default: right after the current newest record) with
-// SpacingS between consecutive probes (default 1 s).
+// SpacingS between consecutive probes (default 1 s). On a server
+// running with a rebuild interval (-rebuild-interval), Sync forces
+// the coalesced rebuild before the response, so the reported state
+// reflects this batch; it is a no-op on a synchronous server.
 type ObserveRequest struct {
 	Latencies []float64 `json:"latencies"`
 	Outliers  int       `json:"outliers,omitempty"`
 	StartS    *float64  `json:"start_s,omitempty"`
 	SpacingS  float64   `json:"spacing_s,omitempty"`
+	Sync      bool      `json:"sync,omitempty"`
 }
 
 // ObserveResponse reports the effect of one ingestion batch on the
-// rolling window.
+// rolling window. On a synchronous server (and for sync requests)
+// Version, WindowRecords and Stats describe the state this batch
+// produced and Pending is 0; on an async server they describe the
+// latest built snapshot, and Pending counts the acknowledged records
+// (this batch included) still queued for the next coalesced rebuild.
+// Dropped counts the records evicted by the rebuild that produced
+// the reported state (0 for queued acks). A sync request whose drain
+// left the window unable to support a model still answers 200 — the
+// records were acknowledged; the unchanged version and the
+// rebuild_failures counter report the failed swap.
 type ObserveResponse struct {
 	Model         string         `json:"model"`
 	Version       int64          `json:"version"`
 	Appended      int            `json:"appended"`
 	Dropped       int            `json:"dropped"`
+	Pending       int            `json:"pending"`
 	WindowRecords int            `json:"window_records"`
 	Stats         TraceStatsJSON `json:"stats"`
 }

@@ -148,6 +148,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totals.Evictions += sh.Evictions
 		totals.IngestBatches += sh.IngestBatches
 		totals.IngestRecords += sh.IngestRecords
+		totals.Rebuilds += sh.Rebuilds
+		totals.CoalescedBatches += sh.CoalescedBatches
+		totals.RebuildFailures += sh.RebuildFailures
+		totals.QueuedRecords += sh.QueuedRecords
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS:  time.Since(s.start).Seconds(),
@@ -623,11 +627,26 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.noteIngest(e.ID, res.Appended)
+	if req.Sync && res.Pending > 0 {
+		// The batch was acknowledged into the async queue; the caller
+		// asked for its effect, so drain the queue before answering.
+		// A failed drain (degenerate window) is NOT an error response:
+		// the records were acknowledged and applied to the buffer, so
+		// a non-2xx here would invite clients to re-post an ingested
+		// batch. The unchanged version reports that no model was
+		// built; rebuild_failures in /v1/stats counts it.
+		st, dropped, err := e.Flush()
+		if err == nil {
+			res.Dropped += dropped
+		}
+		res.State, res.Pending = st, e.Pending()
+	}
 	writeJSON(w, http.StatusOK, ObserveResponse{
 		Model:         e.ID,
 		Version:       res.State.Version,
 		Appended:      res.Appended,
 		Dropped:       res.Dropped,
+		Pending:       res.Pending,
 		WindowRecords: len(res.State.Trace.Records),
 		Stats:         statsToJSON(res.State.Stats),
 	})

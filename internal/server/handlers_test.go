@@ -17,10 +17,18 @@ import (
 	"gridstrat/internal/trace"
 )
 
-// newTestServer builds a service and an httptest front for it.
+// newTestServer builds a service and an httptest front for it, with
+// the default synchronous ingest pipeline.
 func newTestServer(t *testing.T) (*Server, *httptest.Server, *Client) {
 	t.Helper()
-	s := New(Config{})
+	return newTestServerCfg(t, Config{})
+}
+
+// newTestServerCfg is newTestServer with an explicit configuration
+// (async ingest tests set RebuildInterval).
+func newTestServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s := New(cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, hs, NewClient(hs.URL, hs.Client())

@@ -4,23 +4,43 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gridstrat"
 	"gridstrat/internal/trace"
 )
 
+// asyncIngestEnv reads the CI toggle that reruns the race suite with
+// the async ingest worker enabled: GRIDSTRAT_ASYNC_INGEST is either a
+// duration ("5ms") or any non-empty value for the 2ms default.
+func asyncIngestEnv() (time.Duration, bool) {
+	v := os.Getenv("GRIDSTRAT_ASYNC_INGEST")
+	if v == "" {
+		return 0, false
+	}
+	if d, err := time.ParseDuration(v); err == nil && d > 0 {
+		return d, true
+	}
+	return 2 * time.Millisecond, true
+}
+
 // TestConcurrentIngestAndQuery hammers one model from 8 goroutines —
-// half streaming observation batches (each swapping in a rebuilt
-// model), half running recommend/rank/simulate/stats queries — and
-// checks that every request either succeeds or fails with a declared
-// API error. Run under -race this pins the registry's concurrency
-// story: RWMutex-per-shard lookups, atomic model-state swaps, and the
-// ingest lock serializing rebuilds.
+// half streaming observation batches, half running
+// recommend/rank/simulate/stats queries — and checks that every
+// request either succeeds or fails with a declared API error. Run
+// under -race this pins the registry's concurrency story:
+// RWMutex-per-shard lookups, atomic model-state swaps, and the ingest
+// locks serializing stamping and rebuilds. With GRIDSTRAT_ASYNC_INGEST
+// set (the CI toggle) the same workload runs through the async
+// coalescing worker instead of the synchronous rebuild-per-batch
+// path.
 func TestConcurrentIngestAndQuery(t *testing.T) {
-	_, _, c := newTestServer(t)
+	interval, async := asyncIngestEnv()
+	s, _, c := newTestServerCfg(t, Config{RebuildInterval: interval})
 	ctx := context.Background()
 
 	// A generous window so ingestion only ever grows the trace: the
@@ -82,13 +102,134 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 		t.Error(err)
 	}
 
-	// Every writer batch landed: version == 1 + writers·ops.
+	// Count the records the writers streamed: 3 latencies per op plus
+	// an outlier on odd ops.
+	appended := 0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < opsPerRoutine; i++ {
+			appended += 3 + i%2
+		}
+	}
+	e, err := s.Registry().Get("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async {
+		// Acks may still be queued; drain and check nothing was lost.
+		if _, _, err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(e.State().Trace.Records); got != 126+appended {
+			t.Fatalf("window holds %d records after drain, want %d", got, 126+appended)
+		}
+		return
+	}
+	// Synchronous mode: every writer batch swapped its own rebuild.
 	info, err := c.GetModel(ctx, "hot", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := int64(1 + writers*opsPerRoutine); info.Version != want {
 		t.Fatalf("version %d after %d batches, want %d", info.Version, writers*opsPerRoutine, want)
+	}
+	if got := len(e.State().Trace.Records); got != 126+appended {
+		t.Fatalf("window holds %d records, want %d", got, 126+appended)
+	}
+}
+
+// TestConcurrentAsyncIngestAndQuery always exercises the async
+// rebuild worker under -race, independent of the CI env toggle: N
+// goroutines stream batches while N more query the model and a
+// flusher forces drains mid-flight. After a final drain the window
+// must hold every acknowledged record and the model must equal a flat
+// rebuild of the same window — the merge chain survives concurrency.
+func TestConcurrentAsyncIngestAndQuery(t *testing.T) {
+	s, _, c := newTestServerCfg(t, Config{RebuildInterval: time.Millisecond})
+	ctx := context.Background()
+	mustCreateUpload(t, c, "hot", 1e9)
+	e, err := s.Registry().Get("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers = 3
+		readers = 3
+		ops     = 10
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, (writers+readers+1)*ops)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if _, err := c.Observe(ctx, "hot", ObserveRequest{
+					Latencies: []float64{60 + float64(w), 110 + float64(i)},
+					Sync:      i%3 == 0,
+				}); err != nil {
+					errc <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			seed := uint64(13)
+			for i := 0; i < ops; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = c.Recommend(ctx, "hot", RecommendRequest{})
+				case 1:
+					_, err = c.Simulate(ctx, "hot", SimulateRequest{
+						Strategy: StrategySpec{Strategy: "single", TInfS: 500},
+						Runs:     1000,
+						Options:  &Options{Seed: &seed},
+					})
+				case 2:
+					_, err = c.Stats(ctx)
+				}
+				if err != nil {
+					errc <- fmt.Errorf("reader %d op %d: %w", r, i, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			if _, _, err := e.Flush(); err != nil {
+				errc <- fmt.Errorf("flusher op %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if _, _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.State()
+	if got, want := len(st.Trace.Records), 126+writers*ops*2; got != want {
+		t.Fatalf("window holds %d records after drain, want %d", got, want)
+	}
+	// The merge-chained ECDF equals a flat rebuild of the same window.
+	flat, err := st.Trace.ECDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ecdfBitEqual(st.ecdf, flat) {
+		t.Fatal("merge-chained ECDF diverged from flat rebuild after concurrent ingest")
 	}
 }
 

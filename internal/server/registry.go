@@ -9,19 +9,22 @@
 // RWMutex-per-shard storage of model entries with LRU eviction and
 // atomic model swaps), Server (route handlers, codecs, middleware),
 // and Client (a typed Go client used by the handler tests and the
-// examples).
+// examples). The write path — rolling trace buffers, merge-built
+// ECDFs, warm-cache model swaps and the coalescing async rebuild
+// worker — lives in ingest.go.
 package server
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gridstrat"
+	"gridstrat/internal/core"
+	"gridstrat/internal/stats"
 	"gridstrat/internal/trace"
 )
 
@@ -40,20 +43,50 @@ var (
 // builds a successor and swaps the entry's pointer, so in-flight
 // queries keep computing on the snapshot they started with.
 type ModelState struct {
-	Trace   *trace.Trace // records inside the rolling window
+	Trace   *trace.Trace // records inside the rolling window, ascending by submit
 	Model   gridstrat.Model
 	Stats   trace.Stats
 	Version int64     // bumped on every successful rebuild
 	Built   time.Time // when this snapshot was constructed
+
+	// ecdf is the counted empirical CDF underlying Model — the merge
+	// base of the next epoch's incremental rebuild and the source of
+	// the TableKeys handed to its Prewarm.
+	ecdf *stats.ECDF
 }
 
-// newModelState builds the model snapshot of a windowed trace. The
+// newModelState builds the model snapshot of a windowed trace from
+// scratch: ECDF sort, outlier-ratio scan, full ComputeStats. It is the
+// registration-time constructor (and the ingest path's recovery
+// fallback); steady-state rebuilds go through newModelStateMerged.
+func newModelState(tr *trace.Trace, version int64) (*ModelState, error) {
+	ecdf, err := tr.ECDF()
+	if err != nil {
+		return nil, err
+	}
+	return assembleModelState(tr, ecdf, tr.OutlierRatio(), tr.ComputeStats(), version)
+}
+
+// newModelStateMerged builds the snapshot of a window whose ECDF was
+// already produced incrementally (merge of the predecessor epoch), so
+// no per-rebuild sort is paid: the stats are derived from the counted
+// ECDF in O(support).
+func newModelStateMerged(tr *trace.Trace, ecdf *stats.ECDF, outliers int, version int64) (*ModelState, error) {
+	rho := 0.0
+	if terminal := ecdf.N() + outliers; terminal > 0 {
+		rho = float64(outliers) / float64(terminal)
+	}
+	st := trace.StatsFromECDF(tr.Name, ecdf, len(tr.Records), outliers, tr.Timeout)
+	return assembleModelState(tr, ecdf, rho, st, version)
+}
+
+// assembleModelState wraps an ECDF into the queryable model stack. The
 // returned state's Model is the memoizing wrapper of a throwaway
 // Planner, so every per-request Planner constructed over it shares one
 // integral cache (NewPlanner detects an already-memoized model and
 // does not double-wrap).
-func newModelState(tr *trace.Trace, version int64) (*ModelState, error) {
-	em, err := gridstrat.ModelFromTrace(tr)
+func assembleModelState(tr *trace.Trace, ecdf *stats.ECDF, rho float64, st trace.Stats, version int64) (*ModelState, error) {
+	em, err := core.NewEmpiricalModel(ecdf, rho, tr.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -64,41 +97,11 @@ func newModelState(tr *trace.Trace, version int64) (*ModelState, error) {
 	return &ModelState{
 		Trace:   tr,
 		Model:   p.Model(),
-		Stats:   tr.ComputeStats(),
+		Stats:   st,
 		Version: version,
 		Built:   time.Now(),
+		ecdf:    ecdf,
 	}, nil
-}
-
-// Entry is one registered model. The queryable state lives behind an
-// atomic pointer: readers Load it without any entry-level lock, and
-// Observe swaps in a rebuilt snapshot, so queries and ingestion never
-// block each other. Only ingestion batches are serialized (ingestMu),
-// because each rebuild must extend its predecessor's window.
-type Entry struct {
-	ID     string
-	Source string  // "dataset:<name>" or "upload:<format>"
-	Window float64 // rolling-window width, seconds
-
-	state atomic.Pointer[ModelState]
-
-	// lastUsed is the entry's LRU clock (unix nanoseconds of the most
-	// recent Get), advanced with an atomic store so lookups stay on the
-	// shard's read lock; eviction picks the smallest value.
-	lastUsed atomic.Int64
-
-	ingestMu sync.Mutex
-	nextID   int // next free probe-record ID, guarded by ingestMu
-}
-
-// State returns the entry's current immutable model snapshot.
-func (e *Entry) State() *ModelState { return e.state.Load() }
-
-// ObserveResult summarizes one ingestion batch.
-type ObserveResult struct {
-	State    *ModelState // snapshot after the swap
-	Appended int         // records added by the batch
-	Dropped  int         // records that fell out of the rolling window
 }
 
 // maxWindowWidth bounds a model's rolling-window width (~317 years).
@@ -116,98 +119,6 @@ const maxWindowWidth = 1e10
 // across arbitrarily many batches.
 const maxTraceSubmit = 1e13
 
-// Observe appends probe records to the entry's trace, trims the
-// result to the trailing rolling window, rebuilds the latency model
-// and atomically swaps it in. The batch is all-or-nothing: if the
-// windowed trace cannot support a model (for example, every remaining
-// record is an outlier), the entry keeps its previous state and the
-// error is returned.
-//
-// Record IDs and submit times are assigned under the entry's ingest
-// lock, so concurrent batches interleave cleanly: each record is
-// stamped spacing seconds after its predecessor, starting at *start
-// when given and right after the window's newest record otherwise.
-// Callers only provide Latency and Status.
-//
-// Observe holds no registry lock, so a batch racing a Delete (or an
-// LRU eviction) of the same model can be acknowledged against the
-// departing entry; the outcome is identical to the delete landing
-// just after the batch, so acknowledged-then-deleted is the same
-// at-most-once contract either way.
-func (e *Entry) Observe(recs []trace.ProbeRecord, start *float64, spacing float64) (ObserveResult, error) {
-	if len(recs) == 0 {
-		return ObserveResult{}, fmt.Errorf("server: empty observation batch")
-	}
-	if spacing <= 0 {
-		spacing = 1
-	}
-	e.ingestMu.Lock()
-	defer e.ingestMu.Unlock()
-
-	old := e.state.Load()
-	cursor := 0.0
-	if start != nil {
-		cursor = *start
-	} else {
-		for _, r := range old.Trace.Records {
-			if s := r.Submit + spacing; s > cursor {
-				cursor = s
-			}
-		}
-	}
-	// When the default cursor approaches the ceiling, re-base the
-	// window onto t = 0: trimming depends only on relative submit
-	// times, so shifting every record preserves each decision while
-	// resetting the cursor far below the ceiling (the post-trim span
-	// is at most the window width) — ingestion can never wedge itself.
-	offset := 0.0
-	if start == nil && cursor+spacing*float64(len(recs)) > maxTraceSubmit {
-		offset = math.Inf(1)
-		for _, r := range old.Trace.Records {
-			offset = math.Min(offset, r.Submit)
-		}
-		cursor -= offset
-	}
-	combined := &trace.Trace{
-		Name:    old.Trace.Name,
-		Timeout: old.Trace.Timeout,
-		Records: make([]trace.ProbeRecord, 0, len(old.Trace.Records)+len(recs)),
-	}
-	for _, r := range old.Trace.Records {
-		r.Submit -= offset
-		combined.Records = append(combined.Records, r)
-	}
-	id := e.nextID
-	for _, r := range recs {
-		r.ID = id
-		r.Submit = cursor
-		id++
-		cursor += spacing
-		combined.Records = append(combined.Records, r)
-	}
-	if cursor > maxTraceSubmit {
-		return ObserveResult{}, fmt.Errorf("server: submit cursor %g past the %g ceiling", cursor, float64(maxTraceSubmit))
-	}
-	if err := combined.Validate(); err != nil {
-		return ObserveResult{}, err
-	}
-	windowed, err := trace.LastWindow(combined, e.Window)
-	if err != nil {
-		return ObserveResult{}, err
-	}
-	next, err := newModelState(windowed, old.Version+1)
-	if err != nil {
-		return ObserveResult{}, fmt.Errorf("rebuilding windowed model: %w", err)
-	}
-	e.nextID = id
-	e.state.Store(next)
-	return ObserveResult{
-		State:    next,
-		Appended: len(recs),
-		Dropped:  len(combined.Records) - len(windowed.Records),
-	}, nil
-}
-
 // ShardStats is one shard's counter snapshot (or, summed, the
 // registry totals reported by /v1/stats).
 type ShardStats struct {
@@ -217,6 +128,18 @@ type ShardStats struct {
 	Evictions     uint64 `json:"evictions"`
 	IngestBatches uint64 `json:"ingest_batches"`
 	IngestRecords uint64 `json:"ingest_records"`
+
+	// Write-path pipeline counters. Rebuilds counts model swaps;
+	// CoalescedBatches the acknowledged batches that were folded into
+	// an already-pending rebuild (rebuilds + coalesced = batches
+	// applied); RebuildFailures the rebuilds that kept the previous
+	// model because the window had become degenerate. QueuedRecords is
+	// a gauge — the ingest lag, in records acknowledged but not yet in
+	// any model snapshot.
+	Rebuilds         uint64 `json:"rebuilds"`
+	CoalescedBatches uint64 `json:"coalesced_batches"`
+	RebuildFailures  uint64 `json:"rebuild_failures"`
+	QueuedRecords    int    `json:"queued_records"`
 }
 
 type registryShard struct {
@@ -243,11 +166,20 @@ type Registry struct {
 	shards   []*registryShard
 	perShard int
 	capacity int
+
+	rebuildEvery time.Duration // 0 = synchronous per-batch rebuilds
+	maxQueued    int           // backpressure cap on queued ingest records
 }
+
+// defaultMaxQueued is the per-entry backpressure cap on acknowledged-
+// but-unapplied ingest records; a batch that would push the queue past
+// it pays for an inline drain instead of growing memory.
+const defaultMaxQueued = 1 << 20
 
 // NewRegistry builds a registry with the given shard count and total
 // capacity. Non-positive arguments fall back to 8 shards / 256
-// models.
+// models. Entries rebuild synchronously per batch until
+// SetIngestPolicy enables the async coalescing worker.
 func NewRegistry(shards, capacity int) *Registry {
 	if shards <= 0 {
 		shards = 8
@@ -259,14 +191,33 @@ func NewRegistry(shards, capacity int) *Registry {
 		capacity = shards // at least one model per shard
 	}
 	r := &Registry{
-		shards:   make([]*registryShard, shards),
-		perShard: (capacity + shards - 1) / shards,
-		capacity: capacity,
+		shards:    make([]*registryShard, shards),
+		perShard:  (capacity + shards - 1) / shards,
+		capacity:  capacity,
+		maxQueued: defaultMaxQueued,
 	}
 	for i := range r.shards {
 		r.shards[i] = &registryShard{entries: make(map[string]*Entry)}
 	}
 	return r
+}
+
+// SetIngestPolicy configures the write path of entries registered
+// after the call: a positive rebuildEvery decouples observation acks
+// from model rebuilds (an async worker coalesces the batches queued
+// within each interval into one rebuild), and maxQueued caps the
+// acknowledged-but-unapplied records per entry (non-positive keeps
+// the default). rebuildEvery = 0 keeps the synchronous
+// rebuild-per-batch behaviour.
+func (r *Registry) SetIngestPolicy(rebuildEvery time.Duration, maxQueued int) {
+	if rebuildEvery < 0 {
+		rebuildEvery = 0
+	}
+	if maxQueued <= 0 {
+		maxQueued = defaultMaxQueued
+	}
+	r.rebuildEvery = rebuildEvery
+	r.maxQueued = maxQueued
 }
 
 // Capacity returns the registry's total model capacity.
@@ -287,11 +238,12 @@ func (r *Registry) shardFor(id string) *registryShard {
 
 // Put registers a model built from the trace under the given ID,
 // evicting the shard's least-recently-used entry when the shard is
-// full. The trace is trimmed to the trailing rolling window first, so
-// the ModelState invariant — records inside the window — holds from
-// registration, not only after the first observation batch. It
-// returns ErrExists if the ID is already registered and wraps
-// ErrInvalid for out-of-range arguments.
+// full. The trace is loaded into a rolling buffer and trimmed to the
+// trailing window first, so the ModelState invariant — records inside
+// the window, ascending by submit — holds from registration, not only
+// after the first observation batch. It returns ErrExists if the ID
+// is already registered and wraps ErrInvalid for out-of-range
+// arguments.
 func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Entry, error) {
 	if id == "" {
 		return nil, fmt.Errorf("%w: empty model id", ErrInvalid)
@@ -309,25 +261,10 @@ func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Ent
 	if dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
-	windowed, err := trace.LastWindow(tr, window)
+	e, err := newEntry(id, source, window, tr, r.rebuildEvery, r.maxQueued)
 	if err != nil {
 		return nil, err
 	}
-	state, err := newModelState(windowed, 1)
-	if err != nil {
-		return nil, err
-	}
-	// IDs stay unique against the full seed trace, including records
-	// the window trim dropped.
-	maxID := 0
-	for _, rec := range tr.Records {
-		if rec.ID >= maxID {
-			maxID = rec.ID + 1
-		}
-	}
-	e := &Entry{ID: id, Source: source, Window: window, nextID: maxID}
-	e.state.Store(state)
-	e.lastUsed.Store(time.Now().UnixNano())
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -418,21 +355,28 @@ func (r *Registry) Len() int {
 	return n
 }
 
-// Stats returns a per-shard counter snapshot.
+// Stats returns a per-shard counter snapshot, including the write-
+// path pipeline counters summed over the shard's entries.
 func (r *Registry) Stats() []ShardStats {
 	out := make([]ShardStats, len(r.shards))
 	for i, sh := range r.shards {
-		sh.mu.RLock()
-		models := len(sh.entries)
-		sh.mu.RUnlock()
-		out[i] = ShardStats{
-			Models:        models,
+		st := ShardStats{
 			Hits:          sh.hits.Load(),
 			Misses:        sh.misses.Load(),
 			Evictions:     sh.evictions.Load(),
 			IngestBatches: sh.ingestBatches.Load(),
 			IngestRecords: sh.ingestRecords.Load(),
 		}
+		sh.mu.RLock()
+		st.Models = len(sh.entries)
+		for _, e := range sh.entries {
+			st.Rebuilds += e.rebuilds.Load()
+			st.CoalescedBatches += e.coalesced.Load()
+			st.RebuildFailures += e.rebuildFails.Load()
+			st.QueuedRecords += e.Pending()
+		}
+		sh.mu.RUnlock()
+		out[i] = st
 	}
 	return out
 }

@@ -33,6 +33,17 @@ type Config struct {
 	// MaxWorkers caps the per-request parallelism degree; larger
 	// requests are clamped, not rejected (default GOMAXPROCS).
 	MaxWorkers int
+	// RebuildInterval decouples observation acks from model rebuilds:
+	// when positive, batches are stamped, queued and acknowledged
+	// immediately, and a per-entry worker coalesces everything queued
+	// within the interval into one rebuild (bounded staleness; the
+	// observations endpoint's sync flag forces an inline drain). Zero
+	// (the default) keeps the synchronous rebuild-per-batch behaviour.
+	RebuildInterval time.Duration
+	// MaxQueuedRecords caps the acknowledged-but-unapplied records per
+	// entry in async mode; a batch pushing the queue past the cap pays
+	// for an inline coalesced drain (default 1,048,576).
+	MaxQueuedRecords int
 	// Logger receives one line per request; nil disables request
 	// logging.
 	Logger *log.Logger
@@ -78,6 +89,7 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.reg = NewRegistry(s.cfg.Shards, s.cfg.MaxModels)
+	s.reg.SetIngestPolicy(s.cfg.RebuildInterval, s.cfg.MaxQueuedRecords)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s

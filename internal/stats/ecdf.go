@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrEmpty is returned when a sample-based constructor receives no
@@ -30,13 +31,24 @@ type ECDF struct {
 	cum []float64 // cum[i] = P(X <= xs[i]), cum[last] == 1
 	n   int       // original sample size
 
+	// cnt[i] is the number of sample values at xs[i]. It is what makes
+	// an ECDF mergeable: MergeSortedEvict rebuilds the next window's
+	// cum exactly (float64(runningCount)/float64(n), the same
+	// arithmetic as NewECDF) instead of re-sorting the flat sample.
+	// nil for weighted ECDFs (the output of Restrict), which cannot be
+	// merged.
+	cnt []int
+
 	// Lazily built per-(s, b) prefix-sum kernels for the pow-integrals.
 	kmu     sync.RWMutex
 	kernels map[powKernelKey]*powKernel
 
-	// Lazily built O(1) inverse-CDF bucket table for Rand.
-	randOnce sync.Once
-	randIdx  []int32
+	// Lazily built O(1) inverse-CDF bucket table for Rand. randBuilt
+	// mirrors the Once so the warm-swap handoff can ask whether the
+	// outgoing epoch ever sampled without racing the builder.
+	randOnce  sync.Once
+	randBuilt atomic.Bool
+	randIdx   []int32
 }
 
 // NewECDF builds the ECDF of sample (unweighted). The input slice is
@@ -53,6 +65,15 @@ func NewECDF(sample []float64) (*ECDF, error) {
 		}
 	}
 	sort.Float64s(xs)
+	return fromSortedTrusted(xs), nil
+}
+
+// fromSortedTrusted builds the counted ECDF of an ascending, NaN-free
+// sample. It is the single construction loop shared by NewECDF,
+// NewECDFFromSorted and the merge path's full-rebuild fallback, so
+// every counted ECDF of one sample multiset is bit-identical no matter
+// which constructor produced it.
+func fromSortedTrusted(xs []float64) *ECDF {
 	e := &ECDF{n: len(xs)}
 	n := float64(len(xs))
 	for i := 0; i < len(xs); {
@@ -62,10 +83,28 @@ func NewECDF(sample []float64) (*ECDF, error) {
 		}
 		e.xs = append(e.xs, xs[i])
 		e.cum = append(e.cum, float64(j)/n)
+		e.cnt = append(e.cnt, j-i)
 		i = j
 	}
 	e.cum[len(e.cum)-1] = 1
-	return e, nil
+	return e
+}
+
+// NewECDFFromSorted builds the ECDF of an already ascending sample,
+// skipping NewECDF's O(n log n) sort — the constructor of the
+// incremental ingestion path, whose samples arrive pre-sorted from a
+// merge. The input slice is not modified. It returns ErrEmpty for an
+// empty sample and an error if the sample contains NaN or is not
+// ascending. The result is bit-identical to NewECDF on the same
+// multiset.
+func NewECDFFromSorted(sorted []float64) (*ECDF, error) {
+	if len(sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	if err := checkAscending("sample", sorted); err != nil {
+		return nil, err
+	}
+	return fromSortedTrusted(append([]float64(nil), sorted...)), nil
 }
 
 // MustECDF is NewECDF that panics on error; for tests and literals.
@@ -140,6 +179,7 @@ func (e *ECDF) buildRandTable() {
 		idx[k] = int32(j)
 	}
 	e.randIdx = idx
+	e.randBuilt.Store(true)
 }
 
 // Rand draws one bootstrap sample (a support point with its empirical

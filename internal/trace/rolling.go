@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridstrat/internal/stats"
+)
+
+// Rolling is the mutable rolling-window buffer behind continuous trace
+// ingestion: probe records kept in ascending submit order, so a batch
+// append costs O(k log k) for the batch sort plus a merge, a window
+// trim costs O(evicted), and the max-submit cursor is the last element
+// — no per-batch copy of the whole window, no re-sort, no full scan
+// for the cursor (the costs the pre-incremental Entry.Observe paid on
+// every batch).
+//
+// Rolling is not safe for concurrent use; callers serialize mutations
+// (the server's ingest path holds its per-entry rebuild lock).
+// Snapshot materializes an immutable Trace for readers.
+type Rolling struct {
+	name    string
+	timeout float64
+	width   float64
+	recs    []ProbeRecord // ascending Submit; ties keep insertion order
+}
+
+// NewRolling builds a rolling buffer from a trace, sorting once and
+// trimming to the trailing window. The input trace is not modified.
+func NewRolling(t *Trace, width float64) (*Rolling, error) {
+	if width <= 0 || math.IsNaN(width) {
+		return nil, fmt.Errorf("trace: non-positive window %v", width)
+	}
+	if len(t.Records) == 0 {
+		return nil, ErrNoCompleted
+	}
+	r := &Rolling{
+		name:    t.Name,
+		timeout: t.Timeout,
+		width:   width,
+		recs:    append([]ProbeRecord(nil), t.Records...),
+	}
+	if !submitOrdered(r.recs) {
+		sort.SliceStable(r.recs, func(i, j int) bool { return r.recs[i].Submit < r.recs[j].Submit })
+	}
+	r.Trim()
+	return r, nil
+}
+
+// submitOrdered reports whether recs are already ascending by submit
+// time.
+func submitOrdered(recs []ProbeRecord) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Submit < recs[i-1].Submit {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of records in the window.
+func (r *Rolling) Len() int { return len(r.recs) }
+
+// Width returns the rolling-window width in seconds.
+func (r *Rolling) Width() float64 { return r.width }
+
+// Timeout returns the trace censoring bound.
+func (r *Rolling) Timeout() float64 { return r.timeout }
+
+// Name returns the trace name.
+func (r *Rolling) Name() string { return r.name }
+
+// MaxSubmit returns the newest record's submit time — the cached
+// cursor the ingest path stamps default submit times from. The buffer
+// is never empty (NewRolling requires records and Trim always keeps
+// the newest record), so this is O(1) on the sorted tail.
+func (r *Rolling) MaxSubmit() float64 { return r.recs[len(r.recs)-1].Submit }
+
+// MinSubmit returns the oldest record's submit time.
+func (r *Rolling) MinSubmit() float64 { return r.recs[0].Submit }
+
+// Records returns the buffer's records in ascending submit order. The
+// slice is owned by the buffer: read-only, valid until the next
+// mutation.
+func (r *Rolling) Records() []ProbeRecord { return r.recs }
+
+// Append merges a batch into the buffer, keeping ascending submit
+// order. The common case — every new submit at or past the current
+// maximum, as default-stamped ingestion batches are — is a plain
+// append; out-of-order batches (explicit start times in the past) are
+// stably merged, with existing records winning ties so the result
+// matches the historical append-then-window record order.
+func (r *Rolling) Append(recs []ProbeRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	batch := recs
+	if !submitOrdered(batch) {
+		batch = append([]ProbeRecord(nil), recs...)
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].Submit < batch[j].Submit })
+	}
+	if len(r.recs) == 0 || batch[0].Submit >= r.recs[len(r.recs)-1].Submit {
+		r.recs = append(r.recs, batch...)
+		return
+	}
+	merged := make([]ProbeRecord, 0, len(r.recs)+len(batch))
+	i, j := 0, 0
+	for i < len(r.recs) && j < len(batch) {
+		if r.recs[i].Submit <= batch[j].Submit {
+			merged = append(merged, r.recs[i])
+			i++
+		} else {
+			merged = append(merged, batch[j])
+			j++
+		}
+	}
+	merged = append(merged, r.recs[i:]...)
+	merged = append(merged, batch[j:]...)
+	r.recs = merged
+}
+
+// Trim evicts every record older than the trailing window — Submit <
+// MaxSubmit() - width, the same cutoff as LastWindow — and returns the
+// evicted records (a copy, in ascending submit order). The cost is
+// O(evicted): the survivors are re-sliced, not copied, and append
+// reuses or reallocates the tail as usual, so the front of the old
+// array is reclaimed on the next growth.
+func (r *Rolling) Trim() []ProbeRecord {
+	if len(r.recs) == 0 {
+		return nil
+	}
+	cutoff := r.MaxSubmit() - r.width
+	i := 0
+	for i < len(r.recs) && r.recs[i].Submit < cutoff {
+		i++
+	}
+	if i == 0 {
+		return nil
+	}
+	evicted := append([]ProbeRecord(nil), r.recs[:i]...)
+	r.recs = r.recs[i:]
+	return evicted
+}
+
+// Rebase shifts every submit time down by offset. Window membership
+// depends only on relative submit times, so a re-base changes no
+// trimming decision; the ingest path uses it to pull the submit cursor
+// back from the float64-precision ceiling.
+func (r *Rolling) Rebase(offset float64) {
+	if offset == 0 {
+		return
+	}
+	for i := range r.recs {
+		r.recs[i].Submit -= offset
+	}
+}
+
+// Snapshot materializes the current window as an immutable Trace (the
+// records are copied, in ascending submit order).
+func (r *Rolling) Snapshot() *Trace {
+	return &Trace{
+		Name:    r.name,
+		Timeout: r.timeout,
+		Records: append([]ProbeRecord(nil), r.recs...),
+	}
+}
+
+// StatsFromECDF derives the Table-1-style window summary from a
+// counted ECDF of the window's completed-probe latencies plus the
+// window's record counts — O(support) instead of ComputeStats's
+// O(n log n) sort per rebuild. probes counts every record in the
+// window and outliers the outlier+fault records; e may be nil when the
+// window holds no completed probes.
+//
+// Values agree with ComputeStats on the equivalent trace up to
+// floating-point summation order (≈1e-12 relative): the mean and
+// standard deviation are accumulated over the weighted support rather
+// than the flat sample, and the median resolves the same type-7 order
+// statistics from the counts.
+func StatsFromECDF(name string, e *stats.ECDF, probes, outliers int, timeout float64) Stats {
+	s := Stats{Name: name, Probes: probes, Outliers: outliers}
+	if e != nil {
+		s.Completed = e.N()
+	}
+	if terminal := s.Completed + outliers; terminal > 0 {
+		s.Rho = float64(outliers) / float64(terminal)
+	}
+	if e != nil {
+		s.MeanBody = e.Mean()
+		s.StdBody = e.Std()
+		s.Median = e.SampleQuantile(0.5)
+	}
+	if terminal := s.Completed + outliers; terminal > 0 {
+		s.MeanCensored = (s.MeanBody*float64(s.Completed) + timeout*float64(outliers)) / float64(terminal)
+	}
+	return s
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridstrat/internal/stats"
+)
+
+func rollingSeedTrace(n int, spacing float64) *Trace {
+	tr := &Trace{Name: "roll", Timeout: DefaultTimeout}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, ProbeRecord{
+			ID: i, Submit: float64(i) * spacing, Latency: 50 + float64(i%13), Status: StatusCompleted,
+		})
+	}
+	return tr
+}
+
+func TestRollingBasics(t *testing.T) {
+	tr := rollingSeedTrace(10, 10) // submits 0..90
+	r, err := NewRolling(tr, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window [45, 90]: submits 50..90 survive.
+	if r.Len() != 5 || r.MinSubmit() != 50 || r.MaxSubmit() != 90 {
+		t.Fatalf("window = %d records [%v, %v], want 5 [50, 90]", r.Len(), r.MinSubmit(), r.MaxSubmit())
+	}
+	// Snapshot is an independent copy.
+	snap := r.Snapshot()
+	r.Append([]ProbeRecord{{ID: 100, Submit: 100, Latency: 1, Status: StatusCompleted}})
+	if len(snap.Records) != 5 {
+		t.Fatalf("snapshot mutated by Append: %d records", len(snap.Records))
+	}
+	if r.MaxSubmit() != 100 {
+		t.Fatalf("cursor %v after append, want 100", r.MaxSubmit())
+	}
+	// Trim evicts exactly the records below the cutoff (100-45 = 55).
+	ev := r.Trim()
+	if len(ev) != 1 || ev[0].Submit != 50 {
+		t.Fatalf("evicted %+v, want the submit-50 record", ev)
+	}
+	// Unsorted constructor input is sorted once.
+	shuffled := &Trace{Name: "s", Timeout: DefaultTimeout}
+	for _, i := range []int{3, 0, 2, 1} {
+		shuffled.Records = append(shuffled.Records, ProbeRecord{ID: i, Submit: float64(i), Latency: 1, Status: StatusCompleted})
+	}
+	rs, err := NewRolling(shuffled, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range rs.Records() {
+		if rec.Submit != float64(i) {
+			t.Fatalf("constructor did not sort: %+v", rs.Records())
+		}
+	}
+	// Out-of-order batches are merged, existing records winning ties.
+	rs.Append([]ProbeRecord{{ID: 10, Submit: 1.5, Latency: 2, Status: StatusCompleted}})
+	subs := []float64{0, 1, 1.5, 2, 3}
+	for i, rec := range rs.Records() {
+		if rec.Submit != subs[i] {
+			t.Fatalf("merge order wrong: %+v", rs.Records())
+		}
+	}
+	// Rebase shifts every submit and therefore the cursor.
+	rs.Rebase(1)
+	if rs.MinSubmit() != -1 || rs.MaxSubmit() != 2 {
+		t.Fatalf("rebase wrong: [%v, %v]", rs.MinSubmit(), rs.MaxSubmit())
+	}
+}
+
+// TestRollingMatchesLastWindow pins Trim against the read path's
+// LastWindow on random traces: same cutoff, same survivors.
+func TestRollingMatchesLastWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		tr := &Trace{Name: "w", Timeout: DefaultTimeout}
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			tr.Records = append(tr.Records, ProbeRecord{
+				ID: i, Submit: float64(rng.Intn(500)), Latency: rng.Float64() * 100, Status: StatusCompleted,
+			})
+		}
+		width := 1 + float64(rng.Intn(400))
+		want, err := LastWindow(tr, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRolling(tr, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != len(want.Records) {
+			t.Fatalf("trial %d: Rolling kept %d records, LastWindow %d", trial, r.Len(), len(want.Records))
+		}
+		// Same multiset of IDs (orders differ: LastWindow preserves
+		// insertion order, Rolling submit order).
+		ids := map[int]bool{}
+		for _, rec := range want.Records {
+			ids[rec.ID] = true
+		}
+		for _, rec := range r.Records() {
+			if !ids[rec.ID] {
+				t.Fatalf("trial %d: record %d kept by Rolling but not LastWindow", trial, rec.ID)
+			}
+		}
+	}
+}
+
+// TestRollingMergeECDFMatchesFlat is the write-path ground-truth
+// property test: streaming random batches (random spacings, random
+// window widths, evictions on and off) through Rolling +
+// MergeSortedEvict produces, at every epoch, an ECDF byte-identical
+// to NewECDF over the equivalent flat windowed sample.
+func TestRollingMergeECDFMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		spacing := 1 + float64(rng.Intn(5))
+		// Narrow widths force evictions; wide ones exercise pure growth.
+		width := []float64{30, 200, 1e9}[rng.Intn(3)]
+		tr := rollingSeedTrace(20+rng.Intn(30), spacing)
+		r, err := NewRolling(tr, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecdf, err := r.Snapshot().ECDF()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 1000
+		for step := 0; step < 25; step++ {
+			k := 1 + rng.Intn(12)
+			batch := make([]ProbeRecord, k)
+			cursor := r.MaxSubmit()
+			for i := range batch {
+				cursor += spacing
+				st := StatusCompleted
+				if rng.Intn(6) == 0 {
+					st = StatusOutlier
+				}
+				lat := float64(rng.Intn(40)) * 2.5
+				if st == StatusOutlier {
+					lat = DefaultTimeout
+				}
+				batch[i] = ProbeRecord{ID: id, Submit: cursor, Latency: lat, Status: st}
+				id++
+			}
+			r.Append(batch)
+			evicted := r.Trim()
+
+			add := completedSorted(batch)
+			drop := completedSorted(evicted)
+			next, err := ecdf.MergeSortedEvict(add, drop)
+			if err != nil {
+				// A window left without completed probes cannot happen
+				// here: every batch keeps its own completed records.
+				t.Fatalf("trial %d step %d: merge: %v", trial, step, err)
+			}
+			flat, err := r.Snapshot().ECDF()
+			if err != nil {
+				t.Fatalf("trial %d step %d: flat: %v", trial, step, err)
+			}
+			if !ecdfIdentical(next, flat) {
+				t.Fatalf("trial %d step %d: merged ECDF diverged from flat NewECDF", trial, step)
+			}
+			ecdf = next
+		}
+	}
+}
+
+func completedSorted(recs []ProbeRecord) []float64 {
+	var out []float64
+	for _, r := range recs {
+		if r.Status == StatusCompleted {
+			out = append(out, r.Latency)
+		}
+	}
+	// Insertion sort is fine for test-sized batches.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func ecdfIdentical(a, b *stats.ECDF) bool {
+	as, bs := a.Support(), b.Support()
+	if a.N() != b.N() || len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] || a.Eval(as[i]) != b.Eval(bs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStatsFromECDFMatchesComputeStats pins the O(support) stats
+// derivation against the historical ComputeStats on random windows.
+func TestStatsFromECDFMatchesComputeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		tr := &Trace{Name: "st", Timeout: DefaultTimeout}
+		n := 2 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			st := StatusCompleted
+			lat := rng.Float64() * 900
+			switch rng.Intn(10) {
+			case 0:
+				st, lat = StatusOutlier, DefaultTimeout
+			case 1:
+				st, lat = StatusFault, DefaultTimeout
+			}
+			tr.Records = append(tr.Records, ProbeRecord{ID: i, Submit: float64(i), Latency: lat, Status: st})
+		}
+		want := tr.ComputeStats()
+		if want.Completed == 0 {
+			continue
+		}
+		e, err := tr.ECDF()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := StatsFromECDF(tr.Name, e, len(tr.Records), want.Outliers, tr.Timeout)
+		if got.Probes != want.Probes || got.Completed != want.Completed || got.Outliers != want.Outliers {
+			t.Fatalf("counts diverged: %+v vs %+v", got, want)
+		}
+		if got.Rho != want.Rho {
+			t.Fatalf("rho diverged: %v vs %v", got.Rho, want.Rho)
+		}
+		if got.Median != want.Median {
+			t.Fatalf("median diverged: %v vs %v", got.Median, want.Median)
+		}
+		for _, pair := range [][2]float64{
+			{got.MeanBody, want.MeanBody},
+			{got.StdBody, want.StdBody},
+			{got.MeanCensored, want.MeanCensored},
+		} {
+			if !relCloseTo(pair[0], pair[1], 1e-9) {
+				t.Fatalf("moment diverged beyond summation-order tolerance: %+v vs %+v", got, want)
+			}
+		}
+	}
+}
+
+func relCloseTo(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if x := a; x < 0 {
+		x = -x
+		if x > m {
+			m = x
+		}
+	} else if a > m {
+		m = a
+	}
+	return d <= tol*m
+}

@@ -14,6 +14,12 @@ import (
 // raw material of the non-stationarity analysis: production-grid load
 // patterns "evolve quickly" (§3.1), and windowed statistics show how
 // much.
+//
+// Ordering contract: the sweep consumes records in ascending submit
+// order. A trace whose records already are — the canonical order every
+// Rolling snapshot and ingestion rebuild produces — is read in place;
+// only out-of-order traces pay the defensive copy and sort. The input
+// trace is never modified either way.
 func WindowStats(t *Trace, window float64) ([]Stats, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("trace: non-positive window %v", window)
@@ -21,8 +27,11 @@ func WindowStats(t *Trace, window float64) ([]Stats, error) {
 	if len(t.Records) == 0 {
 		return nil, ErrNoCompleted
 	}
-	recs := append([]ProbeRecord(nil), t.Records...)
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Submit < recs[j].Submit })
+	recs := t.Records
+	if !submitOrdered(recs) {
+		recs = append([]ProbeRecord(nil), t.Records...)
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Submit < recs[j].Submit })
+	}
 
 	var out []Stats
 	start := recs[0].Submit
