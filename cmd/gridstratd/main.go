@@ -29,6 +29,15 @@
 //	-max-queued int   per-model cap on acknowledged-but-unapplied
 //	                  observation records; past it a batch pays for an
 //	                  inline drain (default 1048576)
+//	-wal-dir string   enable durable persistence: per-model write-ahead
+//	                  logs plus compacted snapshots under this
+//	                  directory, replayed on boot so a restart loses no
+//	                  acknowledged observation (default "", memory-only)
+//	-wal-sync string  WAL fsync policy: "always", "interval" or "none"
+//	                  (default "interval": group-flush every 100ms)
+//	-snapshot-every int
+//	                  compact a model's log into a fresh snapshot after
+//	                  this many appended records (default 4096)
 //	-shutdown-timeout duration
 //	                  grace period for in-flight requests on
 //	                  SIGINT/SIGTERM (default 10s)
@@ -64,6 +73,9 @@ func main() {
 		maxBody         = flag.Int64("max-body", 32<<20, "request body cap in bytes")
 		rebuildInterval = flag.Duration("rebuild-interval", 0, "coalesce observation batches into one model rebuild per interval (0 = rebuild on every batch)")
 		maxQueued       = flag.Int("max-queued", 1<<20, "per-model cap on queued observation records before an inline drain")
+		walDir          = flag.String("wal-dir", "", "durable persistence directory (empty = memory-only)")
+		walSync         = flag.String("wal-sync", "interval", `WAL fsync policy: "always", "interval" or "none"`)
+		snapshotEvery   = flag.Int("snapshot-every", 4096, "compact a model's WAL into a snapshot after this many records")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		quiet           = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -78,11 +90,26 @@ func main() {
 		MaxRuns:          *maxRuns,
 		RebuildInterval:  *rebuildInterval,
 		MaxQueuedRecords: *maxQueued,
+		WALDir:           *walDir,
+		WALSync:          *walSync,
+		SnapshotEvery:    *snapshotEvery,
 	}
 	if !*quiet {
 		cfg.Logger = logger
 	}
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		logger.Fatalf("config: %v", err)
+	}
+
+	if *walDir != "" {
+		start := time.Now()
+		if err := srv.Recover(); err != nil {
+			logger.Fatalf("wal recovery: %v", err)
+		}
+		logger.Printf("recovered %d model(s) from %s in %v",
+			srv.Registry().Len(), *walDir, time.Since(start).Round(time.Millisecond))
+	}
 
 	if *preload != "" {
 		names := strings.Split(*preload, ",")

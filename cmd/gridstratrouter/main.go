@@ -1,0 +1,117 @@
+// Gridstratrouter is the cluster front for a fleet of gridstratd
+// daemons: it consistent-hashes model IDs across a static backend
+// list, forwards model-scoped requests to their owner (failing over
+// to ring successors while a backend is down), and fans multi-model
+// queries out across the fleet with partial-failure reporting. The
+// router holds no model state — durability lives in each backend's
+// write-ahead log — so it can be restarted freely.
+//
+// Usage:
+//
+//	gridstratrouter -backends http://host1:8372,http://host2:8372 [flags]
+//
+// Flags:
+//
+//	-addr string      listen address (default ":8371")
+//	-backends string  comma-separated backend base URLs (required)
+//	-vnodes int       virtual nodes per backend on the hash ring
+//	                  (default 64)
+//	-replicas int     candidates per model ID: the owner plus
+//	                  replicas-1 failover successors (default 3)
+//	-health-interval duration
+//	                  backend health polling period (default 1s)
+//	-shutdown-timeout duration
+//	                  grace period for in-flight requests on
+//	                  SIGINT/SIGTERM (default 10s)
+//	-quiet            disable placement/transition logging
+//
+// The routed surface is the same /v1 API a single gridstratd serves
+// (docs/openapi.yaml); see README.md for a cluster walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridstrat/internal/cluster"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8371", "listen address")
+		backends        = flag.String("backends", "", "comma-separated backend base URLs (required)")
+		vnodes          = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		replicas        = flag.Int("replicas", 3, "candidates per model ID (owner + failover successors)")
+		healthInterval  = flag.Duration("health-interval", time.Second, "backend health polling period")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		quiet           = flag.Bool("quiet", false, "disable placement/transition logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gridstratrouter: ", log.LstdFlags)
+	if *backends == "" {
+		logger.Fatal("missing -backends (comma-separated backend base URLs)")
+	}
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+
+	cfg := cluster.Config{
+		Backends:       urls,
+		VNodes:         *vnodes,
+		Replicas:       *replicas,
+		HealthInterval: *healthInterval,
+	}
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	rt, err := cluster.NewRouter(cfg)
+	if err != nil {
+		logger.Fatalf("config: %v", err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s, routing %d backend(s)", *addr, len(urls))
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down (grace %v)", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+		}
+		logger.Printf("bye")
+	}
+}

@@ -25,7 +25,7 @@ func main() {
 	// 1. An in-process gridstratd with a 2,000-second rolling window:
 	// small enough that this example's observation stream visibly
 	// retires the uploaded history.
-	srv := server.New(server.Config{DefaultWindow: 2000})
+	srv := server.MustNew(server.Config{DefaultWindow: 2000})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gridstrat/internal/server"
+)
+
+// jsonDecode drains and decodes one HTTP response body.
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	r1, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(members, 64)
+
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("model-%d", i)
+		o := r1.Owner(k)
+		if o != r2.Owner(k) {
+			t.Fatalf("ring not deterministic for %q", k)
+		}
+		counts[o]++
+	}
+	for _, m := range members {
+		n := counts[m]
+		if n < keys/6 || n > keys/2+keys/10 {
+			t.Fatalf("unbalanced ring: %s owns %d of %d keys (%+v)", m, n, keys, counts)
+		}
+	}
+}
+
+func TestRingCandidatesDistinctAndOrdered(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	r, err := NewRing(members, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("m%d", i)
+		cands := r.Candidates(k, 3)
+		if len(cands) != 3 {
+			t.Fatalf("want 3 candidates, got %v", cands)
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("duplicate candidate in %v", cands)
+			}
+			seen[c] = true
+		}
+		if cands[0] != r.Owner(k) {
+			t.Fatalf("candidates[0] != owner for %q", k)
+		}
+	}
+	if got := r.Candidates("x", 99); len(got) != len(members) {
+		t.Fatalf("over-asking should clamp to member count, got %d", len(got))
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty member accepted")
+	}
+}
+
+// backend is one test gridstratd with a restartable listener: Close
+// simulates a crash (the WAL stays on disk), restart brings a fresh
+// server up on the same address over the same WAL directory.
+type backend struct {
+	addr   string
+	walDir string
+	srv    *server.Server
+	hs     *http.Server
+	ln     net.Listener
+}
+
+func startBackend(t *testing.T, addr, walDir string) *backend {
+	t.Helper()
+	s := server.MustNew(server.Config{WALDir: walDir, WALSync: "none", DefaultWindow: 1e6})
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	b := &backend{
+		addr:   ln.Addr().String(),
+		walDir: walDir,
+		srv:    s,
+		hs:     &http.Server{Handler: s.Handler()},
+		ln:     ln,
+	}
+	go func() { _ = b.hs.Serve(ln) }()
+	return b
+}
+
+func (b *backend) url() string { return "http://" + b.addr }
+
+// kill closes the listener and server without any graceful handoff.
+func (b *backend) kill() { _ = b.hs.Close() }
+
+func newTestCluster(t *testing.T, n int) ([]*backend, *Router, *server.Client) {
+	t.Helper()
+	backends := make([]*backend, n)
+	urls := make([]string, n)
+	for i := range backends {
+		backends[i] = startBackend(t, "127.0.0.1:0", t.TempDir())
+		urls[i] = backends[i].url()
+		t.Cleanup(backends[i].kill)
+	}
+	rt, err := NewRouter(Config{Backends: urls, Replicas: 3})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	rt.CheckNow()
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return backends, rt, server.NewClient(front.URL, front.Client())
+}
+
+func createModels(t *testing.T, c *server.Client, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("model-%02d", i)
+		if _, err := c.CreateModel(context.Background(), server.CreateModelRequest{
+			ID: id, Dataset: "2006-IX",
+		}); err != nil {
+			t.Fatalf("create %s: %v", id, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestRouterSpreadsAndServes: models created through the router land
+// on their ring owners, every model answers queries through the
+// router, and the fan-out endpoints aggregate the fleet.
+func TestRouterSpreadsAndServes(t *testing.T) {
+	backends, rt, c := newTestCluster(t, 3)
+	ctx := context.Background()
+	ids := createModels(t, c, 12)
+
+	// Placement followed the ring: each backend's registry holds
+	// exactly the models it owns.
+	spread := 0
+	for _, b := range backends {
+		n := b.srv.Registry().Len()
+		if n > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("12 models landed on %d backend(s); want a spread", spread)
+	}
+	for _, id := range ids {
+		owner := rt.ring.Owner(id)
+		info, err := c.GetModel(ctx, id, 0)
+		if err != nil {
+			t.Fatalf("get %s (owner %s): %v", id, owner, err)
+		}
+		if info.ID != id {
+			t.Fatalf("get %s returned %s", id, info.ID)
+		}
+	}
+
+	list, err := c.ListModels(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("list: want %d models, got %d", len(ids), len(list))
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Models != len(ids) {
+		t.Fatalf("stats models: want %d, got %d", len(ids), stats.Models)
+	}
+
+	// Observations flow to the owner and stick.
+	if _, err := c.Observe(ctx, ids[0], server.ObserveRequest{Latencies: []float64{100, 200}}); err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+}
+
+// TestRouterBackendDownPartialFanout: with one backend killed, list
+// and stats still answer from the survivors and report the failure;
+// models owned by the dead backend answer 502/503 rather than a
+// misleading 404; models on live backends keep working.
+func TestRouterBackendDownPartialFanout(t *testing.T) {
+	backends, rt, c := newTestCluster(t, 3)
+	ctx := context.Background()
+	ids := createModels(t, c, 12)
+
+	victim := backends[0]
+	var deadIDs, liveIDs []string
+	for _, id := range ids {
+		if rt.ring.Owner(id) == victim.url() {
+			deadIDs = append(deadIDs, id)
+		} else {
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	if len(deadIDs) == 0 || len(liveIDs) == 0 {
+		t.Skipf("degenerate spread: dead=%d live=%d", len(deadIDs), len(liveIDs))
+	}
+
+	victim.kill()
+	rt.CheckNow()
+
+	list, err := c.ListModels(ctx)
+	if err != nil {
+		t.Fatalf("partial list: %v", err)
+	}
+	if len(list) != len(liveIDs) {
+		t.Fatalf("partial list: want %d models, got %d", len(liveIDs), len(list))
+	}
+	// The router's stats shape carries the partial-failure report;
+	// fetch it raw (the single-node client type has no such field).
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("partial stats: %v", err)
+	}
+	var rstats StatsResponse
+	if err := jsonDecode(resp, &rstats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if !rstats.Partial || len(rstats.Failed) != 1 {
+		t.Fatalf("stats should report the dead backend: partial=%v failed=%v",
+			rstats.Partial, rstats.Failed)
+	}
+	if _, ok := rstats.Failed[victim.url()]; !ok {
+		t.Fatalf("failed_backends misses the victim: %v", rstats.Failed)
+	}
+
+	for _, id := range liveIDs {
+		if _, err := c.GetModel(ctx, id, 0); err != nil {
+			t.Fatalf("live model %s: %v", id, err)
+		}
+	}
+	// Dead-owned models: the data lives (only) in the victim's WAL, so
+	// the router must surface unavailability, not 404. A failover
+	// successor answers 404 from its own registry — also acceptable
+	// per the routing contract — but the placement must not flap into
+	// an error.
+	for _, id := range deadIDs {
+		_, err := c.GetModel(ctx, id, 0)
+		if err == nil {
+			t.Fatalf("dead-owned model %s answered without its backend", id)
+		}
+	}
+}
+
+// TestRouterKillAndRecoverBackend is the N=3 membership-change pin:
+// kill a backend, watch its models fail over / 404, restart it over
+// the same WAL directory, and watch the router route the replayed
+// models home again with their ingested state intact.
+func TestRouterKillAndRecoverBackend(t *testing.T) {
+	backends, rt, c := newTestCluster(t, 3)
+	ctx := context.Background()
+	ids := createModels(t, c, 12)
+
+	victim := backends[1]
+	var victimIDs []string
+	for _, id := range ids {
+		if rt.ring.Owner(id) == victim.url() {
+			victimIDs = append(victimIDs, id)
+		}
+	}
+	if len(victimIDs) == 0 {
+		t.Skip("ring gave the victim no models")
+	}
+
+	// Ingest onto a victim-owned model so recovery has real WAL state
+	// to prove.
+	obs, err := c.Observe(ctx, victimIDs[0], server.ObserveRequest{Latencies: []float64{111, 222, 333}})
+	if err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+	wantVersion := obs.Version
+
+	victim.kill()
+	rt.CheckNow()
+	if _, err := c.GetModel(ctx, victimIDs[0], 0); err == nil {
+		t.Fatal("victim-owned model served while its backend is down")
+	}
+
+	// Restart on the same address over the same WAL dir: boot replay
+	// restores the models, the health sweep sees it ready, and the
+	// up-transition clears the failover placements so traffic goes
+	// home.
+	revived := startBackend(t, victim.addr, victim.walDir)
+	t.Cleanup(revived.kill)
+	rt.CheckNow()
+
+	info, err := c.GetModel(ctx, victimIDs[0], 0)
+	if err != nil {
+		t.Fatalf("recovered model: %v", err)
+	}
+	if info.Version < wantVersion {
+		t.Fatalf("recovered model lost ingested state: version %d < %d", info.Version, wantVersion)
+	}
+	if got := revived.srv.Registry().Len(); got != len(victimIDs) {
+		t.Fatalf("replay restored %d models, want %d", got, len(victimIDs))
+	}
+	list, err := c.ListModels(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("post-recovery list: want %d, got %d", len(ids), len(list))
+	}
+}
+
+// TestRouterHealthDegraded: the router healthz flips to "degraded"
+// when a backend dies and back to "ok" when the fleet is whole.
+func TestRouterHealthDegraded(t *testing.T) {
+	backends, rt, _ := newTestCluster(t, 2)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	get := func() string {
+		resp, err := http.Get(front.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Status string `json:"status"`
+		}
+		if err := jsonDecode(resp, &body); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return body.Status
+	}
+	if s := get(); s != "ok" {
+		t.Fatalf("want ok, got %q", s)
+	}
+	backends[0].kill()
+	rt.CheckNow()
+	if s := get(); s != "degraded" {
+		t.Fatalf("want degraded, got %q", s)
+	}
+}
+
+// TestRouterCreateNeedsID: registration without a discoverable model
+// ID is rejected at the router (it cannot place the request).
+func TestRouterCreateNeedsID(t *testing.T) {
+	_, rt, _ := newTestCluster(t, 2)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Post(front.URL+"/v1/models", "application/json", strings.NewReader(`{"dataset":"2006-IX"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400, got %d", resp.StatusCode)
+	}
+}
+
+// TestCheckerTransitions: ready-edge callbacks fire on kill and
+// revive.
+func TestCheckerTransitions(t *testing.T) {
+	b := startBackend(t, "127.0.0.1:0", t.TempDir())
+	t.Cleanup(b.kill)
+
+	var mu struct {
+		edges []string
+	}
+	var lock = make(chan struct{}, 1)
+	lock <- struct{}{}
+	ch := NewChecker([]string{b.url()}, 0, nil, func(m string, up bool) {
+		<-lock
+		mu.edges = append(mu.edges, fmt.Sprintf("%v", up))
+		lock <- struct{}{}
+	})
+	ch.CheckNow(context.Background())
+	if !ch.Ready(b.url()) {
+		t.Fatal("backend should be ready")
+	}
+	b.kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for ch.Ready(b.url()) {
+		if time.Now().After(deadline) {
+			t.Fatal("backend never went unready")
+		}
+		ch.CheckNow(context.Background())
+	}
+	<-lock
+	got := strings.Join(mu.edges, ",")
+	lock <- struct{}{}
+	if got != "true,false" {
+		t.Fatalf("edges: want true,false got %s", got)
+	}
+}

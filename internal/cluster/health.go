@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// BackendState is one backend's view as of its last health probe.
+// Healthy means the probe answered 200; Ready additionally means the
+// backend is past its WAL boot replay ("recovering" backends are alive
+// but must not receive model traffic yet — their registries are still
+// filling, so a miss there is not a 404).
+type BackendState struct {
+	Healthy   bool      `json:"healthy"`
+	Ready     bool      `json:"ready"`
+	Models    int       `json:"models"`
+	Version   string    `json:"version,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	CheckedAt time.Time `json:"-"`
+}
+
+// healthzBody is the slice of the backend /v1/healthz response the
+// checker consumes.
+type healthzBody struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Models  int    `json:"models"`
+	WAL     string `json:"wal"`
+}
+
+// Checker polls every backend's /v1/healthz on an interval and keeps
+// the latest BackendState per member. Up/down transitions are reported
+// to the onTransition hook (the router uses it to clear stale
+// placements). It is safe for concurrent use.
+type Checker struct {
+	members  []string
+	client   *http.Client
+	interval time.Duration
+
+	// onTransition fires on ready-state edges: up=true when a backend
+	// becomes ready (fresh boot or replay finished), up=false when it
+	// stops being ready. Called without the state lock held.
+	onTransition func(member string, up bool)
+
+	mu     sync.RWMutex
+	states map[string]BackendState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{} // closed when the polling loop exits
+	started  bool          // whether the loop was ever launched
+}
+
+// NewChecker builds a checker over the member base URLs. interval <= 0
+// disables the background loop (CheckNow still works — tests and boot
+// paths drive it synchronously). hc nil falls back to a 2-second
+// timeout client.
+func NewChecker(members []string, interval time.Duration, hc *http.Client, onTransition func(string, bool)) *Checker {
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	c := &Checker{
+		members:      members,
+		client:       hc,
+		interval:     interval,
+		onTransition: onTransition,
+		states:       make(map[string]BackendState, len(members)),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, m := range members {
+		c.states[m] = BackendState{} // unknown = unhealthy until probed
+	}
+	return c
+}
+
+// Start launches the background polling loop (no-op without an
+// interval).
+func (c *Checker) Start() {
+	if c.interval <= 0 || c.started {
+		return
+	}
+	c.started = true
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.CheckNow(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the polling loop (if one is running) and waits for it.
+func (c *Checker) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if c.started {
+		<-c.done
+	}
+}
+
+// CheckNow probes every member once, in parallel, and applies the
+// results. It returns when every probe has resolved. A nil context is
+// allowed (background).
+func (c *Checker) CheckNow(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var wg sync.WaitGroup
+	results := make([]BackendState, len(c.members))
+	for i, m := range c.members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			results[i] = c.probe(ctx, m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	type edge struct {
+		member string
+		up     bool
+	}
+	var edges []edge
+	c.mu.Lock()
+	for i, m := range c.members {
+		prev := c.states[m]
+		next := results[i]
+		c.states[m] = next
+		if prev.Ready != next.Ready {
+			edges = append(edges, edge{m, next.Ready})
+		}
+	}
+	c.mu.Unlock()
+	if c.onTransition != nil {
+		for _, e := range edges {
+			c.onTransition(e.member, e.up)
+		}
+	}
+}
+
+// probe performs one health request against a member.
+func (c *Checker) probe(ctx context.Context, member string) BackendState {
+	st := BackendState{CheckedAt: time.Now()}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+"/v1/healthz", nil)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.Error = fmt.Sprintf("healthz status %d", resp.StatusCode)
+		return st
+	}
+	var body healthzBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		st.Error = "decoding healthz: " + err.Error()
+		return st
+	}
+	st.Healthy = true
+	st.Ready = body.WAL != "recovering"
+	st.Models = body.Models
+	st.Version = body.Version
+	return st
+}
+
+// Ready reports whether the member is healthy and past its boot
+// replay — eligible for model traffic.
+func (c *Checker) Ready(member string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.states[member]
+	return st.Healthy && st.Ready
+}
+
+// State returns the member's latest probe result.
+func (c *Checker) State(member string) BackendState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.states[member]
+}
+
+// Snapshot returns a copy of every member's latest state.
+func (c *Checker) Snapshot() map[string]BackendState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]BackendState, len(c.states))
+	for m, st := range c.states {
+		out[m] = st
+	}
+	return out
+}

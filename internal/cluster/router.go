@@ -1,0 +1,552 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridstrat/internal/server"
+)
+
+// RouterVersion identifies the router build, reported by its healthz.
+const RouterVersion = "0.6.0"
+
+// Config tunes a Router.
+type Config struct {
+	// Backends is the static member list: base URLs of the gridstratd
+	// daemons (e.g. "http://10.0.0.1:8372"). Required.
+	Backends []string
+	// VNodes is the virtual-node count per backend (default 64).
+	VNodes int
+	// Replicas is the candidate-list length per model ID: the owner
+	// plus Replicas-1 failover successors considered when the owner is
+	// down (default 3, clamped to the backend count).
+	Replicas int
+	// HealthInterval is the backend polling period (default 1s;
+	// non-positive disables background polling — CheckNow drives it).
+	HealthInterval time.Duration
+	// MaxBodyBytes bounds the registration bodies the router buffers to
+	// discover the model ID (default 32 MiB).
+	MaxBodyBytes int64
+	// Client issues the forwarded requests (default: 30 s timeout).
+	Client *http.Client
+	// Logger receives placement and failover lines; nil disables.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Replicas > len(c.Backends) {
+		c.Replicas = len(c.Backends)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// backendCounters is one backend's router-side traffic tally.
+type backendCounters struct {
+	forwarded atomic.Uint64 // requests proxied to this backend
+	errors    atomic.Uint64 // transport failures against it
+	inflight  atomic.Int64  // currently outstanding proxied requests
+}
+
+// Router is the cluster front: it owns the ring, the health checker
+// and the sticky placement table, and serves the same /v1 surface as a
+// single gridstratd, transparently spread over the fleet.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	checker *Checker
+	mux     *http.ServeMux
+	start   time.Time
+
+	counters map[string]*backendCounters
+
+	// placement pins a model ID to the backend serving it. An entry is
+	// written on first routing and cleared on ready-state transitions:
+	// when a backend goes down every placement onto it is dropped (the
+	// next request picks a failover successor), and when one comes back
+	// every placement whose ring owner it is is dropped (traffic moves
+	// home, where the WAL replay restored the model).
+	mu        sync.Mutex
+	placement map[string]string
+}
+
+// NewRouter builds the router and runs one synchronous health sweep so
+// the first request already sees real liveness.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	backends := make([]string, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			continue
+		}
+		if _, err := url.Parse(b); err != nil {
+			return nil, fmt.Errorf("cluster: bad backend url %q: %w", b, err)
+		}
+		backends = append(backends, b)
+	}
+	cfg.Backends = backends
+	ring, err := NewRing(backends, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      ring,
+		start:     time.Now(),
+		counters:  make(map[string]*backendCounters, len(backends)),
+		placement: make(map[string]string),
+	}
+	for _, b := range backends {
+		rt.counters[b] = &backendCounters{}
+	}
+	rt.checker = NewChecker(backends, cfg.HealthInterval, cfg.Client, rt.noteTransition)
+	rt.mux = http.NewServeMux()
+	rt.routes()
+	return rt, nil
+}
+
+// Start runs the initial health sweep and launches background polling.
+func (rt *Router) Start() {
+	rt.CheckNow()
+	rt.checker.Start()
+}
+
+// CheckNow forces one synchronous health sweep (tests use it instead
+// of waiting out the polling interval).
+func (rt *Router) CheckNow() { rt.checker.CheckNow(nil) }
+
+// Close stops the health checker.
+func (rt *Router) Close() { rt.checker.Close() }
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /v1/healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /v1/models", rt.handleList)
+	rt.mux.HandleFunc("POST /v1/models", rt.handleCreate)
+	// Every model-scoped route forwards to the model's owner; the
+	// backend enforces methods and sub-route shapes.
+	rt.mux.HandleFunc("/v1/models/{id}", rt.handleModel)
+	rt.mux.HandleFunc("/v1/models/{id}/{op}", rt.handleModel)
+}
+
+// noteTransition is the checker's edge hook; see the placement field
+// for the invalidation rules.
+func (rt *Router) noteTransition(member string, up bool) {
+	rt.mu.Lock()
+	for id, m := range rt.placement {
+		if (!up && m == member) || (up && rt.ring.Owner(id) == member) {
+			delete(rt.placement, id)
+		}
+	}
+	rt.mu.Unlock()
+	if rt.cfg.Logger != nil {
+		dir := "down"
+		if up {
+			dir = "up"
+		}
+		rt.cfg.Logger.Printf("backend %s is %s", member, dir)
+	}
+}
+
+// score ranks a failover candidate from a snapshot of its live state:
+// the fewer models it already serves and the fewer router requests are
+// in flight against it, the better. Scored at decision time from
+// observed state — not from a static assignment — so failover load
+// spreads to whichever successor is actually lightest.
+func (rt *Router) score(member string) float64 {
+	st := rt.checker.State(member)
+	return float64(st.Models) + 16*float64(rt.counters[member].inflight.Load())
+}
+
+// ownerFor picks the backend serving a model ID: the sticky placement
+// while it stays ready, else the ring owner, else the best-scoring
+// ready successor among the ID's candidates. It returns "" when no
+// candidate is ready.
+func (rt *Router) ownerFor(id string) string {
+	cands := rt.ring.Candidates(id, rt.cfg.Replicas)
+
+	rt.mu.Lock()
+	if m, ok := rt.placement[id]; ok && rt.checker.Ready(m) {
+		rt.mu.Unlock()
+		return m
+	}
+	rt.mu.Unlock()
+
+	choice := ""
+	if rt.checker.Ready(cands[0]) {
+		choice = cands[0]
+	} else {
+		best := -1.0
+		for _, m := range cands[1:] {
+			if !rt.checker.Ready(m) {
+				continue
+			}
+			if s := rt.score(m); best < 0 || s < best {
+				best, choice = s, m
+			}
+		}
+		if choice != "" && rt.cfg.Logger != nil {
+			rt.cfg.Logger.Printf("model %q: owner %s not ready, failing over to %s", id, cands[0], choice)
+		}
+	}
+	if choice != "" {
+		rt.mu.Lock()
+		rt.placement[id] = choice
+		rt.mu.Unlock()
+	}
+	return choice
+}
+
+// dropPlacement removes a (failed) placement so the next request picks
+// a new backend.
+func (rt *Router) dropPlacement(id, member string) {
+	rt.mu.Lock()
+	if rt.placement[id] == member {
+		delete(rt.placement, id)
+	}
+	rt.mu.Unlock()
+}
+
+// writeError emits the backend error envelope shape, so router-origin
+// failures are indistinguishable in structure from backend ones.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// proxy forwards the request (with the given body, which may be nil)
+// to the member and copies the response through. It reports transport
+// failure; HTTP-level errors from the backend are passed to the caller
+// verbatim and count as success here.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, member string, body []byte) error {
+	c := rt.counters[member]
+	c.forwarded.Add(1)
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+
+	u := member + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else if r.Body != nil {
+		rd = r.Body
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	if err != nil {
+		return err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		c.errors.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Gridstrat-Backend", member)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return nil
+}
+
+// handleModel forwards a model-scoped request to its owner. A
+// transport failure drops the placement and, for idempotent reads,
+// retries once on the next pick; writes answer 502 (the client owns
+// the retry decision for non-idempotent requests).
+func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Buffer small write bodies so a retried pick can resend them; a
+	// model-scoped request body is a planning query, not a trace
+	// upload, so this stays cheap.
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodHead {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large", err.Error())
+			return
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		member := rt.ownerFor(id)
+		if member == "" {
+			writeError(w, http.StatusServiceUnavailable, "no_backend",
+				fmt.Sprintf("no ready backend for model %q", id))
+			return
+		}
+		err := rt.proxy(w, r, member, body)
+		if err == nil {
+			return
+		}
+		rt.dropPlacement(id, member)
+		if attempt == 0 {
+			// One failover retry: safe for reads, and safe for writes
+			// too because nothing was written — the transport error
+			// means the request never reached a backend handler, or the
+			// response never came back; observation batches are the only
+			// non-idempotent case and the backend's at-most-once ack
+			// contract covers a duplicated delivery no worse than a
+			// client-side retry would.
+			if r.Method == http.MethodGet || r.Method == http.MethodHead || body != nil {
+				continue
+			}
+		}
+		writeError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("backend %s: %v", member, err))
+		return
+	}
+}
+
+// handleCreate routes POST /v1/models: the model ID decides the owner,
+// so the router buffers the body far enough to learn it (JSON bodies
+// carry it inline; raw trace uploads carry it in ?id=).
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large", err.Error())
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		var probe struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &probe); err == nil {
+			id = probe.ID
+		}
+	}
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing model id")
+		return
+	}
+	member := rt.ownerFor(id)
+	if member == "" {
+		writeError(w, http.StatusServiceUnavailable, "no_backend",
+			fmt.Sprintf("no ready backend for model %q", id))
+		return
+	}
+	if err := rt.proxy(w, r, member, body); err != nil {
+		rt.dropPlacement(id, member)
+		writeError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("backend %s: %v", member, err))
+	}
+}
+
+// fanout issues one GET against every backend concurrently and
+// collects the decoded bodies. Unready backends are skipped and
+// reported as failed; a transport or decode failure likewise lands in
+// the failed map instead of sinking the whole response.
+func fanout[T any](rt *Router, r *http.Request, path string) (map[string]T, map[string]string) {
+	results := make(map[string]T, len(rt.cfg.Backends))
+	failed := make(map[string]string)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range rt.cfg.Backends {
+		if !rt.checker.Ready(b) {
+			st := rt.checker.State(b)
+			msg := st.Error
+			if msg == "" {
+				msg = "not ready"
+			}
+			failed[b] = msg
+			continue
+		}
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			c := rt.counters[b]
+			c.forwarded.Add(1)
+			c.inflight.Add(1)
+			defer c.inflight.Add(-1)
+			var out T
+			err := rt.getJSON(r, b+path, &out)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				c.errors.Add(1)
+				failed[b] = err.Error()
+				return
+			}
+			results[b] = out
+		}(b)
+	}
+	wg.Wait()
+	return results, failed
+}
+
+// getJSON issues one GET (propagating the inbound request context) and
+// decodes the 200 body.
+func (rt *Router) getJSON(r *http.Request, u string, out any) error {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ListResponse is the router's GET /v1/models body: the union of every
+// ready backend's models (sorted by ID), plus the partial-failure
+// report. A single-node client decoding only {models} keeps working.
+type ListResponse struct {
+	Models  []server.ModelInfo `json:"models"`
+	Partial bool               `json:"partial,omitempty"`
+	Failed  map[string]string  `json:"failed_backends,omitempty"`
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	results, failed := fanout[server.ListModelsResponse](rt, r, "/v1/models")
+	resp := ListResponse{Models: []server.ModelInfo{}}
+	for _, lr := range results {
+		resp.Models = append(resp.Models, lr.Models...)
+	}
+	sort.Slice(resp.Models, func(i, j int) bool { return resp.Models[i].ID < resp.Models[j].ID })
+	if len(failed) > 0 {
+		resp.Partial, resp.Failed = true, failed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BackendStats is one backend's slice of the router stats response.
+type BackendStats struct {
+	Healthy   bool              `json:"healthy"`
+	Ready     bool              `json:"ready"`
+	Forwarded uint64            `json:"forwarded"`
+	Errors    uint64            `json:"errors"`
+	Models    int               `json:"models"`
+	Totals    server.ShardStats `json:"totals"`
+}
+
+// StatsResponse is the router's GET /v1/stats body: per-backend router
+// counters plus the fleet-wide sum of every backend's registry totals.
+type StatsResponse struct {
+	UptimeS  float64                 `json:"uptime_s"`
+	Models   int                     `json:"models"`
+	Backends map[string]BackendStats `json:"backends"`
+	Totals   server.ShardStats       `json:"totals"`
+	Partial  bool                    `json:"partial,omitempty"`
+	Failed   map[string]string       `json:"failed_backends,omitempty"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	results, failed := fanout[server.StatsResponse](rt, r, "/v1/stats")
+	resp := StatsResponse{
+		UptimeS:  time.Since(rt.start).Seconds(),
+		Backends: make(map[string]BackendStats, len(rt.cfg.Backends)),
+	}
+	for _, b := range rt.cfg.Backends {
+		st := rt.checker.State(b)
+		bs := BackendStats{
+			Healthy:   st.Healthy,
+			Ready:     st.Ready,
+			Forwarded: rt.counters[b].forwarded.Load(),
+			Errors:    rt.counters[b].errors.Load(),
+		}
+		if sr, ok := results[b]; ok {
+			bs.Models = sr.Models
+			bs.Totals = sr.Totals
+			resp.Models += sr.Models
+			addShardStats(&resp.Totals, sr.Totals)
+		}
+		resp.Backends[b] = bs
+	}
+	if len(failed) > 0 {
+		resp.Partial, resp.Failed = true, failed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// addShardStats accumulates b into a, field by field.
+func addShardStats(a *server.ShardStats, b server.ShardStats) {
+	a.Models += b.Models
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.IngestBatches += b.IngestBatches
+	a.IngestRecords += b.IngestRecords
+	a.Rebuilds += b.Rebuilds
+	a.CoalescedBatches += b.CoalescedBatches
+	a.RebuildFailures += b.RebuildFailures
+	a.QueuedRecords += b.QueuedRecords
+	a.WALAppends += b.WALAppends
+	a.WALSnapshotBytes += b.WALSnapshotBytes
+	a.ReplayedRecords += b.ReplayedRecords
+}
+
+// HealthResponse is the router's healthz body: "ok" when every backend
+// is ready, "degraded" otherwise (the router itself stays up — a
+// degraded cluster still serves the models on live backends).
+type HealthResponse struct {
+	Status   string                  `json:"status"`
+	Version  string                  `json:"version"`
+	UptimeS  float64                 `json:"uptime_s"`
+	Backends map[string]BackendState `json:"backends"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := rt.checker.Snapshot()
+	status := "ok"
+	for _, st := range snap {
+		if !(st.Healthy && st.Ready) {
+			status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   status,
+		Version:  RouterVersion,
+		UptimeS:  time.Since(rt.start).Seconds(),
+		Backends: snap,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

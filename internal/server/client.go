@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 )
 
 // APIError is a non-2xx response decoded from the service's error
@@ -24,12 +27,38 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("gridstratd: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
+// RetryPolicy bounds the client's transparent retries of idempotent
+// GETs. Retries cover exactly the failures a restarting or briefly
+// overloaded daemon produces — transport errors (connection refused
+// mid-restart) and 5xx envelopes (503 while a WAL replay is in
+// flight) — with exponential backoff plus full jitter between
+// attempts. Non-idempotent requests are never retried: the caller
+// owns the at-most-once decision for writes.
+type RetryPolicy struct {
+	// MaxAttempts is the total try count, first request included
+	// (minimum 1; a policy of 1 never retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: the k-th retry waits a
+	// uniformly random duration in (0, BaseDelay·2^k], capped at
+	// MaxDelay — "full jitter", so a fleet of clients re-probing a
+	// restarting daemon does not stampede it in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries idempotent GETs three times over roughly
+// half a second — enough to ride out a daemon restart's socket gap
+// without masking a real outage.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
 // Client is a typed Go client for the gridstratd HTTP API. The zero
 // value is not usable; construct it with NewClient. It is safe for
 // concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy // zero: no retries
 }
 
 // NewClient builds a client for the service at base (for example
@@ -40,6 +69,20 @@ func NewClient(base string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: base, hc: hc}
+}
+
+// WithRetry returns a copy of the client that retries idempotent GETs
+// under the policy (see RetryPolicy for what is and is not retried).
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	out := *c
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	out.retry = p
+	return &out
 }
 
 // do issues one JSON request and decodes the response into out (when
@@ -63,10 +106,63 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return c.roundTrip(req, out)
 }
 
-// roundTrip executes a prebuilt request, maps non-2xx responses to
-// *APIError via the error envelope, and decodes a 2xx body into out
-// (when non-nil).
+// roundTrip executes a prebuilt request — retrying idempotent GETs
+// under the client's policy — maps non-2xx responses to *APIError via
+// the error envelope, and decodes a 2xx body into out (when non-nil).
 func (c *Client) roundTrip(req *http.Request, out any) error {
+	attempts := 1
+	if req.Method == http.MethodGet && req.Body == nil && c.retry.MaxAttempts > attempts {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(req.Context(), attempt); err != nil {
+				return lastErr // context gone: report the real failure
+			}
+		}
+		err := c.roundTripOnce(req, out)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// backoff sleeps the attempt's jittered exponential delay, bailing
+// early if the request context ends first.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d <= 0 || d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	d = time.Duration(rand.Int63n(int64(d)) + 1) // full jitter: (0, d]
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether a roundTripOnce failure may resolve on a
+// fresh attempt: transport errors (nothing was received — for a GET,
+// safe to reissue) and 5xx envelopes (the daemon is restarting,
+// replaying its WAL, or shedding load). 4xx responses are the
+// caller's bug or a real miss; retrying them would only add latency.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+// roundTripOnce is one request execution.
+func (c *Client) roundTripOnce(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

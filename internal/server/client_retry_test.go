@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky5xx answers 503 for the first n requests, then delegates.
+func flaky5xx(n int64, next http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			writeError(w, http.StatusServiceUnavailable, "recovering", "warming up")
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &calls
+}
+
+func TestClientRetriesIdempotentGets(t *testing.T) {
+	s := MustNew(Config{})
+	h, calls := flaky5xx(2, s.Handler())
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := NewClient(hs.URL, hs.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	})
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health should succeed on the third attempt: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("want 3 attempts, got %d", got)
+	}
+}
+
+func TestClientDoesNotRetryWrites(t *testing.T) {
+	s := MustNew(Config{})
+	h, calls := flaky5xx(1, s.Handler())
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	c := NewClient(hs.URL, hs.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	})
+	_, err := c.CreateModel(context.Background(), CreateModelRequest{ID: "m", Dataset: "2006-IX"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("write should fail without retry, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("want exactly 1 attempt for a POST, got %d", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusNotFound, "not_found", "nope")
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	if _, err := c.GetModel(context.Background(), "missing", 0); err == nil {
+		t.Fatal("expected a 404 error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx must not retry: %d attempts", got)
+	}
+}
+
+func TestClientRetryRidesOutRestart(t *testing.T) {
+	// A connection-refused gap: grab a port, close it (connections now
+	// refused), and bring a real server up on it mid-retry.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := NewClient("http://"+addr, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 20, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	s := MustNew(Config{})
+	hs := &http.Server{Handler: s.Handler()}
+	defer hs.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the request will fail and report
+		}
+		_ = hs.Serve(ln2)
+	}()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health should ride out the restart gap: %v", err)
+	}
+}
+
+func TestClientZeroPolicyNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "recovering", "warming up")
+	}))
+	defer hs.Close()
+	c := NewClient(hs.URL, nil) // no WithRetry
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("plain client must not retry: %d attempts", got)
+	}
+}

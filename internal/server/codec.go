@@ -379,11 +379,15 @@ type ObserveResponse struct {
 	Stats         TraceStatsJSON `json:"stats"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz and GET /v1/healthz. WAL
+// reports the durability state: "disabled" (memory-only), "recovering"
+// (boot replay in flight; model routes answer 503) or "ready".
 type HealthResponse struct {
 	Status  string  `json:"status"`
+	Version string  `json:"version"`
 	Models  int     `json:"models"`
 	UptimeS float64 `json:"uptime_s"`
+	WAL     string  `json:"wal"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

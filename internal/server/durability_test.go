@@ -1,0 +1,382 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gridstrat"
+	"gridstrat/internal/stats"
+	"gridstrat/internal/trace"
+)
+
+// Durability tests: the kill-and-recover contract of the WAL-backed
+// registry. "Crash" here means abandoning a Server without closing its
+// logs — every acknowledged batch was already written (the fsync
+// policy only defers durability against machine crashes, not process
+// ones), so a fresh Server over the same directory must replay to the
+// exact pre-crash state. The CI smoke test covers the real-SIGKILL
+// variant of the same story.
+
+// synthTrace builds a deterministic seed trace: n completed probes
+// with latencies in (0, 600), spaced 10 s apart, plus outliers.
+func synthTrace(name string, n, outliers int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: name, Timeout: trace.DefaultTimeout}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.ProbeRecord{
+			ID:      i,
+			Submit:  float64(i) * 10,
+			Latency: 1 + 599*rng.Float64(),
+			Status:  trace.StatusCompleted,
+		})
+	}
+	for i := 0; i < outliers; i++ {
+		tr.Records = append(tr.Records, trace.ProbeRecord{
+			ID:      n + i,
+			Submit:  float64(n+i) * 10,
+			Latency: tr.Timeout,
+			Status:  trace.StatusOutlier,
+		})
+	}
+	return tr
+}
+
+// randomBatch draws one observation batch: completed latencies with
+// the occasional outlier, mirroring what the handler builds from an
+// ObserveRequest.
+func randomBatch(rng *rand.Rand, max int) []trace.ProbeRecord {
+	n := 1 + rng.Intn(max)
+	recs := make([]trace.ProbeRecord, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(10) == 0 {
+			recs = append(recs, trace.ProbeRecord{Latency: trace.DefaultTimeout, Status: trace.StatusOutlier})
+			continue
+		}
+		recs = append(recs, trace.ProbeRecord{Latency: 1 + 599*rng.Float64(), Status: trace.StatusCompleted})
+	}
+	return recs
+}
+
+// requireECDFBitEqual asserts two ECDFs are bit-for-bit identical:
+// same support points (as IEEE bits), same cumulative probability at
+// every support point, same sample count.
+func requireECDFBitEqual(t *testing.T, want, got *stats.ECDF) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("nil ecdf: want=%v got=%v", want, got)
+	}
+	ws, gs := want.Support(), got.Support()
+	if len(ws) != len(gs) {
+		t.Fatalf("support size: want %d, got %d", len(ws), len(gs))
+	}
+	for i := range ws {
+		if math.Float64bits(ws[i]) != math.Float64bits(gs[i]) {
+			t.Fatalf("support[%d]: want %x (%v), got %x (%v)",
+				i, math.Float64bits(ws[i]), ws[i], math.Float64bits(gs[i]), gs[i])
+		}
+		if math.Float64bits(want.Eval(ws[i])) != math.Float64bits(got.Eval(gs[i])) {
+			t.Fatalf("F(support[%d]): want %v, got %v", i, want.Eval(ws[i]), got.Eval(gs[i]))
+		}
+	}
+	if want.N() != got.N() {
+		t.Fatalf("N: want %d, got %d", want.N(), got.N())
+	}
+}
+
+// recoverServer builds a second Server over the same WAL directory and
+// replays it — the "restart" half of kill-and-recover.
+func recoverServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := MustNew(cfg)
+	if err := s.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if s.Recovering() {
+		t.Fatal("Recovering() still true after Recover returned")
+	}
+	return s
+}
+
+// TestKillAndRecoverBitEqual is the tentpole pin: random ingest on a
+// synchronous WAL-backed server, crash, restart — the recovered model
+// must be bit-equal to the pre-crash one (ECDF support and values,
+// window records, stamping cursor), and seeded planning questions must
+// answer identically.
+func TestKillAndRecoverBitEqual(t *testing.T) {
+	cfg := Config{
+		WALDir:        t.TempDir(),
+		WALSync:       "none", // process-crash durability needs no fsync
+		SnapshotEvery: 150,    // several compactions plus a live tail
+	}
+	s1 := recoverServer(t, cfg) // empty dir: no-op replay
+
+	// Window narrower than the eventual submit span, so ingest both
+	// appends and evicts — the recovered window must agree on both
+	// edges.
+	e1, err := s1.Registry().Put("m", "test", 4000, synthTrace("m", 80, 4, 1))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		batch := randomBatch(rng, 30)
+		var start *float64
+		if rng.Intn(4) == 0 { // explicit start every so often
+			v := e1.cursor + 1 + 50*rng.Float64()
+			start = &v
+		}
+		if _, err := e1.Observe(batch, start, 1+9*rng.Float64()); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+	}
+	st1 := e1.State()
+
+	// Crash: abandon s1 with its logs open, restart over the same dir.
+	s2 := recoverServer(t, cfg)
+	e2, err := s2.Registry().Get("m")
+	if err != nil {
+		t.Fatalf("recovered Get: %v", err)
+	}
+	st2 := e2.State()
+
+	requireECDFBitEqual(t, st1.ecdf, st2.ecdf)
+	if !reflect.DeepEqual(st1.Trace.Records, st2.Trace.Records) {
+		t.Fatalf("window records diverged: %d vs %d records",
+			len(st1.Trace.Records), len(st2.Trace.Records))
+	}
+	if math.Float64bits(e1.cursor) != math.Float64bits(e2.cursor) {
+		t.Fatalf("cursor: want %v, got %v", e1.cursor, e2.cursor)
+	}
+	if e1.nextID != e2.nextID {
+		t.Fatalf("nextID: want %d, got %d", e1.nextID, e2.nextID)
+	}
+	if !reflect.DeepEqual(st1.Stats, st2.Stats) {
+		t.Fatalf("stats diverged:\nwant %+v\ngot  %+v", st1.Stats, st2.Stats)
+	}
+
+	// Same questions, same answers: a deterministic recommend and a
+	// seeded Monte Carlo replay on both snapshots.
+	p1, err := gridstrat.NewPlanner(st1.Model, gridstrat.WithParallelism(1), gridstrat.WithSeed(9))
+	if err != nil {
+		t.Fatalf("planner: %v", err)
+	}
+	p2, err := gridstrat.NewPlanner(st2.Model, gridstrat.WithParallelism(1), gridstrat.WithSeed(9))
+	if err != nil {
+		t.Fatalf("planner: %v", err)
+	}
+	r1, err := p1.Recommend()
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+	r2, err := p2.Recommend()
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("recommendations diverged:\nwant %+v\ngot  %+v", r1, r2)
+	}
+	sim1, err := p1.Simulate(r1.AsStrategy(), 500)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	sim2, err := p2.Simulate(r2.AsStrategy(), 500)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !reflect.DeepEqual(sim1, sim2) {
+		t.Fatalf("seeded simulations diverged:\nwant %+v\ngot  %+v", sim1, sim2)
+	}
+
+	// The replay is visible in the stats surface.
+	var replayed uint64
+	for _, sh := range s2.Registry().Stats() {
+		replayed += sh.ReplayedRecords
+	}
+	if replayed == 0 {
+		t.Fatal("expected replayed_records > 0 after recovery with a live tail")
+	}
+}
+
+// TestKillAndRecoverAsyncQueue pins the async story: records
+// acknowledged into the queue but never rebuilt survive the crash, and
+// the recovered model equals the pre-crash state after a Flush — the
+// strongest state an async server ever promised for an acknowledged
+// batch.
+func TestKillAndRecoverAsyncQueue(t *testing.T) {
+	cfg := Config{
+		WALDir:          t.TempDir(),
+		WALSync:         "none",
+		RebuildInterval: time.Hour, // the worker never fires on its own
+	}
+	s1 := recoverServer(t, cfg)
+	e1, err := s1.Registry().Put("m", "test", 1e6, synthTrace("m", 60, 3, 3))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 12; i++ {
+		if _, err := e1.Observe(randomBatch(rng, 20), nil, 2); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+	}
+	if e1.Pending() == 0 {
+		t.Fatal("test needs a non-empty ack queue")
+	}
+
+	// The crash happens now; the Flush below only materializes the
+	// state the queue already implies, for comparison (it appends no
+	// WAL frames).
+	s2 := recoverServer(t, cfg)
+	want, _, err := e1.Flush()
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	e2, err := s2.Registry().Get("m")
+	if err != nil {
+		t.Fatalf("recovered Get: %v", err)
+	}
+	if e2.Pending() != 0 {
+		t.Fatalf("recovery folds the queue into the model; Pending = %d", e2.Pending())
+	}
+	requireECDFBitEqual(t, want.ecdf, e2.State().ecdf)
+	if !reflect.DeepEqual(want.Trace.Records, e2.State().Trace.Records) {
+		t.Fatal("recovered window diverged from the flushed pre-crash window")
+	}
+}
+
+// TestEvictionReloadsFromDisk pins eviction-as-cache-miss: on a
+// durable registry an LRU-evicted model is restored from its snapshot
+// on the next request instead of answering 404, and re-registering it
+// while its durable state exists is a conflict.
+func TestEvictionReloadsFromDisk(t *testing.T) {
+	cfg := Config{
+		Shards:    1,
+		MaxModels: 1, // every insert evicts the previous model
+		WALDir:    t.TempDir(),
+	}
+	s, _, c := newTestServerCfg(t, cfg)
+	if err := s.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ctx := context.Background()
+
+	if _, err := c.CreateModel(ctx, CreateModelRequest{ID: "a", Dataset: "2006-IX"}); err != nil {
+		t.Fatalf("create a: %v", err)
+	}
+	// A few post-registration observations leave a WAL tail past the
+	// seed snapshot, so the reload below actually replays records.
+	if _, err := c.Observe(ctx, "a", ObserveRequest{Latencies: []float64{120, 340, 510}}); err != nil {
+		t.Fatalf("observe a: %v", err)
+	}
+	infoA, err := c.GetModel(ctx, "a", 0)
+	if err != nil {
+		t.Fatalf("get a: %v", err)
+	}
+	if _, err := c.CreateModel(ctx, CreateModelRequest{ID: "b", Dataset: "2006-IX"}); err != nil {
+		t.Fatalf("create b (evicts a): %v", err)
+	}
+	if _, err := s.Registry().Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("a should be evicted from memory, got %v", err)
+	}
+
+	// A duplicate registration must see the durable state: silently
+	// overwriting an evicted-but-persisted model would turn a cache
+	// eviction into data loss.
+	if _, err := c.CreateModel(ctx, CreateModelRequest{ID: "a", Dataset: "2006-IX"}); err == nil ||
+		!strings.Contains(err.Error(), "exists") {
+		t.Fatalf("re-create of evicted durable model: want exists conflict, got %v", err)
+	}
+
+	// The request path restores the evicted model transparently.
+	got, err := c.GetModel(ctx, "a", 0)
+	if err != nil {
+		t.Fatalf("get evicted a: %v", err)
+	}
+	if got.Stats != infoA.Stats || got.WindowS != infoA.WindowS {
+		t.Fatalf("restored model diverged:\nwant %+v\ngot  %+v", infoA, got)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Totals.Evictions == 0 {
+		t.Fatal("expected at least one eviction")
+	}
+	if stats.Totals.ReplayedRecords == 0 {
+		t.Fatal("expected replayed_records > 0 after the lazy reload")
+	}
+}
+
+// TestDeleteRemovesDurableState: a deleted model stays deleted across
+// restarts, and its ID becomes registrable again.
+func TestDeleteRemovesDurableState(t *testing.T) {
+	cfg := Config{WALDir: t.TempDir()}
+	s1 := recoverServer(t, cfg)
+	if _, err := s1.Registry().Put("m", "test", 1e6, synthTrace("m", 40, 2, 5)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if !s1.Registry().Delete("m") {
+		t.Fatal("Delete reported not found")
+	}
+	if s1.Registry().Delete("m") {
+		t.Fatal("second Delete should report not found")
+	}
+
+	s2 := recoverServer(t, cfg)
+	if n := s2.Registry().Len(); n != 0 {
+		t.Fatalf("deleted model came back: %d models after restart", n)
+	}
+	if _, err := s2.Registry().Put("m", "test", 1e6, synthTrace("m", 40, 2, 6)); err != nil {
+		t.Fatalf("re-register after delete: %v", err)
+	}
+}
+
+// TestRecoveringGate: model routes answer 503 while the boot replay is
+// in flight, and /v1/healthz reports the phase.
+func TestRecoveringGate(t *testing.T) {
+	cfg := Config{WALDir: t.TempDir()}
+	s, hs, c := newTestServerCfg(t, cfg) // recovering until Recover runs
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.WAL != "recovering" {
+		t.Fatalf("health wal: want recovering, got %q", h.WAL)
+	}
+	if h.Version == "" {
+		t.Fatal("health version missing")
+	}
+	resp, err := http.Get(hs.URL + "/v1/models")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("list while recovering: want 503, got %d", resp.StatusCode)
+	}
+
+	if err := s.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	h, err = c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.WAL != "ready" {
+		t.Fatalf("health wal: want ready, got %q", h.WAL)
+	}
+	if _, err := c.ListModels(ctx); err != nil {
+		t.Fatalf("list after recover: %v", err)
+	}
+}

@@ -117,23 +117,63 @@ func submitSpan(tr *trace.Trace) float64 {
 	return hi - lo
 }
 
+// checkReady gates model routes while a WAL replay is in flight: the
+// registry is still filling, so a miss would be indistinguishable
+// from a deleted model. 503 plus the "recovering" health status lets
+// a router keep the backend out of rotation until it is whole.
+func (s *Server) checkReady(w http.ResponseWriter) bool {
+	if s.recovering.Load() {
+		writeError(w, http.StatusServiceUnavailable, "recovering",
+			"wal replay in progress; retry shortly")
+		return false
+	}
+	return true
+}
+
 // entryFor resolves the {id} path segment against the registry,
-// writing the 404 envelope on a miss.
+// writing the 404 envelope on a miss. On a durable registry a miss
+// first tries a restore from disk — an LRU-evicted model is a cache
+// miss, not a gone model.
 func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
-	e, err := s.reg.Get(r.PathValue("id"))
+	if !s.checkReady(w) {
+		return nil, false
+	}
+	id := r.PathValue("id")
+	e, err := s.reg.Get(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		e, err = s.reg.Restore(id)
+	}
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, "unprocessable", err.Error())
+		}
 		return nil, false
 	}
 	return e, true
 }
 
-// handleHealth serves GET /healthz.
+// walStatus renders the durability state for /v1/healthz.
+func (s *Server) walStatus() string {
+	switch {
+	case s.reg.walStore == nil:
+		return "disabled"
+	case s.recovering.Load():
+		return "recovering"
+	default:
+		return "ready"
+	}
+}
+
+// handleHealth serves GET /healthz and GET /v1/healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:  "ok",
+		Version: Version,
 		Models:  s.reg.Len(),
 		UptimeS: time.Since(s.start).Seconds(),
+		WAL:     s.walStatus(),
 	})
 }
 
@@ -152,6 +192,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totals.CoalescedBatches += sh.CoalescedBatches
 		totals.RebuildFailures += sh.RebuildFailures
 		totals.QueuedRecords += sh.QueuedRecords
+		totals.WALAppends += sh.WALAppends
+		totals.WALSnapshotBytes += sh.WALSnapshotBytes
+		totals.ReplayedRecords += sh.ReplayedRecords
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS:  time.Since(s.start).Seconds(),
@@ -168,6 +211,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // other content type with ?id=, ?format= and optional ?window_s=
 // query parameters — the curl-friendly upload path.
 func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	if !s.checkReady(w) {
+		return
+	}
 	var req CreateModelRequest
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil {
@@ -251,6 +297,9 @@ func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
 
 // handleListModels serves GET /v1/models.
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	if !s.checkReady(w) {
+		return
+	}
 	resp := ListModelsResponse{Models: []ModelInfo{}}
 	for _, e := range s.reg.List() {
 		resp.Models = append(resp.Models, modelInfo(e))
@@ -308,6 +357,9 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 
 // handleDeleteModel serves DELETE /v1/models/{id}.
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	if !s.checkReady(w) {
+		return
+	}
 	if !s.reg.Delete(r.PathValue("id")) {
 		writeError(w, http.StatusNotFound, "not_found",
 			fmt.Sprintf("%s: %q", ErrNotFound.Error(), r.PathValue("id")))

@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *Client) {
 // (async ingest tests set RebuildInterval).
 func newTestServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client) {
 	t.Helper()
-	s := New(cfg)
+	s := MustNew(cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, hs, NewClient(hs.URL, hs.Client())

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gridstrat/internal/trace"
+	"gridstrat/internal/wal"
 )
 
 // This file is the service's write path: the per-entry incremental
@@ -70,6 +71,19 @@ type Entry struct {
 	rebuilds     atomic.Uint64
 	coalesced    atomic.Uint64
 	rebuildFails atomic.Uint64
+
+	// Durability. wal (nil on a memory-only registry) receives one
+	// framed batch per acknowledged Observe — written before the ack
+	// commits, so every acknowledged record is on the log — plus
+	// re-base ops. sinceSnap counts records appended since the last
+	// compacted snapshot (guarded by ingestMu; the rebuild path
+	// triggers a snapshot past snapshotEvery). replayed is the number
+	// of tail records this entry's recovery replayed on top of its
+	// snapshot (0 for entries created in this process's lifetime).
+	wal           *wal.Log
+	snapshotEvery int
+	sinceSnap     int
+	replayed      int
 }
 
 // newEntry loads a trace into the rolling buffer, trims it to the
@@ -105,8 +119,121 @@ func newEntry(id, source string, window float64, tr *trace.Trace, rebuildEvery t
 	return e, nil
 }
 
+// newEntryFromSnapshot rebuilds an entry from its recovered durable
+// state: load the records into a rolling buffer (NewRolling re-sorts
+// and trims, reproducing exactly the window the live entry held — see
+// DESIGN.md's recovery equivalence argument), rebuild the model from
+// scratch, and restore the stamping state. The flat rebuild is
+// bit-identical to the incremental merge chain the pre-crash entry
+// ran, so the recovered ECDF equals the pre-crash one bit for bit.
+func newEntryFromSnapshot(id string, snap *wal.EntrySnapshot, replayed int, log *wal.Log, rebuildEvery time.Duration, maxQueued, snapshotEvery int) (*Entry, error) {
+	tr := &trace.Trace{Name: snap.Name, Timeout: snap.Timeout, Records: snap.Records}
+	rolling, err := trace.NewRolling(tr, snap.Window)
+	if err != nil {
+		return nil, err
+	}
+	version := snap.Version
+	if replayed > 0 {
+		version++ // the tail's records fold into one recovery rebuild
+	}
+	// Build through the same path as a steady-state rebuild — ECDF from
+	// the flat window, stats derived from the counted ECDF — so the
+	// recovered state is bit-equal to the pre-crash one (ComputeStats
+	// sums in a different order and can differ in the last ULP).
+	tw := rolling.Snapshot()
+	ecdf, err := tw.ECDF()
+	if err != nil {
+		return nil, err
+	}
+	_, outliers := countStatuses(tw.Records)
+	state, err := newModelStateMerged(tw, ecdf, outliers, version)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{
+		ID:            id,
+		Source:        snap.Source,
+		Window:        snap.Window,
+		rebuildEvery:  rebuildEvery,
+		maxQueued:     maxQueued,
+		rolling:       rolling,
+		cursor:        snap.Cursor,
+		nextID:        int(snap.NextID),
+		wal:           log,
+		snapshotEvery: snapshotEvery,
+		sinceSnap:     replayed, // a long tail compacts on the next rebuild
+		replayed:      replayed,
+	}
+	e.winComplete, e.winOutliers = countStatuses(rolling.Records())
+	e.state.Store(state)
+	e.lastUsed.Store(time.Now().UnixNano())
+	return e, nil
+}
+
 // State returns the entry's current immutable model snapshot.
 func (e *Entry) State() *ModelState { return e.state.Load() }
+
+// walAppend logs one stamped batch with the cursor/ID state it
+// advances the entry to. Called before the ack commits, so a log
+// failure rejects the batch instead of acknowledging a record the
+// crash story cannot reproduce. No-op on a memory-only entry.
+func (e *Entry) walAppend(stamped []trace.ProbeRecord, cursor float64, nextID int) error {
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.AppendBatch(wal.Batch{Cursor: cursor, NextID: int64(nextID), Records: stamped}); err != nil {
+		return fmt.Errorf("server: wal append: %w", err)
+	}
+	return nil
+}
+
+// snapshotLocked compacts the entry's durable state: cut the log at
+// this instant (under the ack lock, so no append lands between the
+// state copy and the cut), then persist window + queue + stamping
+// state and delete the covered segments. Caller holds ingestMu.
+func (e *Entry) snapshotLocked(version int64) error {
+	e.qmu.Lock()
+	covered, err := e.wal.Cut()
+	if err != nil {
+		e.qmu.Unlock()
+		return err
+	}
+	recs := make([]trace.ProbeRecord, 0, e.rolling.Len()+len(e.queue))
+	recs = append(recs, e.rolling.Records()...)
+	recs = append(recs, e.queue...)
+	snap := wal.EntrySnapshot{
+		Name:    e.rolling.Name(),
+		Source:  e.Source,
+		Timeout: e.rolling.Timeout(),
+		Window:  e.Window,
+		Cursor:  e.cursor,
+		NextID:  int64(e.nextID),
+		Version: version,
+		Records: recs,
+	}
+	e.qmu.Unlock()
+	return e.wal.WriteSnapshot(snap, covered)
+}
+
+// snapshotNow takes the rebuild lock and compacts immediately — the
+// registration path uses it to persist the seed state.
+func (e *Entry) snapshotNow() error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if e.wal == nil {
+		return nil
+	}
+	return e.snapshotLocked(e.state.Load().Version)
+}
+
+// closeWAL closes the entry's log (idempotent; no-op without one).
+// Eviction and delete call it; the files stay on disk for eviction
+// (Restore reopens them) and are removed separately for delete.
+func (e *Entry) closeWAL() {
+	if e.wal != nil {
+		_ = e.wal.Close()
+	}
+}
 
 // Pending returns the number of acknowledged records not yet applied
 // to any model snapshot — the entry's ingest lag.
@@ -219,6 +346,9 @@ func (e *Entry) observeSync(recs []trace.ProbeRecord, start *float64, spacing fl
 	if kept == 0 {
 		return ObserveResult{}, fmt.Errorf("rebuilding windowed model: %w", trace.ErrNoCompleted)
 	}
+	if err := e.walAppend(stamped, cursor, nextID); err != nil {
+		return ObserveResult{}, err
+	}
 	e.commitStamp(cursor, nextID)
 	state, dropped, err := e.rebuildLocked(stamped, 1)
 	if err != nil {
@@ -234,6 +364,10 @@ func (e *Entry) observeAsync(recs []trace.ProbeRecord, start *float64, spacing f
 	e.qmu.Lock()
 	stamped, cursor, nextID, err := e.stamp(recs, start, spacing, false)
 	if err != nil {
+		e.qmu.Unlock()
+		return ObserveResult{}, err
+	}
+	if err := e.walAppend(stamped, cursor, nextID); err != nil {
 		e.qmu.Unlock()
 		return ObserveResult{}, err
 	}
@@ -339,6 +473,14 @@ func (e *Entry) rebase() {
 		e.queue[i].Submit -= offset
 	}
 	e.cursor -= offset
+	if e.wal != nil {
+		if err := e.wal.AppendRebase(offset); err != nil {
+			// The in-memory window shifted but the log missed the op;
+			// force a compaction on the next rebuild so the snapshot
+			// re-captures the shifted state and heals the divergence.
+			e.sinceSnap = e.snapshotEvery
+		}
+	}
 }
 
 // rebuildWorker drains the ingest queue on the entry's rebuild
@@ -448,6 +590,18 @@ func (e *Entry) rebuildLocked(recs []trace.ProbeRecord, batches int) (*ModelStat
 	e.rebuilds.Add(1)
 	if batches > 1 {
 		e.coalesced.Add(uint64(batches - 1))
+	}
+	// Compaction cadence: once enough records have accumulated since
+	// the last snapshot, fold them into a fresh one (best-effort — a
+	// failed compaction keeps the old snapshot plus the tail, which
+	// replays to the same state).
+	if e.wal != nil {
+		e.sinceSnap += len(recs)
+		if e.sinceSnap >= e.snapshotEvery {
+			if err := e.snapshotLocked(state.Version); err == nil {
+				e.sinceSnap = 0
+			}
+		}
 	}
 	return state, len(evicted), nil
 }

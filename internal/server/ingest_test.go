@@ -336,7 +336,7 @@ func TestObserveCursorState(t *testing.T) {
 // immediate acks with pending counts, one coalesced rebuild per
 // drain, warm swaps, counters, and the sync=true escape hatch.
 func TestAsyncIngestLifecycle(t *testing.T) {
-	s := New(Config{RebuildInterval: time.Hour}) // worker never fires on its own
+	s := MustNew(Config{RebuildInterval: time.Hour}) // worker never fires on its own
 	if err := s.Preload("2006-IX"); err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestAsyncIngestLifecycle(t *testing.T) {
 	}
 
 	// A short interval drains on its own: bounded staleness.
-	s2 := New(Config{RebuildInterval: 2 * time.Millisecond})
+	s2 := MustNew(Config{RebuildInterval: 2 * time.Millisecond})
 	if err := s2.Preload("2006-IX"); err != nil {
 		t.Fatal(err)
 	}

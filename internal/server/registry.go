@@ -26,6 +26,7 @@ import (
 	"gridstrat/internal/core"
 	"gridstrat/internal/stats"
 	"gridstrat/internal/trace"
+	"gridstrat/internal/wal"
 )
 
 // Registry errors reported to handlers; the HTTP layer maps them to
@@ -140,6 +141,16 @@ type ShardStats struct {
 	CoalescedBatches uint64 `json:"coalesced_batches"`
 	RebuildFailures  uint64 `json:"rebuild_failures"`
 	QueuedRecords    int    `json:"queued_records"`
+
+	// Durability counters (all zero on a WAL-less server). WALAppends
+	// counts batch/rebase frames written to the shard's model logs;
+	// WALSnapshotBytes the total compacted-snapshot bytes written;
+	// ReplayedRecords the records replayed from snapshot tails when
+	// the shard's current entries were recovered (boot replay and
+	// evicted-model reloads both count).
+	WALAppends       uint64 `json:"wal_appends"`
+	WALSnapshotBytes uint64 `json:"wal_snapshot_bytes"`
+	ReplayedRecords  uint64 `json:"replayed_records"`
 }
 
 type registryShard struct {
@@ -169,6 +180,20 @@ type Registry struct {
 
 	rebuildEvery time.Duration // 0 = synchronous per-batch rebuilds
 	maxQueued    int           // backpressure cap on queued ingest records
+
+	// walStore, when set, makes the registry durable: Put opens a
+	// per-model log and writes the seed snapshot, the ingest path
+	// appends every acknowledged batch, Delete removes the durable
+	// state, and Restore rebuilds an entry from disk (boot replay and
+	// the lazy reload of evicted models).
+	walStore      *wal.Store
+	snapshotEvery int
+
+	// restoreMu single-flights Restore: two concurrent reloads of one
+	// evicted model must not both open its log (two appenders on one
+	// segment would interleave frames). Restores are rare, so one
+	// registry-wide mutex is fine.
+	restoreMu sync.Mutex
 }
 
 // defaultMaxQueued is the per-entry backpressure cap on acknowledged-
@@ -220,6 +245,18 @@ func (r *Registry) SetIngestPolicy(rebuildEvery time.Duration, maxQueued int) {
 	r.maxQueued = maxQueued
 }
 
+// SetWAL makes the registry durable against the given store,
+// compacting each model's log into a fresh snapshot after
+// snapshotEvery appended records (non-positive falls back to 4096).
+// Call it before any Put.
+func (r *Registry) SetWAL(store *wal.Store, snapshotEvery int) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = 4096
+	}
+	r.walStore = store
+	r.snapshotEvery = snapshotEvery
+}
+
 // Capacity returns the registry's total model capacity.
 func (r *Registry) Capacity() int { return r.capacity }
 
@@ -253,7 +290,10 @@ func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Ent
 	}
 	// Cheap duplicate check before the expensive model build; the
 	// authoritative check re-runs under the write lock below (two
-	// concurrent Puts of one ID can both pass this one).
+	// concurrent Puts of one ID can both pass this one). On a durable
+	// registry an evicted-but-persisted model also counts as existing:
+	// its state is one Get away, so silently overwriting it here would
+	// turn a cache eviction into data loss.
 	sh := r.shardFor(id)
 	sh.mu.RLock()
 	_, dup := sh.entries[id]
@@ -261,14 +301,23 @@ func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Ent
 	if dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
+	if r.walStore != nil && r.walStore.Exists(id) {
+		return nil, fmt.Errorf("%w: %q (durable; delete it first)", ErrExists, id)
+	}
 	e, err := newEntry(id, source, window, tr, r.rebuildEvery, r.maxQueued)
 	if err != nil {
 		return nil, err
+	}
+	if r.walStore != nil {
+		if err := r.attachWAL(e); err != nil {
+			return nil, err
+		}
 	}
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.entries[id]; ok {
+		e.closeWAL()
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	if len(sh.entries) >= r.perShard {
@@ -278,8 +327,81 @@ func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Ent
 	return e, nil
 }
 
+// attachWAL opens the entry's log and persists its seed snapshot, so
+// the model is durable from the moment Put returns. Any junk segments
+// from a registration that crashed before its first snapshot are cut
+// and deleted by the snapshot.
+func (r *Registry) attachWAL(e *Entry) error {
+	log, snap, _, err := r.walStore.Open(e.ID)
+	if err != nil {
+		return fmt.Errorf("opening wal: %w", err)
+	}
+	if snap != nil {
+		// Lost the race against a concurrent Put that already
+		// snapshotted; surface it as a duplicate.
+		log.Close()
+		return fmt.Errorf("%w: %q", ErrExists, e.ID)
+	}
+	e.wal = log
+	e.snapshotEvery = r.snapshotEvery
+	if err := e.snapshotNow(); err != nil {
+		e.closeWAL()
+		_ = r.walStore.Delete(e.ID)
+		return fmt.Errorf("writing seed snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds one model from its durable state and inserts it
+// into the registry — the boot-replay path and the lazy reload of a
+// model that was LRU-evicted but still has its log on disk. It is
+// single-flighted; a concurrent Restore (or a Get that raced one)
+// resolves to the already-inserted entry.
+func (r *Registry) Restore(id string) (*Entry, error) {
+	if r.walStore == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	r.restoreMu.Lock()
+	defer r.restoreMu.Unlock()
+
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.entries[id]
+	sh.mu.RUnlock()
+	if ok {
+		return e, nil
+	}
+	if !r.walStore.Exists(id) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+
+	log, snap, replayed, err := r.walStore.Open(id)
+	if err != nil {
+		return nil, fmt.Errorf("recovering %q: %w", id, err)
+	}
+	e, err = newEntryFromSnapshot(id, snap, replayed, log, r.rebuildEvery, r.maxQueued, r.snapshotEvery)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("recovering %q: %w", id, err)
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if raced, ok := sh.entries[id]; ok {
+		e.closeWAL()
+		return raced, nil
+	}
+	if len(sh.entries) >= r.perShard {
+		sh.evictLocked()
+	}
+	sh.entries[id] = e
+	return e, nil
+}
+
 // evictLocked removes the shard's least-recently-used entry. Caller
-// holds the shard write lock.
+// holds the shard write lock. On a durable registry eviction is a
+// cache eviction, not a delete: the entry's log is closed but its
+// files stay, so the next Get restores the model from disk.
 func (sh *registryShard) evictLocked() {
 	var victim string
 	oldest := int64(1<<63 - 1)
@@ -289,6 +411,7 @@ func (sh *registryShard) evictLocked() {
 		}
 	}
 	if victim != "" {
+		sh.entries[victim].closeWAL()
 		delete(sh.entries, victim)
 		sh.evictions.Add(1)
 	}
@@ -310,16 +433,26 @@ func (r *Registry) Get(id string) (*Entry, error) {
 	return e, nil
 }
 
-// Delete removes the entry for the ID, reporting whether it existed.
+// Delete removes the entry for the ID — durable state included, so a
+// deleted model stays deleted across restarts — reporting whether it
+// existed (in memory or on disk).
 func (r *Registry) Delete(id string) bool {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.entries[id]; !ok {
-		return false
+	e, ok := sh.entries[id]
+	if ok {
+		e.closeWAL()
+		delete(sh.entries, id)
 	}
-	delete(sh.entries, id)
-	return true
+	sh.mu.Unlock()
+	if r.walStore != nil && r.walStore.Exists(id) {
+		_ = r.walStore.Delete(id)
+		return true
+	}
+	if ok && r.walStore != nil {
+		_ = r.walStore.Delete(id) // dir without a snapshot yet
+	}
+	return ok
 }
 
 // noteIngest records one ingestion batch in the owning shard's
@@ -374,6 +507,11 @@ func (r *Registry) Stats() []ShardStats {
 			st.CoalescedBatches += e.coalesced.Load()
 			st.RebuildFailures += e.rebuildFails.Load()
 			st.QueuedRecords += e.Pending()
+			if e.wal != nil {
+				st.WALAppends += e.wal.Appends()
+				st.WALSnapshotBytes += e.wal.SnapshotBytes()
+			}
+			st.ReplayedRecords += uint64(e.replayed)
 		}
 		sh.mu.RUnlock()
 		out[i] = st

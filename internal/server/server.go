@@ -6,11 +6,18 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gridstrat"
 	"gridstrat/internal/trace"
+	"gridstrat/internal/wal"
 )
+
+// Version identifies the service build; it is reported by /v1/healthz
+// so operators (and the cluster router) can tell heterogeneous
+// backends apart.
+const Version = "0.6.0"
 
 // Config tunes a Server. The zero value is usable: every field falls
 // back to the default documented on it.
@@ -44,6 +51,25 @@ type Config struct {
 	// entry in async mode; a batch pushing the queue past the cap pays
 	// for an inline coalesced drain (default 1,048,576).
 	MaxQueuedRecords int
+	// WALDir enables durable persistence: every model gets an
+	// append-only observation log plus periodic compacted snapshots
+	// under this directory, and Recover replays them on boot so a
+	// restart loses no acknowledged state. Empty (the default) keeps
+	// the registry memory-only.
+	WALDir string
+	// WALSync is the fsync policy for WAL appends: "always",
+	// "interval" (the default) or "none".
+	WALSync string
+	// WALSyncInterval is the flush period of the "interval" policy
+	// (default 100ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes rotates WAL segments past this size
+	// (default 4 MiB).
+	WALSegmentBytes int64
+	// SnapshotEvery compacts a model's log into a fresh snapshot after
+	// this many appended records (default 4096), bounding both disk
+	// use and replay time.
+	SnapshotEvery int
 	// Logger receives one line per request; nil disables request
 	// logging.
 	Logger *log.Logger
@@ -68,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
 	return c
 }
 
@@ -80,26 +109,92 @@ type Server struct {
 	reg   *Registry
 	mux   *http.ServeMux
 	start time.Time
+
+	// recovering is true from construction (of a WAL-enabled server)
+	// until Recover finishes; model routes answer 503 and /v1/healthz
+	// reports "recovering" so a cluster router can tell a booting
+	// backend from a dead one.
+	recovering atomic.Bool
 }
 
-// New builds a Server with an empty registry.
-func New(cfg Config) *Server {
+// New builds a Server with an empty registry. With Config.WALDir set
+// the registry is durable: call Recover before (or concurrently with)
+// serving to replay the persisted models.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg.withDefaults(),
 		start: time.Now(),
 	}
 	s.reg = NewRegistry(s.cfg.Shards, s.cfg.MaxModels)
 	s.reg.SetIngestPolicy(s.cfg.RebuildInterval, s.cfg.MaxQueuedRecords)
+	if s.cfg.WALDir != "" {
+		policy, err := wal.ParseSyncPolicy(s.cfg.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		store, err := wal.NewStore(s.cfg.WALDir, wal.Options{
+			Sync:         policy,
+			SyncEvery:    s.cfg.WALSyncInterval,
+			SegmentBytes: s.cfg.WALSegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.reg.SetWAL(store, s.cfg.SnapshotEvery)
+		s.recovering.Store(true)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	return s, nil
+}
+
+// MustNew is New for configurations that cannot fail (no WAL); it
+// panics on error. Tests and examples use it.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
+
+// Recover replays every persisted model from the WAL directory into
+// the registry, then marks the server ready. On a WAL-less server it
+// is a no-op. Models whose durable state cannot support a model (for
+// example an async-mode window that crashed degenerate) are skipped
+// with a log line; their files are left in place for inspection.
+//
+// Run it before accepting traffic, or concurrently with serving: model
+// routes answer 503 service_unavailable until it returns.
+func (s *Server) Recover() error {
+	if s.reg.walStore == nil {
+		return nil
+	}
+	defer s.recovering.Store(false)
+	ids, err := s.reg.walStore.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := s.reg.Restore(id); err != nil {
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("wal: skipping model %q: %v", id, err)
+			}
+			continue
+		}
+	}
+	return nil
+}
+
+// Recovering reports whether a WAL replay is still in flight.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
 
 // routes registers every endpoint. docs/openapi.yaml is the normative
 // description of this surface; the two must list exactly the same
 // routes.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/models", s.handleCreateModel)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)

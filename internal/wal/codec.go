@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"gridstrat/internal/trace"
+)
+
+// On-disk format. Every durable unit — a segment record or a snapshot
+// body — is one frame:
+//
+//	[4B length of payload, LE] [4B CRC-32C of payload, LE] [payload]
+//
+// The payload's first byte is the operation type; the rest is the
+// type's fixed-layout little-endian body. Numbers are encoded exactly
+// (float64 as IEEE bits), so a replayed record round-trips to the very
+// same value — the foundation of the kill-and-recover bit-equality
+// guarantee. A frame whose length or CRC does not check out marks the
+// durable prefix's end: everything before it is applied, everything
+// from it on is discarded as a torn tail.
+
+// Operation types.
+const (
+	opBatch    = byte(1) // one acknowledged observation batch
+	opRebase   = byte(2) // a cursor re-base: shift every submit time
+	opSnapshot = byte(3) // a full entry-state snapshot (snapshot files only)
+)
+
+// maxFrameBytes caps a single frame so a corrupt length prefix cannot
+// drive a multi-gigabyte allocation during replay. Snapshots of large
+// windows are the biggest frames: 2^20 records × 25 bytes ≈ 25 MiB,
+// comfortably inside the 256 MiB cap.
+const maxFrameBytes = 256 << 20
+
+// ErrCorrupt reports a frame that failed its length or CRC check.
+var ErrCorrupt = errors.New("wal: corrupt frame")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Batch is one acknowledged observation batch as logged at ack time:
+// the stamped records plus the ack cursor and ID counter they advanced
+// the entry to. Replaying batches in order reproduces the exact
+// stamping state the entry held at the crash.
+type Batch struct {
+	Cursor  float64
+	NextID  int64
+	Records []trace.ProbeRecord
+}
+
+// EntrySnapshot is the full durable state of one registry entry: the
+// identity fields fixed at registration, the stamping state, and every
+// acknowledged record — the rolling window and (in async mode) the
+// not-yet-rebuilt queue flattened into one submit-ordered slice.
+// Recovering an entry = load the snapshot, apply the tail ops, rebuild
+// the model from the resulting records.
+type EntrySnapshot struct {
+	Name    string
+	Source  string
+	Timeout float64
+	Window  float64
+	Cursor  float64
+	NextID  int64
+	Version int64
+	Records []trace.ProbeRecord
+}
+
+// appendFrame appends one framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame reads one frame from r, returning its payload. io.EOF
+// means a clean end; ErrCorrupt (wrapped) means a torn or damaged
+// frame — the caller treats both as the end of the durable prefix.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		return nil, err // io.EOF: clean end
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("%w: implausible frame length %d", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Primitive appenders: fixed-layout little-endian encoding.
+
+func appendU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+func appendI64(b []byte, v int64) []byte   { return appendU64(b, uint64(v)) }
+func appendU32(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+func appendStr(b []byte, s string) []byte { b = appendU32(b, uint32(len(s))); return append(b, s...) }
+
+// reader is a cursor over a payload with sticky error state: decode
+// helpers return zero values after the first failure, and the caller
+// checks err once at the end.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("%w: short payload", ErrCorrupt)
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) i64() int64   { return int64(r.u64()) }
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if n > maxFrameBytes {
+		r.err = fmt.Errorf("%w: implausible string length %d", ErrCorrupt, n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// record layout: ID int64 · Submit f64 · Latency f64 · Status byte.
+const recordBytes = 8 + 8 + 8 + 1
+
+func appendRecords(b []byte, recs []trace.ProbeRecord) []byte {
+	b = appendU32(b, uint32(len(recs)))
+	for _, rec := range recs {
+		b = appendI64(b, int64(rec.ID))
+		b = appendF64(b, rec.Submit)
+		b = appendF64(b, rec.Latency)
+		b = append(b, byte(rec.Status))
+	}
+	return b
+}
+
+func (r *reader) records() []trace.ProbeRecord {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n)*recordBytes > len(r.b) {
+		r.err = fmt.Errorf("%w: record count %d exceeds payload", ErrCorrupt, n)
+		return nil
+	}
+	recs := make([]trace.ProbeRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rec := trace.ProbeRecord{
+			ID:      int(r.i64()),
+			Submit:  r.f64(),
+			Latency: r.f64(),
+		}
+		st := r.take(1)
+		if st == nil {
+			return nil
+		}
+		rec.Status = trace.Status(st[0])
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// encodeBatch renders an opBatch payload.
+func encodeBatch(b Batch) []byte {
+	out := make([]byte, 0, 1+8+8+4+len(b.Records)*recordBytes)
+	out = append(out, opBatch)
+	out = appendF64(out, b.Cursor)
+	out = appendI64(out, b.NextID)
+	return appendRecords(out, b.Records)
+}
+
+// encodeRebase renders an opRebase payload.
+func encodeRebase(offset float64) []byte {
+	out := make([]byte, 0, 1+8)
+	out = append(out, opRebase)
+	return appendF64(out, offset)
+}
+
+// encodeSnapshot renders an opSnapshot payload.
+func encodeSnapshot(s EntrySnapshot) []byte {
+	out := make([]byte, 0, 64+len(s.Name)+len(s.Source)+len(s.Records)*recordBytes)
+	out = append(out, opSnapshot)
+	out = appendStr(out, s.Name)
+	out = appendStr(out, s.Source)
+	out = appendF64(out, s.Timeout)
+	out = appendF64(out, s.Window)
+	out = appendF64(out, s.Cursor)
+	out = appendI64(out, s.NextID)
+	out = appendI64(out, s.Version)
+	return appendRecords(out, s.Records)
+}
+
+// decodeBatch parses an opBatch payload (type byte already consumed by
+// the caller's dispatch).
+func decodeBatch(b []byte) (Batch, error) {
+	r := &reader{b: b}
+	out := Batch{Cursor: r.f64(), NextID: r.i64()}
+	out.Records = r.records()
+	return out, r.err
+}
+
+func decodeRebase(b []byte) (float64, error) {
+	r := &reader{b: b}
+	off := r.f64()
+	return off, r.err
+}
+
+func decodeSnapshot(b []byte) (EntrySnapshot, error) {
+	r := &reader{b: b}
+	out := EntrySnapshot{
+		Name:    r.str(),
+		Source:  r.str(),
+		Timeout: r.f64(),
+		Window:  r.f64(),
+		Cursor:  r.f64(),
+		NextID:  r.i64(),
+		Version: r.i64(),
+	}
+	out.Records = r.records()
+	return out, r.err
+}

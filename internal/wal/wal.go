@@ -1,0 +1,563 @@
+// Package wal gives each gridstratd registry entry an append-only
+// write-ahead log with periodic compacted snapshots, so a daemon
+// restart replays every model to its exact pre-crash state.
+//
+// Layout: a Store manages one root directory with one subdirectory per
+// model (the ID encoded filesystem-safe). A model directory holds
+//
+//	snapshot.snap   one framed EntrySnapshot (written atomically
+//	                via tmp + rename; the compaction point)
+//	wal-<seq>.log   append-only segments of framed batch/rebase ops,
+//	                replayed in ascending seq order after the snapshot
+//
+// Writes are buffered and flushed per append; the fsync policy decides
+// when the OS buffers are forced to stable storage (every append, on a
+// time interval, or never). Segments rotate at a size threshold, and a
+// snapshot deletes every segment it covers, bounding both disk use and
+// replay time.
+//
+// Crash safety: a torn frame at the tail of the last segment marks the
+// end of the durable prefix — Open truncates the segment back to the
+// last whole frame and appends from there, so one torn write never
+// poisons the records behind it.
+package wal
+
+import (
+	"encoding/base32"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy decides when appends are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at most once per interval, amortizing the
+	// flush over the appends in between (the default; a crash loses at
+	// most the last interval's acknowledgements).
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs on every append: no acknowledged record is
+	// ever lost, at the cost of one disk flush per batch.
+	SyncAlways
+	// SyncNone never fsyncs explicitly; durability is left to the OS
+	// writeback cache. Survives process crashes, not power loss.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the flag spelling to its policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "interval", "":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "none", "never":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or none)", s)
+	}
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "interval"
+	}
+}
+
+// Options tunes a Store and the Logs it opens. The zero value is
+// usable; every field falls back to the default documented on it.
+type Options struct {
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment past this size
+	// (default 4 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Store manages the per-model logs under one root directory.
+type Store struct {
+	root string
+	opts Options
+}
+
+// NewStore opens (creating if needed) the WAL root directory.
+func NewStore(root string, opts Options) (*Store, error) {
+	if root == "" {
+		return nil, errors.New("wal: empty root directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating root: %w", err)
+	}
+	return &Store{root: root, opts: opts.withDefaults()}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// idEncoding is base32hex without padding, lowercased at encode time:
+// filesystem-safe for every model ID (no separators, no dot-files, no
+// case collisions on case-insensitive filesystems).
+var idEncoding = base32.HexEncoding.WithPadding(base32.NoPadding)
+
+func encodeID(id string) string {
+	return strings.ToLower(idEncoding.EncodeToString([]byte(id)))
+}
+
+func decodeID(dir string) (string, error) {
+	raw, err := idEncoding.DecodeString(strings.ToUpper(dir))
+	if err != nil {
+		return "", fmt.Errorf("wal: undecodable model directory %q: %w", dir, err)
+	}
+	return string(raw), nil
+}
+
+// Dir returns the directory that holds (or would hold) the model's log.
+func (s *Store) Dir(id string) string { return filepath.Join(s.root, encodeID(id)) }
+
+// Exists reports whether the model has durable state: a directory with
+// a snapshot in it.
+func (s *Store) Exists(id string) bool {
+	_, err := os.Stat(filepath.Join(s.Dir(id), snapshotName))
+	return err == nil
+}
+
+// List returns the IDs of every model with durable state, sorted.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing root: %w", err)
+	}
+	var ids []string
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		id, err := decodeID(ent.Name())
+		if err != nil {
+			continue // foreign directory; leave it alone
+		}
+		if s.Exists(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes the model's durable state entirely. Safe to call for
+// models that never had any.
+func (s *Store) Delete(id string) error {
+	return os.RemoveAll(s.Dir(id))
+}
+
+const snapshotName = "snapshot.snap"
+
+func segmentName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSegmentName extracts the sequence number of a segment filename,
+// reporting ok=false for anything else.
+func parseSegmentName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Log is one model's write-ahead log: an open active segment plus the
+// snapshot/rotation machinery. Appends are serialized by an internal
+// mutex; the ingest path additionally serializes them by its own entry
+// locks, so frames land in acknowledgement order.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	seg      *os.File // active segment (nil after Close)
+	segSeq   int
+	segSize  int64
+	lastSync time.Time
+	closed   bool
+
+	appends       atomic.Uint64 // batch + rebase frames appended
+	snapshotBytes atomic.Uint64 // total snapshot bytes written
+}
+
+// Appends returns the number of batch/rebase frames appended since
+// open.
+func (l *Log) Appends() uint64 { return l.appends.Load() }
+
+// SnapshotBytes returns the total snapshot bytes written since open.
+func (l *Log) SnapshotBytes() uint64 { return l.snapshotBytes.Load() }
+
+// Open opens (creating if needed) the model's log and replays its
+// durable state: the snapshot, then every segment in order, reduced to
+// the final EntrySnapshot. It returns the recovered state (nil when
+// the directory holds no snapshot — a fresh log), the number of tail
+// records replayed on top of the snapshot, and the ready-to-append
+// Log. The last segment is truncated back to its last whole frame, so
+// a torn tail write cannot poison later appends.
+func (s *Store) Open(id string) (*Log, *EntrySnapshot, int, error) {
+	dir := s.Dir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: creating model dir: %w", err)
+	}
+	l := &Log{dir: dir, opts: s.opts}
+
+	snap, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	replayed := 0
+	for _, seg := range segs {
+		path := filepath.Join(dir, segmentName(seg))
+		n, validLen, err := replaySegment(path, snap)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		replayed += n
+		if seg == segs[len(segs)-1] {
+			// Drop the torn tail (validLen is the file size when the
+			// segment is whole, so this is a no-op then).
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, nil, 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+		}
+	}
+
+	// Append into the last segment (past its valid prefix) or start
+	// segment 1 on a fresh directory.
+	l.segSeq = 1
+	if len(segs) > 0 {
+		l.segSeq = segs[len(segs)-1]
+	}
+	if err := l.openSegment(l.segSeq); err != nil {
+		return nil, nil, 0, err
+	}
+	l.lastSync = time.Now()
+	return l, snap, replayed, nil
+}
+
+// listSegments returns the directory's segment sequence numbers in
+// ascending order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	var segs []int
+	for _, ent := range ents {
+		if seq, ok := parseSegmentName(ent.Name()); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// readSnapshot loads and decodes the snapshot file, returning nil when
+// it does not exist. A corrupt snapshot is an error — it is written
+// atomically, so corruption means real damage, not a torn write.
+func readSnapshot(path string) (*EntrySnapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	payload, err := readFrame(f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+	}
+	if len(payload) == 0 || payload[0] != opSnapshot {
+		return nil, fmt.Errorf("%w: snapshot %s has wrong op type", ErrCorrupt, path)
+	}
+	snap, err := decodeSnapshot(payload[1:])
+	if err != nil {
+		return nil, fmt.Errorf("wal: decoding snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// replaySegment applies a segment's ops to the accumulating state
+// (snap may be nil when no snapshot exists yet — then ops are applied
+// onto nothing and only the valid length matters; that only happens
+// for logs that crashed before their first snapshot, which Open's
+// callers treat as absent). It returns the number of records applied
+// and the byte offset of the end of the last whole frame.
+func replaySegment(path string, snap *EntrySnapshot) (int, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+
+	records := 0
+	var valid int64
+	r := &countingReader{r: f}
+	for {
+		payload, err := readFrame(r)
+		if errors.Is(err, io.EOF) || errors.Is(err, ErrCorrupt) {
+			return records, valid, nil
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("wal: reading segment %s: %w", path, err)
+		}
+		switch payload[0] {
+		case opBatch:
+			b, err := decodeBatch(payload[1:])
+			if err != nil {
+				return records, valid, nil // corrupt body: durable prefix ends here
+			}
+			if snap != nil {
+				snap.Records = append(snap.Records, b.Records...)
+				snap.Cursor = b.Cursor
+				snap.NextID = b.NextID
+			}
+			records += len(b.Records)
+		case opRebase:
+			off, err := decodeRebase(payload[1:])
+			if err != nil {
+				return records, valid, nil
+			}
+			if snap != nil {
+				for i := range snap.Records {
+					snap.Records[i].Submit -= off
+				}
+				snap.Cursor -= off
+			}
+		default:
+			// Unknown op from a future format revision: stop replay at
+			// the last understood frame rather than misapply it.
+			return records, valid, nil
+		}
+		valid = r.n
+	}
+}
+
+// countingReader tracks how many bytes the frame reader consumed, so
+// replay knows the exact end offset of the last whole frame.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// openSegment opens (or creates) the segment for appending.
+func (l *Log) openSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat segment: %w", err)
+	}
+	l.seg, l.segSeq, l.segSize = f, seq, st.Size()
+	return nil
+}
+
+// AppendBatch logs one acknowledged observation batch.
+func (l *Log) AppendBatch(b Batch) error {
+	return l.append(encodeBatch(b))
+}
+
+// AppendRebase logs a window re-base by offset.
+func (l *Log) AppendRebase(offset float64) error {
+	return l.append(encodeRebase(offset))
+}
+
+// append frames the payload onto the active segment, rotating past the
+// size threshold and fsyncing per the policy.
+func (l *Log) append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	frame := appendFrame(make([]byte, 0, 8+len(payload)), payload)
+	if _, err := l.seg.Write(frame); err != nil {
+		return fmt.Errorf("wal: appending: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.appends.Add(1)
+	if err := l.maybeSyncLocked(); err != nil {
+		return err
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// maybeSyncLocked applies the fsync policy after a write.
+func (l *Log) maybeSyncLocked() error {
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// rotateLocked closes the active segment (fsyncing it unless the
+// policy is SyncNone) and starts the next one.
+func (l *Log) rotateLocked() error {
+	if l.opts.Sync != SyncNone {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	return l.openSegment(l.segSeq + 1)
+}
+
+// Cut rotates to a fresh segment and returns the sequence numbers of
+// every earlier segment — the set a snapshot of the state as of this
+// moment covers. The caller must hold the same serialization it holds
+// for appends (the entry's ack lock), so no append can land between
+// the state copy and the cut.
+func (l *Log) Cut() ([]int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errors.New("wal: log is closed")
+	}
+	if err := l.rotateLocked(); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var covered []int
+	for _, seq := range segs {
+		if seq < l.segSeq {
+			covered = append(covered, seq)
+		}
+	}
+	return covered, nil
+}
+
+// WriteSnapshot persists the entry state atomically (tmp + fsync +
+// rename), then deletes the covered segments. Call with the state
+// captured at the moment of a Cut and the segment list Cut returned;
+// appends may proceed concurrently — they land in the fresh segment,
+// which is never deleted here.
+func (l *Log) WriteSnapshot(snap EntrySnapshot, covered []int) error {
+	payload := encodeSnapshot(snap)
+	frame := appendFrame(make([]byte, 0, 8+len(payload)), payload)
+
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if l.opts.Sync != SyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: fsync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("wal: publishing snapshot: %w", err)
+	}
+	l.snapshotBytes.Add(uint64(len(frame)))
+	// The snapshot is durable; the covered segments are dead weight.
+	for _, seq := range covered {
+		if err := os.Remove(filepath.Join(l.dir, segmentName(seq))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: removing covered segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// Close fsyncs (unless the policy is SyncNone) and closes the active
+// segment. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.opts.Sync != SyncNone {
+		if err := l.seg.Sync(); err != nil {
+			l.seg.Close()
+			return fmt.Errorf("wal: fsync on close: %w", err)
+		}
+	}
+	return l.seg.Close()
+}
