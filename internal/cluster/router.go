@@ -39,6 +39,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// Client issues the forwarded requests (default: 30 s timeout).
 	Client *http.Client
+	// HealthClient issues the health probes. It is deliberately
+	// separate from Client: a probe against a hung (not refusing)
+	// backend must fail fast, or every sweep stalls for the forwarding
+	// timeout and down-detection lags far behind the poll interval
+	// (default: 2 s timeout).
+	HealthClient *http.Client
 	// Logger receives placement and failover lines; nil disables.
 	Logger *log.Logger
 }
@@ -121,7 +127,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	for _, b := range backends {
 		rt.counters[b] = &backendCounters{}
 	}
-	rt.checker = NewChecker(backends, cfg.HealthInterval, cfg.Client, rt.noteTransition)
+	rt.checker = NewChecker(backends, cfg.HealthInterval, cfg.HealthClient, rt.noteTransition)
 	rt.mux = http.NewServeMux()
 	rt.routes()
 	return rt, nil
@@ -375,8 +381,10 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 func fanout[T any](rt *Router, r *http.Request, path string) (map[string]T, map[string]string) {
 	results := make(map[string]T, len(rt.cfg.Backends))
 	failed := make(map[string]string)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	// Partition before spawning anything: once a goroutine is running,
+	// every write to the failed map must go through mu, including the
+	// unready markers.
+	var ready []string
 	for _, b := range rt.cfg.Backends {
 		if !rt.checker.Ready(b) {
 			st := rt.checker.State(b)
@@ -387,6 +395,11 @@ func fanout[T any](rt *Router, r *http.Request, path string) (map[string]T, map[
 			failed[b] = msg
 			continue
 		}
+		ready = append(ready, b)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range ready {
 		wg.Add(1)
 		go func(b string) {
 			defer wg.Done()

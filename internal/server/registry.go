@@ -309,6 +309,17 @@ func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Ent
 		return nil, err
 	}
 	if r.walStore != nil {
+		// restoreMu serializes log opens: without it, two concurrent
+		// Puts of one new ID could both pass the Exists check (no
+		// snapshot on disk yet) and both open the model directory,
+		// leaving two appenders interleaving frames on one segment. The
+		// lock is held through the shard insert below so a Restore
+		// cannot open the log in the window before the entry lands.
+		r.restoreMu.Lock()
+		defer r.restoreMu.Unlock()
+		if r.walStore.Exists(id) {
+			return nil, fmt.Errorf("%w: %q (durable; delete it first)", ErrExists, id)
+		}
 		if err := r.attachWAL(e); err != nil {
 			return nil, err
 		}

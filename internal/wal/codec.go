@@ -66,7 +66,14 @@ type EntrySnapshot struct {
 	Cursor  float64
 	NextID  int64
 	Version int64
-	Records []trace.ProbeRecord
+	// CoversSeq is the segment watermark: every segment with sequence
+	// <= CoversSeq is already folded into this snapshot. WriteSnapshot
+	// stamps it from the covered list Cut returned; Open skips (and
+	// deletes) those segments during replay, so a crash between the
+	// snapshot rename and the covered-segment removals cannot
+	// double-apply their records.
+	CoversSeq int64
+	Records   []trace.ProbeRecord
 }
 
 // appendFrame appends one framed payload to buf.
@@ -236,6 +243,7 @@ func encodeSnapshot(s EntrySnapshot) []byte {
 	out = appendF64(out, s.Cursor)
 	out = appendI64(out, s.NextID)
 	out = appendI64(out, s.Version)
+	out = appendI64(out, s.CoversSeq)
 	return appendRecords(out, s.Records)
 }
 
@@ -257,13 +265,14 @@ func decodeRebase(b []byte) (float64, error) {
 func decodeSnapshot(b []byte) (EntrySnapshot, error) {
 	r := &reader{b: b}
 	out := EntrySnapshot{
-		Name:    r.str(),
-		Source:  r.str(),
-		Timeout: r.f64(),
-		Window:  r.f64(),
-		Cursor:  r.f64(),
-		NextID:  r.i64(),
-		Version: r.i64(),
+		Name:      r.str(),
+		Source:    r.str(),
+		Timeout:   r.f64(),
+		Window:    r.f64(),
+		Cursor:    r.f64(),
+		NextID:    r.i64(),
+		Version:   r.i64(),
+		CoversSeq: r.i64(),
 	}
 	out.Records = r.records()
 	return out, r.err

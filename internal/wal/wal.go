@@ -19,7 +19,11 @@
 // Crash safety: a torn frame at the tail of the last segment marks the
 // end of the durable prefix — Open truncates the segment back to the
 // last whole frame and appends from there, so one torn write never
-// poisons the records behind it.
+// poisons the records behind it. Each snapshot carries a segment
+// watermark (the highest sequence it folded in); Open deletes rather
+// than replays segments at or below it, so a crash between the
+// snapshot rename and the covered-segment removals never double-applies
+// a record.
 package wal
 
 import (
@@ -237,6 +241,10 @@ func (s *Store) Open(id string) (*Log, *EntrySnapshot, int, error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	covered := 0
+	if snap != nil {
+		covered = int(snap.CoversSeq)
+	}
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -245,12 +253,23 @@ func (s *Store) Open(id string) (*Log, *EntrySnapshot, int, error) {
 	replayed := 0
 	for _, seg := range segs {
 		path := filepath.Join(dir, segmentName(seg))
-		n, validLen, err := replaySegment(path, snap)
+		if seg <= covered {
+			// Already folded into the snapshot: a crash between the
+			// snapshot rename and the covered-segment removals left it
+			// behind. Replaying it would double-apply its records, so
+			// finish the interrupted deletion instead.
+			if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, nil, 0, fmt.Errorf("wal: removing stale covered segment: %w", err)
+			}
+			continue
+		}
+		last := seg == segs[len(segs)-1]
+		n, validLen, err := replaySegment(path, snap, last)
 		if err != nil {
 			return nil, nil, 0, err
 		}
 		replayed += n
-		if seg == segs[len(segs)-1] {
+		if last {
 			// Drop the torn tail (validLen is the file size when the
 			// segment is whole, so this is a no-op then).
 			if err := os.Truncate(path, validLen); err != nil {
@@ -260,10 +279,14 @@ func (s *Store) Open(id string) (*Log, *EntrySnapshot, int, error) {
 	}
 
 	// Append into the last segment (past its valid prefix) or start
-	// segment 1 on a fresh directory.
+	// the first segment past the snapshot's watermark on a directory
+	// with no live segments.
 	l.segSeq = 1
 	if len(segs) > 0 {
 		l.segSeq = segs[len(segs)-1]
+	}
+	if l.segSeq <= covered {
+		l.segSeq = covered + 1
 	}
 	if err := l.openSegment(l.segSeq); err != nil {
 		return nil, nil, 0, err
@@ -321,7 +344,13 @@ func readSnapshot(path string) (*EntrySnapshot, error) {
 // for logs that crashed before their first snapshot, which Open's
 // callers treat as absent). It returns the number of records applied
 // and the byte offset of the end of the last whole frame.
-func replaySegment(path string, snap *EntrySnapshot) (int, int64, error) {
+//
+// A corrupt or undecodable frame in the last segment is a torn tail —
+// the legitimate end of the durable prefix — and stops replay cleanly.
+// In any earlier segment the same damage is real corruption: tolerating
+// it would silently drop the rest of that segment while later segments
+// still applied on top, so it is returned as an error instead.
+func replaySegment(path string, snap *EntrySnapshot, last bool) (int, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: opening segment: %w", err)
@@ -333,8 +362,14 @@ func replaySegment(path string, snap *EntrySnapshot) (int, int64, error) {
 	r := &countingReader{r: f}
 	for {
 		payload, err := readFrame(r)
-		if errors.Is(err, io.EOF) || errors.Is(err, ErrCorrupt) {
+		if errors.Is(err, io.EOF) {
 			return records, valid, nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			if last {
+				return records, valid, nil
+			}
+			return 0, 0, fmt.Errorf("wal: segment %s damaged mid-log: %w", path, err)
 		}
 		if err != nil {
 			return 0, 0, fmt.Errorf("wal: reading segment %s: %w", path, err)
@@ -343,7 +378,10 @@ func replaySegment(path string, snap *EntrySnapshot) (int, int64, error) {
 		case opBatch:
 			b, err := decodeBatch(payload[1:])
 			if err != nil {
-				return records, valid, nil // corrupt body: durable prefix ends here
+				if last {
+					return records, valid, nil // torn body: durable prefix ends here
+				}
+				return 0, 0, fmt.Errorf("wal: segment %s damaged mid-log: %w", path, err)
 			}
 			if snap != nil {
 				snap.Records = append(snap.Records, b.Records...)
@@ -354,7 +392,10 @@ func replaySegment(path string, snap *EntrySnapshot) (int, int64, error) {
 		case opRebase:
 			off, err := decodeRebase(payload[1:])
 			if err != nil {
-				return records, valid, nil
+				if last {
+					return records, valid, nil
+				}
+				return 0, 0, fmt.Errorf("wal: segment %s damaged mid-log: %w", path, err)
 			}
 			if snap != nil {
 				for i := range snap.Records {
@@ -364,8 +405,12 @@ func replaySegment(path string, snap *EntrySnapshot) (int, int64, error) {
 			}
 		default:
 			// Unknown op from a future format revision: stop replay at
-			// the last understood frame rather than misapply it.
-			return records, valid, nil
+			// the last understood frame rather than misapply it — but
+			// only where a torn tail is possible.
+			if last {
+				return records, valid, nil
+			}
+			return 0, 0, fmt.Errorf("wal: segment %s: unknown op %d mid-log", path, payload[0])
 		}
 		valid = r.n
 	}
@@ -498,8 +543,15 @@ func (l *Log) Cut() ([]int, error) {
 // rename), then deletes the covered segments. Call with the state
 // captured at the moment of a Cut and the segment list Cut returned;
 // appends may proceed concurrently — they land in the fresh segment,
-// which is never deleted here.
+// which is never deleted here. The snapshot records the highest
+// covered sequence as its watermark, so a crash between the rename
+// and the removals cannot re-apply a covered segment on recovery.
 func (l *Log) WriteSnapshot(snap EntrySnapshot, covered []int) error {
+	for _, seq := range covered {
+		if int64(seq) > snap.CoversSeq {
+			snap.CoversSeq = int64(seq)
+		}
+	}
 	payload := encodeSnapshot(snap)
 	frame := appendFrame(make([]byte, 0, 8+len(payload)), payload)
 

@@ -234,6 +234,120 @@ func TestSegmentRotationAndSnapshotCompaction(t *testing.T) {
 	}
 }
 
+func TestStaleCoveredSegmentsSkippedOnRecovery(t *testing.T) {
+	// A crash between the snapshot rename and the covered-segment
+	// removals leaves both on disk. The snapshot's watermark must keep
+	// recovery from replaying the covered segments on top of the state
+	// they are already folded into.
+	s := testStore(t, Options{Sync: SyncNone, SegmentBytes: 512})
+	l := openFresh(t, s, "m")
+	cursor, id := 9.0, 20
+	for i := 0; i < 6; i++ {
+		cursor += 10
+		if err := l.AppendBatch(Batch{Cursor: cursor, NextID: int64(id + 10), Records: mkRecords(10, id, cursor-9)}); err != nil {
+			t.Fatal(err)
+		}
+		id += 10
+	}
+	covered, err := l.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Save the covered segments so the "crash" can resurrect them
+	// after WriteSnapshot deletes them.
+	dir := s.Dir("m")
+	saved := make(map[string][]byte, len(covered))
+	for _, seq := range covered {
+		b, err := os.ReadFile(filepath.Join(dir, segmentName(seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[segmentName(seq)] = b
+	}
+	state := seedSnapshot()
+	state.Records = mkRecords(5, 0, 0)
+	state.Cursor, state.NextID, state.Version = cursor, int64(id+10), 3
+	if err := l.WriteSnapshot(state, covered); err != nil {
+		t.Fatal(err)
+	}
+	// One post-snapshot batch: the legitimate replay tail.
+	if err := l.AppendBatch(Batch{Cursor: cursor + 10, NextID: int64(id + 20), Records: mkRecords(10, id, cursor+1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l2, snap, replayed, err := s.Open("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if replayed != 10 {
+		t.Fatalf("replayed %d records, want only the 10 post-snapshot ones", replayed)
+	}
+	if len(snap.Records) != 15 || snap.Cursor != cursor+10 {
+		t.Fatalf("recovered records=%d cursor=%v, want 15/%v (covered segments double-applied?)",
+			len(snap.Records), snap.Cursor, cursor+10)
+	}
+	// Open finishes the interrupted deletion.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range segs {
+		if _, stale := saved[segmentName(seq)]; stale {
+			t.Fatalf("stale covered segment %d survived recovery (segments: %v)", seq, segs)
+		}
+	}
+}
+
+func TestMidLogCorruptionIsAnError(t *testing.T) {
+	// A damaged frame is a legitimate torn tail only in the last
+	// segment; in an earlier one it must surface as an error instead of
+	// silently dropping the rest of that segment.
+	s := testStore(t, Options{Sync: SyncNone, SegmentBytes: 512})
+	l := openFresh(t, s, "m")
+	cursor, id := 9.0, 20
+	for i := 0; i < 6; i++ {
+		cursor += 10
+		if err := l.AppendBatch(Batch{Cursor: cursor, NextID: int64(id + 10), Records: mkRecords(10, id, cursor-9)}); err != nil {
+			t.Fatal(err)
+		}
+		id += 10
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := s.Dir("m")
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need at least two segments, got %v", segs)
+	}
+	// Flip one payload byte in the middle of the first (non-last)
+	// segment: CRC mismatch, mid-log.
+	first := filepath.Join(dir, segmentName(segs[0]))
+	b, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(first, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.Open("m"); err == nil {
+		t.Fatal("Open tolerated mid-log corruption in a non-last segment")
+	}
+}
+
 func TestStoreListDeleteExists(t *testing.T) {
 	s := testStore(t, Options{})
 	for _, id := range []string{"b", "a", "weird/πid"} {
