@@ -69,6 +69,8 @@ func main() {
 		window          = flag.Duration("window", 168*time.Hour, "default rolling-window width for new models")
 		shards          = flag.Int("shards", 8, "registry shard count")
 		maxModels       = flag.Int("max-models", 256, "registry capacity (LRU eviction past it)")
+		maxBytes        = flag.Int64("max-bytes", 0, "resident-memory cap in bytes: past it cold models demote to the quantile-sketch tier, then evict (0 = unlimited)")
+		sketchTier      = flag.Bool("sketch-tier", false, "build every model in the sketch tier from registration on")
 		maxRuns         = flag.Int("max-runs", 2_000_000, "per-request Monte Carlo run cap")
 		maxBody         = flag.Int64("max-body", 32<<20, "request body cap in bytes")
 		rebuildInterval = flag.Duration("rebuild-interval", 0, "coalesce observation batches into one model rebuild per interval (0 = rebuild on every batch)")
@@ -93,6 +95,8 @@ func main() {
 		WALDir:           *walDir,
 		WALSync:          *walSync,
 		SnapshotEvery:    *snapshotEvery,
+		MaxBytes:         *maxBytes,
+		SketchTier:       *sketchTier,
 	}
 	if !*quiet {
 		cfg.Logger = logger

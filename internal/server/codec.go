@@ -68,6 +68,7 @@ type ModelInfo struct {
 	Version      int64             `json:"version"`
 	WindowS      float64           `json:"window_s"`
 	TimeoutS     float64           `json:"timeout_s"`
+	Tier         string            `json:"tier"` // "exact" or "sketch"
 	Stats        TraceStatsJSON    `json:"stats"`
 	Stationarity *StationarityJSON `json:"stationarity,omitempty"`
 }
@@ -84,6 +85,7 @@ func modelInfoAt(e *Entry, st *ModelState) ModelInfo {
 		Version:  st.Version,
 		WindowS:  e.Window,
 		TimeoutS: st.Trace.Timeout,
+		Tier:     st.Tier.String(),
 		Stats:    statsToJSON(st.Stats),
 	}
 }

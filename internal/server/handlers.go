@@ -195,6 +195,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totals.WALAppends += sh.WALAppends
 		totals.WALSnapshotBytes += sh.WALSnapshotBytes
 		totals.ReplayedRecords += sh.ReplayedRecords
+		totals.ResidentBytes += sh.ResidentBytes
+		totals.ModelsExact += sh.ModelsExact
+		totals.ModelsSketch += sh.ModelsSketch
+		totals.Demotions += sh.Demotions
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS:  time.Since(s.start).Seconds(),

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 
@@ -25,9 +26,14 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *Client) {
 }
 
 // newTestServerCfg is newTestServer with an explicit configuration
-// (async ingest tests set RebuildInterval).
+// (async ingest tests set RebuildInterval). GRIDSTRAT_SKETCH_TIER=1
+// forces every model into the quantile-sketch tier — CI runs the
+// whole suite under it to pin exact/sketch representation parity.
 func newTestServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client) {
 	t.Helper()
+	if os.Getenv("GRIDSTRAT_SKETCH_TIER") == "1" {
+		cfg.SketchTier = true
+	}
 	s := MustNew(cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)

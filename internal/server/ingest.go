@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridstrat/internal/stats"
 	"gridstrat/internal/trace"
 	"gridstrat/internal/wal"
 )
@@ -38,9 +39,10 @@ import (
 // status counts and the rebuild-and-swap, so rebuilds serialize
 // without ever blocking an ack (lock order: ingestMu before qmu).
 type Entry struct {
-	ID     string
-	Source string  // "dataset:<name>" or "upload:<format>"
-	Window float64 // rolling-window width, seconds
+	ID      string
+	Source  string  // "dataset:<name>" or "upload:<format>"
+	Window  float64 // rolling-window width, seconds
+	timeout float64 // probe censoring bound, immutable after construction
 
 	state atomic.Pointer[ModelState]
 
@@ -68,6 +70,21 @@ type Entry struct {
 	// from the flat window instead of merging, restoring the chain.
 	fullRebuild bool
 
+	// Tiering state (guarded by ingestMu). wantSketch is the target
+	// representation rebuilds produce; windowDropped marks a deep
+	// demotion — rolling is nil and the WAL snapshot holds the window,
+	// so any write-path entry needing the buffer promotes (replays)
+	// first. windowRecs mirrors rolling.Len() atomically so MemBytes
+	// and the pressure enforcer read it lock-free.
+	wantSketch    bool
+	windowDropped bool
+	windowRecs    atomic.Int64
+	// policySketch records the registry's force-sketch policy at
+	// construction: promotion restores wantSketch to it, so a policy-
+	// sketched entry stays sketch across a promote-for-write cycle
+	// while a pressure-demoted one returns to the exact tier.
+	policySketch bool
+
 	rebuilds     atomic.Uint64
 	coalesced    atomic.Uint64
 	rebuildFails atomic.Uint64
@@ -81,32 +98,69 @@ type Entry struct {
 	// of tail records this entry's recovery replayed on top of its
 	// snapshot (0 for entries created in this process's lifetime).
 	wal           *wal.Log
+	store         *wal.Store // nil on a memory-only registry; promote reopens through it
 	snapshotEvery int
 	sinceSnap     int
 	replayed      int
 }
 
+// probeRecordBytes is the estimated heap cost of one trace.ProbeRecord
+// (int ID + two float64s + status byte, padded).
+const probeRecordBytes = 32
+
+// MemBytes estimates the entry's resident heap footprint: the current
+// model snapshot (window trace + representation + tables), the rolling
+// buffer, and the ingest queue. Lock-free; the byte-pressure enforcer
+// and /v1/stats read it concurrently with ingestion.
+func (e *Entry) MemBytes() int64 {
+	var b int64
+	if st := e.state.Load(); st != nil {
+		b += st.MemBytes()
+	}
+	b += e.windowRecs.Load() * probeRecordBytes
+	b += int64(e.Pending()) * probeRecordBytes
+	return b
+}
+
 // newEntry loads a trace into the rolling buffer, trims it to the
-// window and builds version 1 of the model.
-func newEntry(id, source string, window float64, tr *trace.Trace, rebuildEvery time.Duration, maxQueued int) (*Entry, error) {
+// window and builds version 1 of the model — in the sketch tier when
+// sketchTier is set (the registry's force-sketch policy).
+func newEntry(id, source string, window float64, tr *trace.Trace, rebuildEvery time.Duration, maxQueued int, sketchTier bool) (*Entry, error) {
 	rolling, err := trace.NewRolling(tr, window)
 	if err != nil {
 		return nil, err
 	}
-	state, err := newModelState(rolling.Snapshot(), 1)
+	tw := rolling.Snapshot()
+	state, err := newModelState(tw, 1)
 	if err != nil {
 		return nil, err
+	}
+	if sketchTier {
+		sk, err := stats.SketchFromECDF(state.ecdf, 0)
+		if err != nil {
+			return nil, err
+		}
+		base := state.ecdf
+		_, outliers := countStatuses(tw.Records)
+		state, err = newModelStateSketch(tw, sk, base, len(tw.Records), outliers, 1)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e := &Entry{
 		ID:           id,
 		Source:       source,
 		Window:       window,
+		timeout:      rolling.Timeout(),
 		rebuildEvery: rebuildEvery,
 		maxQueued:    maxQueued,
 		rolling:      rolling,
 		cursor:       rolling.MaxSubmit(),
+		wantSketch:   sketchTier,
+		policySketch: sketchTier,
 	}
 	e.winComplete, e.winOutliers = countStatuses(rolling.Records())
+	e.windowRecs.Store(int64(rolling.Len()))
 	// IDs stay unique against the full seed trace, including records
 	// the window trim dropped.
 	for _, rec := range tr.Records {
@@ -126,7 +180,7 @@ func newEntry(id, source string, window float64, tr *trace.Trace, rebuildEvery t
 // scratch, and restore the stamping state. The flat rebuild is
 // bit-identical to the incremental merge chain the pre-crash entry
 // ran, so the recovered ECDF equals the pre-crash one bit for bit.
-func newEntryFromSnapshot(id string, snap *wal.EntrySnapshot, replayed int, log *wal.Log, rebuildEvery time.Duration, maxQueued, snapshotEvery int) (*Entry, error) {
+func newEntryFromSnapshot(id string, snap *wal.EntrySnapshot, replayed int, log *wal.Log, rebuildEvery time.Duration, maxQueued, snapshotEvery int, forceSketch bool) (*Entry, error) {
 	tr := &trace.Trace{Name: snap.Name, Timeout: snap.Timeout, Records: snap.Records}
 	rolling, err := trace.NewRolling(tr, snap.Window)
 	if err != nil {
@@ -146,28 +200,74 @@ func newEntryFromSnapshot(id string, snap *wal.EntrySnapshot, replayed int, log 
 		return nil, err
 	}
 	_, outliers := countStatuses(tw.Records)
-	state, err := newModelStateMerged(tw, ecdf, outliers, version)
-	if err != nil {
-		return nil, err
+	// A sketch-stamped snapshot with no tail ops recovers deep: the
+	// demotion that wrote it was the entry's last durable event, so the
+	// same windowless sketch representation is restored (the replayed
+	// window just served as the rebuild input). Tail ops after a sketch
+	// snapshot mean the entry was promoted back for writes before the
+	// crash — it recovers exact, matching its pre-crash tier.
+	deepSketch := snap.Tier == uint8(TierSketch) && replayed == 0
+	sketchTier := forceSketch || deepSketch
+	var state *ModelState
+	if sketchTier {
+		sk, err := stats.SketchFromECDF(ecdf, 0)
+		if err != nil {
+			return nil, err
+		}
+		str, base := tw, ecdf
+		if deepSketch {
+			str = &trace.Trace{Name: snap.Name, Timeout: snap.Timeout}
+			base = nil
+		}
+		state, err = newModelStateSketch(str, sk, base, len(tw.Records), outliers, version)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		state, err = newModelStateMerged(tw, ecdf, outliers, version)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e := &Entry{
 		ID:            id,
 		Source:        snap.Source,
 		Window:        snap.Window,
+		timeout:       rolling.Timeout(),
 		rebuildEvery:  rebuildEvery,
 		maxQueued:     maxQueued,
 		rolling:       rolling,
 		cursor:        snap.Cursor,
 		nextID:        int(snap.NextID),
+		wantSketch:    sketchTier,
+		policySketch:  forceSketch,
 		wal:           log,
 		snapshotEvery: snapshotEvery,
 		sinceSnap:     replayed, // a long tail compacts on the next rebuild
 		replayed:      replayed,
 	}
 	e.winComplete, e.winOutliers = countStatuses(rolling.Records())
+	e.windowRecs.Store(int64(rolling.Len()))
+	if deepSketch {
+		e.dropWindowLocked()
+	}
 	e.state.Store(state)
 	e.lastUsed.Store(time.Now().UnixNano())
 	return e, nil
+}
+
+// dropWindowLocked releases the in-memory window buffers after their
+// records are durably captured in a tier-stamped snapshot. Caller
+// holds ingestMu (or owns the entry exclusively during construction)
+// and has already arranged a sketch-tier state whose Trace is a
+// records-free header.
+func (e *Entry) dropWindowLocked() {
+	e.rolling = nil
+	e.windowDropped = true
+	e.windowRecs.Store(0)
+	e.winComplete, e.winOutliers = 0, 0
+	e.wantSketch = true
+	e.fullRebuild = true // no merge base survives a window drop
 }
 
 // State returns the entry's current immutable model snapshot.
@@ -190,8 +290,11 @@ func (e *Entry) walAppend(stamped []trace.ProbeRecord, cursor float64, nextID in
 // snapshotLocked compacts the entry's durable state: cut the log at
 // this instant (under the ack lock, so no append lands between the
 // state copy and the cut), then persist window + queue + stamping
-// state and delete the covered segments. Caller holds ingestMu.
-func (e *Entry) snapshotLocked(version int64) error {
+// state — stamped with the given representation tier — and delete the
+// covered segments. Caller holds ingestMu and the window must still be
+// resident (every caller either precedes a window drop or runs on a
+// promoted entry).
+func (e *Entry) snapshotLocked(version int64, tier ModelTier) error {
 	e.qmu.Lock()
 	covered, err := e.wal.Cut()
 	if err != nil {
@@ -210,6 +313,7 @@ func (e *Entry) snapshotLocked(version int64) error {
 		NextID:  int64(e.nextID),
 		Version: version,
 		Records: recs,
+		Tier:    uint8(tier),
 	}
 	e.qmu.Unlock()
 	return e.wal.WriteSnapshot(snap, covered)
@@ -217,13 +321,20 @@ func (e *Entry) snapshotLocked(version int64) error {
 
 // snapshotNow takes the rebuild lock and compacts immediately — the
 // registration path uses it to persist the seed state.
+//
+// Routine snapshots stamp TierExact even under the force-sketch
+// policy: the stamp marks a *windowless* (deep-demoted) entry whose
+// representation must be restored without re-deriving it, while a
+// policy-sketched entry keeps its window resident and the policy
+// itself re-applies at recovery. Only the deep demotion path stamps
+// TierSketch.
 func (e *Entry) snapshotNow() error {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	if e.wal == nil {
 		return nil
 	}
-	return e.snapshotLocked(e.state.Load().Version)
+	return e.snapshotLocked(e.state.Load().Version, TierExact)
 }
 
 // closeWAL closes the entry's log (idempotent; no-op without one).
@@ -292,7 +403,7 @@ func (e *Entry) Observe(recs []trace.ProbeRecord, start *float64, spacing float6
 	if spacing <= 0 {
 		spacing = 1
 	}
-	timeout := e.rolling.Timeout() // immutable after construction
+	timeout := e.timeout // immutable after construction
 	for i, r := range recs {
 		if r.Latency < 0 || math.IsNaN(r.Latency) {
 			return ObserveResult{}, fmt.Errorf("server: record %d: invalid latency %v", i, r.Latency)
@@ -316,6 +427,9 @@ func (e *Entry) Observe(recs []trace.ProbeRecord, start *float64, spacing float6
 func (e *Entry) observeSync(recs []trace.ProbeRecord, start *float64, spacing float64) (ObserveResult, error) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
+	if err := e.promoteLocked(); err != nil {
+		return ObserveResult{}, err
+	}
 	stamped, cursor, nextID, err := e.stamp(recs, start, spacing, true)
 	if err != nil {
 		return ObserveResult{}, err
@@ -460,6 +574,11 @@ func (e *Entry) commitStamp(cursor float64, nextID int) {
 // t = 0. Caller holds ingestMu and must not hold qmu (it is taken
 // here, preserving the ingestMu → qmu order).
 func (e *Entry) rebase() {
+	if err := e.promoteLocked(); err != nil {
+		// Without the window the re-base cannot shift; stamping will
+		// reject the batch at the ceiling instead of wedging.
+		return
+	}
 	e.qmu.Lock()
 	defer e.qmu.Unlock()
 	offset := e.rolling.MinSubmit()
@@ -540,9 +659,25 @@ func (e *Entry) Flush() (*ModelState, int, error) {
 // the previous state stays current, the buffer keeps the new records,
 // and the next successful rebuild resorts from the flat window.
 func (e *Entry) rebuildLocked(recs []trace.ProbeRecord, batches int) (*ModelState, int, error) {
+	// A deep-demoted entry replays its window back first: the WAL is
+	// the source of truth, so promotion restores exactly the buffer the
+	// demotion captured (bit-equal by the recovery guarantee).
+	if e.windowDropped {
+		if err := e.promoteLocked(); err != nil {
+			e.rebuildFails.Add(1)
+			return e.state.Load(), 0, fmt.Errorf("rebuilding windowed model: %w", err)
+		}
+		// Every record drained into recs was acknowledged — and WAL-
+		// appended — while the window was dropped, so the promotion
+		// replay has already folded it into the buffer; appending it
+		// again would double-count. The rebuild below still runs to
+		// publish a fresh snapshot over the replayed window.
+		recs = nil
+	}
 	old := e.state.Load()
 	e.rolling.Append(recs)
 	evicted := e.rolling.Trim()
+	e.windowRecs.Store(int64(e.rolling.Len()))
 	addC, addO := countStatuses(recs)
 	dropC, dropO := countStatuses(evicted)
 	e.winComplete += addC - dropC
@@ -572,14 +707,27 @@ func (e *Entry) rebuildLocked(recs []trace.ProbeRecord, batches int) (*ModelStat
 	// kernels — and, when it ever sampled, the sampler table — on the
 	// incoming ECDF before the swap, so the first post-swap query
 	// costs a binary search, not an O(n) table build. Tables the old
-	// epoch never built are not built here either.
-	if old.ecdf != nil {
+	// epoch never built are not built here either. Sketch-tier
+	// successors skip the handoff entirely: their queries run on the
+	// sketch view, so prewarming the merge-base ECDF would rebuild the
+	// very tables demotion exists to shed.
+	if !e.wantSketch && old.ecdf != nil {
 		ecdf.Prewarm(old.ecdf.TableKeys())
 		if old.ecdf.SamplerWarm() {
 			ecdf.PrewarmSampler()
 		}
 	}
-	state, err := newModelStateMerged(e.rolling.Snapshot(), ecdf, e.winOutliers, old.Version+1)
+	var state *ModelState
+	if e.wantSketch {
+		var sk *stats.Sketch
+		sk, err = stats.SketchFromECDF(ecdf, 0)
+		if err == nil {
+			tw := e.rolling.Snapshot()
+			state, err = newModelStateSketch(tw, sk, ecdf, len(tw.Records), e.winOutliers, old.Version+1)
+		}
+	} else {
+		state, err = newModelStateMerged(e.rolling.Snapshot(), ecdf, e.winOutliers, old.Version+1)
+	}
 	if err != nil {
 		e.fullRebuild = true
 		e.rebuildFails.Add(1)
@@ -598,7 +746,7 @@ func (e *Entry) rebuildLocked(recs []trace.ProbeRecord, batches int) (*ModelStat
 	if e.wal != nil {
 		e.sinceSnap += len(recs)
 		if e.sinceSnap >= e.snapshotEvery {
-			if err := e.snapshotLocked(state.Version); err == nil {
+			if err := e.snapshotLocked(state.Version, TierExact); err == nil {
 				e.sinceSnap = 0
 			}
 		}

@@ -76,7 +76,7 @@ func benchmarkObserveFull(b *testing.B, w int) {
 
 func benchmarkObserveIncremental(b *testing.B, w int) {
 	tr, width := benchSeedTrace(w)
-	e, err := newEntry("bench", "test", width, tr, 0, 0)
+	e, err := newEntry("bench", "test", width, tr, 0, 0, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestBenchSnapshotIngest(t *testing.T) {
 		})
 		incrNS := snapTime(t, 3, func() error {
 			tr, width := benchSeedTrace(cfg.w)
-			e, err := newEntry("bench", "test", width, tr, 0, 0)
+			e, err := newEntry("bench", "test", width, tr, 0, 0, false)
 			if err != nil {
 				return err
 			}
@@ -214,7 +214,7 @@ func TestBenchSnapshotIngest(t *testing.T) {
 	// handoff eliminates. All three measurements query the same
 	// integrand on the same window size; only the cache state differs.
 	tr, width := benchSeedTrace(100_000)
-	e, err := newEntry("warm", "test", width, tr, 0, 0)
+	e, err := newEntry("warm", "test", width, tr, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

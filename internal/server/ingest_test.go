@@ -161,11 +161,11 @@ func TestIncrementalMatchesLegacyEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		syncE, err := newEntry("eq", "test", width, seed, 0, 0)
+		syncE, err := newEntry("eq", "test", width, seed, 0, 0, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		asyncE, err := newEntry("eq", "test", width, seed, time.Hour, 1<<20)
+		asyncE, err := newEntry("eq", "test", width, seed, time.Hour, 1<<20, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +256,7 @@ func TestIncrementalMatchesLegacyEndToEnd(t *testing.T) {
 // re-base.
 func TestObserveCursorState(t *testing.T) {
 	seed := seedTrace("cur", 10, 10, 0) // submits 0..90
-	e, err := newEntry("cur", "test", 400, seed, 0, 0)
+	e, err := newEntry("cur", "test", 400, seed, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +493,7 @@ func TestObserveSyncDrainFailureAnswers200(t *testing.T) {
 // memory.
 func TestBackpressureInlineDrain(t *testing.T) {
 	seed := seedTrace("bp", 20, 5, 1)
-	e, err := newEntry("bp", "test", 1e9, seed, time.Hour, 4)
+	e, err := newEntry("bp", "test", 1e9, seed, time.Hour, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,7 +532,7 @@ func TestBackpressureInlineDrain(t *testing.T) {
 // batch recovers via the full-rebuild fallback.
 func TestAsyncDegenerateWindowKeepsLastGoodModel(t *testing.T) {
 	seed := seedTrace("deg", 10, 5, 0)
-	e, err := newEntry("deg", "test", 100, seed, time.Hour, 1<<20)
+	e, err := newEntry("deg", "test", 100, seed, time.Hour, 1<<20, false)
 	if err != nil {
 		t.Fatal(err)
 	}

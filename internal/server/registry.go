@@ -37,6 +37,25 @@ var (
 	ErrInvalid  = errors.New("server: invalid argument")
 )
 
+// ModelTier is the representation a model snapshot is held in: the
+// exact counted ECDF (every integral exact over the window), or the
+// mergeable quantile sketch (bounded-error, an order of magnitude
+// smaller) the registry demotes cold models to under byte pressure.
+type ModelTier uint8
+
+const (
+	TierExact ModelTier = iota
+	TierSketch
+)
+
+// String renders the tier for logs and the /v1/models wire form.
+func (t ModelTier) String() string {
+	if t == TierSketch {
+		return "sketch"
+	}
+	return "exact"
+}
+
 // ModelState is one immutable snapshot of a registered model: the
 // rolling-window trace it was built from, the memoized latency model
 // shared by every Planner answering queries on it, and the summary
@@ -50,10 +69,38 @@ type ModelState struct {
 	Version int64     // bumped on every successful rebuild
 	Built   time.Time // when this snapshot was constructed
 
-	// ecdf is the counted empirical CDF underlying Model — the merge
-	// base of the next epoch's incremental rebuild and the source of
-	// the TableKeys handed to its Prewarm.
+	// Tier is the representation behind Model: exact ECDF or quantile
+	// sketch. Deep-demoted sketch states (durable registries) also drop
+	// the window from Trace — the WAL snapshot holds the records — so
+	// Trace carries only the name/timeout header there.
+	Tier ModelTier
+
+	// ecdf is the counted empirical CDF underlying an exact-tier Model
+	// — the merge base of the next epoch's incremental rebuild and the
+	// source of the TableKeys handed to its Prewarm. Sketch-tier states
+	// built by a rebuild keep it (kernel-less) as the merge base;
+	// deep-demoted ones drop it.
 	ecdf *stats.ECDF
+
+	// sketch is the quantile-sketch backend of a sketch-tier Model.
+	sketch *stats.Sketch
+}
+
+// MemBytes estimates the snapshot's resident heap footprint: the
+// window records held by Trace plus the model representation (and
+// whatever kernel/sampler tables it has built).
+func (st *ModelState) MemBytes() int64 {
+	var b int64
+	if st.Trace != nil {
+		b += int64(len(st.Trace.Records)) * probeRecordBytes
+	}
+	if st.sketch != nil {
+		b += st.sketch.MemBytes()
+	}
+	if st.ecdf != nil {
+		b += st.ecdf.MemBytes()
+	}
+	return b
 }
 
 // newModelState builds the model snapshot of a windowed trace from
@@ -81,13 +128,36 @@ func newModelStateMerged(tr *trace.Trace, ecdf *stats.ECDF, outliers int, versio
 	return assembleModelState(tr, ecdf, rho, st, version)
 }
 
-// assembleModelState wraps an ECDF into the queryable model stack. The
-// returned state's Model is the memoizing wrapper of a throwaway
-// Planner, so every per-request Planner constructed over it shares one
-// integral cache (NewPlanner detects an already-memoized model and
-// does not double-wrap).
-func assembleModelState(tr *trace.Trace, ecdf *stats.ECDF, rho float64, st trace.Stats, version int64) (*ModelState, error) {
-	em, err := core.NewEmpiricalModel(ecdf, rho, tr.Timeout)
+// newModelStateSketch builds a sketch-tier snapshot: the model queries
+// the sketch's compiled view, the stats derive from that view, and
+// base (when non-nil) rides along kernel-less as the merge base of the
+// next incremental rebuild. probes is the window record count the
+// stats report (the deep-demotion path passes it explicitly because
+// tr may be a records-free header there).
+func newModelStateSketch(tr *trace.Trace, sk *stats.Sketch, base *stats.ECDF, probes, outliers int, version int64) (*ModelState, error) {
+	rho := 0.0
+	if terminal := sk.N() + outliers; terminal > 0 {
+		rho = float64(outliers) / float64(terminal)
+	}
+	st := trace.StatsFromECDF(tr.Name, sk.View(), probes, outliers, tr.Timeout)
+	out, err := assembleModelState(tr, sk, rho, st, version)
+	if err != nil {
+		return nil, err
+	}
+	out.Tier = TierSketch
+	out.sketch = sk
+	out.ecdf = base
+	return out, nil
+}
+
+// assembleModelState wraps an empirical latency law — exact ECDF or
+// quantile sketch — into the queryable model stack. The returned
+// state's Model is the memoizing wrapper of a throwaway Planner, so
+// every per-request Planner constructed over it shares one integral
+// cache (NewPlanner detects an already-memoized model and does not
+// double-wrap).
+func assembleModelState(tr *trace.Trace, dist stats.EmpiricalDistribution, rho float64, st trace.Stats, version int64) (*ModelState, error) {
+	em, err := core.NewEmpiricalModelDist(dist, rho, tr.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -95,14 +165,17 @@ func assembleModelState(tr *trace.Trace, ecdf *stats.ECDF, rho float64, st trace
 	if err != nil {
 		return nil, err
 	}
-	return &ModelState{
+	out := &ModelState{
 		Trace:   tr,
 		Model:   p.Model(),
 		Stats:   st,
 		Version: version,
 		Built:   time.Now(),
-		ecdf:    ecdf,
-	}, nil
+	}
+	if e, ok := dist.(*stats.ECDF); ok {
+		out.ecdf = e
+	}
+	return out, nil
 }
 
 // maxWindowWidth bounds a model's rolling-window width (~317 years).
@@ -151,6 +224,16 @@ type ShardStats struct {
 	WALAppends       uint64 `json:"wal_appends"`
 	WALSnapshotBytes uint64 `json:"wal_snapshot_bytes"`
 	ReplayedRecords  uint64 `json:"replayed_records"`
+
+	// Tiering counters. ResidentBytes is a gauge: the estimated heap
+	// footprint of the shard's entries (window records + model
+	// representation + built tables). ModelsExact/ModelsSketch split
+	// Models by current tier; Demotions counts exact→sketch moves the
+	// byte-pressure enforcer performed.
+	ResidentBytes int64  `json:"resident_bytes"`
+	ModelsExact   int    `json:"models_exact"`
+	ModelsSketch  int    `json:"models_sketch"`
+	Demotions     uint64 `json:"demotions"`
 }
 
 type registryShard struct {
@@ -162,6 +245,7 @@ type registryShard struct {
 	evictions     atomic.Uint64
 	ingestBatches atomic.Uint64
 	ingestRecords atomic.Uint64
+	demotions     atomic.Uint64
 }
 
 // Registry is the sharded model store. Model IDs are hashed onto a
@@ -194,6 +278,18 @@ type Registry struct {
 	// segment would interleave frames). Restores are rare, so one
 	// registry-wide mutex is fine.
 	restoreMu sync.Mutex
+
+	// Byte-based tiering policy. maxBytes (0 = unlimited) caps the
+	// estimated resident footprint across all shards: past it, the
+	// enforcer demotes the globally coldest exact-tier models to the
+	// sketch tier, then falls back to evicting the coldest entries
+	// outright. forceSketch builds every model in the sketch tier from
+	// registration on (the GRIDSTRAT_SKETCH_TIER CI toggle). enforceMu
+	// single-flights enforcement (TryLock: concurrent triggers skip
+	// instead of queueing).
+	maxBytes    int64
+	forceSketch bool
+	enforceMu   sync.Mutex
 }
 
 // defaultMaxQueued is the per-entry backpressure cap on acknowledged-
@@ -245,6 +341,18 @@ func (r *Registry) SetIngestPolicy(rebuildEvery time.Duration, maxQueued int) {
 	r.maxQueued = maxQueued
 }
 
+// SetMemoryPolicy configures byte-based tiering: maxBytes caps the
+// estimated resident footprint (0 = unlimited; see EnforcePressure),
+// and forceSketch builds every model in the sketch tier from
+// registration on. Call it before any Put.
+func (r *Registry) SetMemoryPolicy(maxBytes int64, forceSketch bool) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	r.maxBytes = maxBytes
+	r.forceSketch = forceSketch
+}
+
 // SetWAL makes the registry durable against the given store,
 // compacting each model's log into a fresh snapshot after
 // snapshotEvery appended records (non-positive falls back to 4096).
@@ -282,6 +390,16 @@ func (r *Registry) shardFor(id string) *registryShard {
 // is already registered and wraps ErrInvalid for out-of-range
 // arguments.
 func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Entry, error) {
+	e, err := r.put(id, source, window, tr)
+	if err == nil {
+		// Enforce outside put's shard/restore locks: demotion takes
+		// entry locks and eviction takes shard locks of its own.
+		r.EnforcePressure()
+	}
+	return e, err
+}
+
+func (r *Registry) put(id, source string, window float64, tr *trace.Trace) (*Entry, error) {
 	if id == "" {
 		return nil, fmt.Errorf("%w: empty model id", ErrInvalid)
 	}
@@ -304,7 +422,7 @@ func (r *Registry) Put(id, source string, window float64, tr *trace.Trace) (*Ent
 	if r.walStore != nil && r.walStore.Exists(id) {
 		return nil, fmt.Errorf("%w: %q (durable; delete it first)", ErrExists, id)
 	}
-	e, err := newEntry(id, source, window, tr, r.rebuildEvery, r.maxQueued)
+	e, err := newEntry(id, source, window, tr, r.rebuildEvery, r.maxQueued, r.forceSketch)
 	if err != nil {
 		return nil, err
 	}
@@ -354,6 +472,7 @@ func (r *Registry) attachWAL(e *Entry) error {
 		return fmt.Errorf("%w: %q", ErrExists, e.ID)
 	}
 	e.wal = log
+	e.store = r.walStore
 	e.snapshotEvery = r.snapshotEvery
 	if err := e.snapshotNow(); err != nil {
 		e.closeWAL()
@@ -369,6 +488,14 @@ func (r *Registry) attachWAL(e *Entry) error {
 // single-flighted; a concurrent Restore (or a Get that raced one)
 // resolves to the already-inserted entry.
 func (r *Registry) Restore(id string) (*Entry, error) {
+	e, err := r.restore(id)
+	if err == nil {
+		r.EnforcePressure()
+	}
+	return e, err
+}
+
+func (r *Registry) restore(id string) (*Entry, error) {
 	if r.walStore == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
@@ -390,11 +517,12 @@ func (r *Registry) Restore(id string) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recovering %q: %w", id, err)
 	}
-	e, err = newEntryFromSnapshot(id, snap, replayed, log, r.rebuildEvery, r.maxQueued, r.snapshotEvery)
+	e, err = newEntryFromSnapshot(id, snap, replayed, log, r.rebuildEvery, r.maxQueued, r.snapshotEvery, r.forceSketch)
 	if err != nil {
 		log.Close()
 		return nil, fmt.Errorf("recovering %q: %w", id, err)
 	}
+	e.store = r.walStore
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -467,11 +595,97 @@ func (r *Registry) Delete(id string) bool {
 }
 
 // noteIngest records one ingestion batch in the owning shard's
-// counters.
+// counters and re-checks byte pressure (ingestion is what grows
+// resident state between registrations).
 func (r *Registry) noteIngest(id string, records int) {
 	sh := r.shardFor(id)
 	sh.ingestBatches.Add(1)
 	sh.ingestRecords.Add(uint64(records))
+	r.EnforcePressure()
+}
+
+// ResidentBytes returns the estimated resident heap footprint of every
+// registered entry.
+func (r *Registry) ResidentBytes() int64 {
+	var total int64
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			total += e.MemBytes()
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// EnforcePressure brings the registry's estimated resident footprint
+// back under the byte cap, in two escalating moves: first the globally
+// coldest exact-tier models are demoted to the sketch tier (on a
+// durable registry the window moves to the WAL snapshot and drops from
+// memory — promotion back is a bit-equal replay; without a WAL the
+// demotion only sheds the exact representation's tables), and only
+// when no exact model is left to demote are the coldest entries
+// evicted outright. No-op without a byte cap. Concurrent triggers
+// skip (TryLock) instead of queueing — the next batch re-checks.
+func (r *Registry) EnforcePressure() {
+	if r.maxBytes <= 0 {
+		return
+	}
+	if !r.enforceMu.TryLock() {
+		return
+	}
+	defer r.enforceMu.Unlock()
+	for r.ResidentBytes() > r.maxBytes {
+		if e := r.coldest(func(e *Entry) bool { return e.State().Tier == TierExact }); e != nil {
+			if e.demote() {
+				r.shardFor(e.ID).demotions.Add(1)
+				continue
+			}
+			// Demotion can fail transiently (snapshot write error, raced
+			// tier change); fall through to eviction rather than spin.
+		}
+		if r.Len() <= 1 {
+			return // never evict the last model; the cap is best-effort
+		}
+		victim := r.coldest(nil)
+		if victim == nil {
+			return
+		}
+		r.evictID(victim.ID)
+	}
+}
+
+// coldest returns the registered entry with the oldest LRU clock among
+// those matching keep (nil matches all), or nil when none match.
+func (r *Registry) coldest(keep func(*Entry) bool) *Entry {
+	var victim *Entry
+	oldest := int64(1<<63 - 1)
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if keep != nil && !keep(e) {
+				continue
+			}
+			if t := e.lastUsed.Load(); t < oldest {
+				oldest, victim = t, e
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return victim
+}
+
+// evictID removes one specific entry as a cache eviction (durable
+// state stays on disk; see evictLocked).
+func (r *Registry) evictID(id string) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	if e, ok := sh.entries[id]; ok {
+		e.closeWAL()
+		delete(sh.entries, id)
+		sh.evictions.Add(1)
+	}
+	sh.mu.Unlock()
 }
 
 // List returns every registered entry sorted by ID.
@@ -510,6 +724,7 @@ func (r *Registry) Stats() []ShardStats {
 			Evictions:     sh.evictions.Load(),
 			IngestBatches: sh.ingestBatches.Load(),
 			IngestRecords: sh.ingestRecords.Load(),
+			Demotions:     sh.demotions.Load(),
 		}
 		sh.mu.RLock()
 		st.Models = len(sh.entries)
@@ -523,6 +738,12 @@ func (r *Registry) Stats() []ShardStats {
 				st.WALSnapshotBytes += e.wal.SnapshotBytes()
 			}
 			st.ReplayedRecords += uint64(e.replayed)
+			st.ResidentBytes += e.MemBytes()
+			if e.State().Tier == TierSketch {
+				st.ModelsSketch++
+			} else {
+				st.ModelsExact++
+			}
 		}
 		sh.mu.RUnlock()
 		out[i] = st

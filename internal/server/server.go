@@ -17,7 +17,7 @@ import (
 // Version identifies the service build; it is reported by /v1/healthz
 // so operators (and the cluster router) can tell heterogeneous
 // backends apart.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // Config tunes a Server. The zero value is usable: every field falls
 // back to the default documented on it.
@@ -70,6 +70,19 @@ type Config struct {
 	// this many appended records (default 4096), bounding both disk
 	// use and replay time.
 	SnapshotEvery int
+	// MaxBytes caps the registry's estimated resident heap footprint
+	// (window records + model representations + built tables). Past
+	// the cap the coldest exact-tier models are demoted to the
+	// quantile-sketch tier — on a durable server the window moves to
+	// the WAL snapshot and drops from memory — and, once nothing is
+	// left to demote, the coldest entries are evicted outright. Zero
+	// (the default) disables byte-based tiering; MaxModels still
+	// bounds the count.
+	MaxBytes int64
+	// SketchTier builds every model in the sketch tier from
+	// registration on — the representation-parity CI toggle
+	// (GRIDSTRAT_SKETCH_TIER=1 in the test helper).
+	SketchTier bool
 	// Logger receives one line per request; nil disables request
 	// logging.
 	Logger *log.Logger
@@ -127,6 +140,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg = NewRegistry(s.cfg.Shards, s.cfg.MaxModels)
 	s.reg.SetIngestPolicy(s.cfg.RebuildInterval, s.cfg.MaxQueuedRecords)
+	s.reg.SetMemoryPolicy(s.cfg.MaxBytes, s.cfg.SketchTier)
 	if s.cfg.WALDir != "" {
 		policy, err := wal.ParseSyncPolicy(s.cfg.WALSync)
 		if err != nil {

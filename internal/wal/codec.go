@@ -74,6 +74,13 @@ type EntrySnapshot struct {
 	// double-apply their records.
 	CoversSeq int64
 	Records   []trace.ProbeRecord
+	// Tier records the model representation the entry held when the
+	// snapshot was cut (0 = exact, 1 = sketch), so recovery restores
+	// the same tier without re-deriving the demotion decision. It is
+	// encoded as a trailing byte after the records; decodeSnapshot
+	// tolerates its absence (pre-tier snapshots read as exact), so old
+	// WAL directories replay unchanged.
+	Tier uint8
 }
 
 // appendFrame appends one framed payload to buf.
@@ -244,7 +251,8 @@ func encodeSnapshot(s EntrySnapshot) []byte {
 	out = appendI64(out, s.NextID)
 	out = appendI64(out, s.Version)
 	out = appendI64(out, s.CoversSeq)
-	return appendRecords(out, s.Records)
+	out = appendRecords(out, s.Records)
+	return append(out, s.Tier)
 }
 
 // decodeBatch parses an opBatch payload (type byte already consumed by
@@ -275,5 +283,10 @@ func decodeSnapshot(b []byte) (EntrySnapshot, error) {
 		CoversSeq: r.i64(),
 	}
 	out.Records = r.records()
+	if r.err == nil && len(r.b) > 0 {
+		if t := r.take(1); t != nil {
+			out.Tier = t[0]
+		}
+	}
 	return out, r.err
 }
