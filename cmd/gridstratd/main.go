@@ -38,6 +38,20 @@
 //	-snapshot-every int
 //	                  compact a model's log into a fresh snapshot after
 //	                  this many appended records (default 4096)
+//	-max-inflight int
+//	                  hard cap on concurrently admitted /v1/models*
+//	                  requests; past class fractions of it (sheddable
+//	                  50%, standard 90%, critical 100%) requests are
+//	                  shed with 429 + Retry-After, keyed on the
+//	                  X-Gridstrat-Class header (default 0, no admission
+//	                  control)
+//	-degraded-pending int
+//	                  queued-observation threshold past which query
+//	                  responses are marked degraded: "backlog"
+//	                  (default 4096)
+//	-chaos string     deterministic fault-injection scenario, JSON
+//	                  inline or @path to a file (default "", disabled;
+//	                  the CI chaos drill arms it)
 //	-shutdown-timeout duration
 //	                  grace period for in-flight requests on
 //	                  SIGINT/SIGTERM (default 10s)
@@ -59,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"gridstrat/internal/chaos"
 	"gridstrat/internal/server"
 )
 
@@ -78,6 +93,9 @@ func main() {
 		walDir          = flag.String("wal-dir", "", "durable persistence directory (empty = memory-only)")
 		walSync         = flag.String("wal-sync", "interval", `WAL fsync policy: "always", "interval" or "none"`)
 		snapshotEvery   = flag.Int("snapshot-every", 4096, "compact a model's WAL into a snapshot after this many records")
+		maxInflight     = flag.Int("max-inflight", 0, "hard cap on concurrently admitted /v1/models* requests; sheds by SLO class past it (0 = no admission control)")
+		degradedPending = flag.Int("degraded-pending", 4096, `queued-observation threshold past which responses are marked degraded: "backlog"`)
+		chaosSpec       = flag.String("chaos", "", "fault-injection scenario: inline JSON or @path (empty = disabled)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		quiet           = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -97,9 +115,27 @@ func main() {
 		SnapshotEvery:    *snapshotEvery,
 		MaxBytes:         *maxBytes,
 		SketchTier:       *sketchTier,
+		MaxInflight:      *maxInflight,
+		DegradedPending:  *degradedPending,
 	}
 	if !*quiet {
 		cfg.Logger = logger
+	}
+	if *chaosSpec != "" {
+		doc := []byte(*chaosSpec)
+		if strings.HasPrefix(*chaosSpec, "@") {
+			var err error
+			doc, err = os.ReadFile((*chaosSpec)[1:])
+			if err != nil {
+				logger.Fatalf("chaos: %v", err)
+			}
+		}
+		sc, err := chaos.ParseScenario(doc)
+		if err != nil {
+			logger.Fatalf("chaos: %v", err)
+		}
+		cfg.Chaos = &sc
+		logger.Printf("chaos armed: %d rule(s), seed %d", len(sc.Rules), sc.Seed)
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

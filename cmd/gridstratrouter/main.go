@@ -19,7 +19,23 @@
 //	-replicas int     candidates per model ID: the owner plus
 //	                  replicas-1 failover successors (default 3)
 //	-health-interval duration
-//	                  backend health polling period (default 1s)
+//	                  backend health polling period, jittered ±20% per
+//	                  sweep (default 1s)
+//	-breaker-threshold int
+//	                  consecutive failures that open a backend's
+//	                  circuit breaker (default 5)
+//	-breaker-cooldown duration
+//	                  how long an open breaker denies traffic before
+//	                  the half-open probe (default 2s)
+//	-hedge-delay duration
+//	                  duplicate an idempotent read to a second
+//	                  connection after this long without a response;
+//	                  0 tracks each backend's rolling p95 latency,
+//	                  negative disables hedging (default 0)
+//	-retry-budget float
+//	                  retry-budget earn rate: tokens earned per primary
+//	                  request, one spent per failover retry or hedge
+//	                  (default 0.1)
 //	-shutdown-timeout duration
 //	                  grace period for in-flight requests on
 //	                  SIGINT/SIGTERM (default 10s)
@@ -46,13 +62,17 @@ import (
 
 func main() {
 	var (
-		addr            = flag.String("addr", ":8371", "listen address")
-		backends        = flag.String("backends", "", "comma-separated backend base URLs (required)")
-		vnodes          = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
-		replicas        = flag.Int("replicas", 3, "candidates per model ID (owner + failover successors)")
-		healthInterval  = flag.Duration("health-interval", time.Second, "backend health polling period")
-		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
-		quiet           = flag.Bool("quiet", false, "disable placement/transition logging")
+		addr             = flag.String("addr", ":8371", "listen address")
+		backends         = flag.String("backends", "", "comma-separated backend base URLs (required)")
+		vnodes           = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		replicas         = flag.Int("replicas", 3, "candidates per model ID (owner + failover successors)")
+		healthInterval   = flag.Duration("health-interval", time.Second, "backend health polling period (jittered ±20%)")
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that open a backend's circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
+		hedgeDelay       = flag.Duration("hedge-delay", 0, "hedge idempotent reads after this delay (0 = rolling p95, negative = off)")
+		retryBudget      = flag.Float64("retry-budget", 0.1, "retry-budget tokens earned per primary request")
+		shutdownTimeout  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		quiet            = flag.Bool("quiet", false, "disable placement/transition logging")
 	)
 	flag.Parse()
 
@@ -68,10 +88,14 @@ func main() {
 	}
 
 	cfg := cluster.Config{
-		Backends:       urls,
-		VNodes:         *vnodes,
-		Replicas:       *replicas,
-		HealthInterval: *healthInterval,
+		Backends:         urls,
+		VNodes:           *vnodes,
+		Replicas:         *replicas,
+		HealthInterval:   *healthInterval,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		HedgeDelay:       *hedgeDelay,
+		RetryBudgetRatio: *retryBudget,
 	}
 	if !*quiet {
 		cfg.Logger = logger

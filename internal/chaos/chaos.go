@@ -1,0 +1,283 @@
+// Package chaos is the repo's deterministic fault injector: the same
+// failure modes the gridstrat models describe — latency spikes, lost
+// connections, server errors, slow responses, full disks, torn
+// writes — reproduced on demand so every resilience mechanism
+// (admission control, circuit breakers, hedged reads, WAL recovery)
+// is exercised by tests instead of waited for in production.
+//
+// Two injection surfaces:
+//
+//   - Transport wraps an http.RoundTripper and applies a Scenario of
+//     per-rule faults to matching requests. Decisions are drawn from a
+//     seeded splitmix64 stream per rule, so a fixed seed replays the
+//     same fault sequence (per rule, in that rule's match order).
+//   - WALFaults builds wal.Hooks that fail specific appends or fsyncs
+//     by 1-based index — ENOSPC before anything is written, or a torn
+//     write that leaves half a frame on disk, exactly the crash shapes
+//     WAL recovery must absorb.
+//
+// Nothing in this package is probabilistic unless a rule asks for it:
+// Every-N and At-K triggers are exact counters, so the chaos drills in
+// CI assert on invariants, not on luck.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is the transport-level failure injected by a reset
+// fault: indistinguishable in handling from a peer that dropped the
+// TCP connection mid-request.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Fault is one injected failure mode.
+type Fault int
+
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone Fault = iota
+	// FaultLatency delays the request by the rule's Latency, then
+	// forwards it.
+	FaultLatency
+	// FaultReset fails the round trip with ErrInjectedReset without
+	// forwarding anything.
+	FaultReset
+	// FaultError short-circuits with a synthetic HTTP error response
+	// (the rule's Status, default 500) without forwarding.
+	FaultError
+	// FaultSlowBody forwards the request after the rule's Latency —
+	// the "slow server" shape where headers and body dribble out late.
+	FaultSlowBody
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultLatency:
+		return "latency"
+	case FaultReset:
+		return "reset"
+	case FaultError:
+		return "error"
+	case FaultSlowBody:
+		return "slow_body"
+	default:
+		return "none"
+	}
+}
+
+// Rule matches a slice of traffic and decides which fault (if any)
+// each matching request suffers. Match fields are ANDed; empty fields
+// match everything. Triggers are checked in order: At (exact match
+// indices) first, then Every, then P (seeded coin). A rule with no
+// trigger never fires.
+type Rule struct {
+	// Name labels the rule in counters and logs.
+	Name string
+	// Host substring-matches the request URL host ("" = all).
+	Host string
+	// PathPrefix prefix-matches the URL path ("" = all).
+	PathPrefix string
+	// Method matches the request method exactly ("" = all).
+	Method string
+
+	// Fault is what happens when the rule fires.
+	Fault Fault
+	// Latency is the injected delay for FaultLatency/FaultSlowBody.
+	Latency time.Duration
+	// Status is the synthetic response code for FaultError (default 500).
+	Status int
+
+	// At fires on exactly these 1-based match indices.
+	At []int
+	// Every fires on every Nth match (1 = every match). Zero disables.
+	Every int
+	// P fires with this probability per match, drawn from the
+	// scenario-seeded stream (0 disables). Ignored when At/Every fire.
+	P float64
+}
+
+func (r Rule) matches(req *http.Request) bool {
+	if r.Host != "" && !strings.Contains(req.URL.Host, r.Host) {
+		return false
+	}
+	if r.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, r.PathPrefix) {
+		return false
+	}
+	if r.Method != "" && req.Method != r.Method {
+		return false
+	}
+	return true
+}
+
+// Scenario is a reproducible fault plan: a seed plus an ordered rule
+// list. The first rule that matches AND fires decides the request's
+// fate; later rules are not consulted for that request.
+type Scenario struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// ruleState is one rule's live trigger state.
+type ruleState struct {
+	rule    Rule
+	rng     splitmix64
+	matched atomic.Uint64
+	fired   atomic.Uint64
+}
+
+// Transport applies a Scenario to an http.RoundTripper. It is safe
+// for concurrent use; trigger decisions serialize per rule so the
+// match counters (and the seeded stream) stay deterministic for a
+// serialized workload.
+type Transport struct {
+	base  http.RoundTripper
+	mu    sync.Mutex
+	rules []*ruleState
+
+	injected atomic.Uint64 // total faults injected
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the
+// scenario's fault plan. Each rule draws from its own splitmix64
+// stream seeded from Scenario.Seed and the rule index, so adding a
+// rule does not reshuffle the others' decisions.
+func NewTransport(base http.RoundTripper, sc Scenario) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	t := &Transport{base: base}
+	for i, r := range sc.Rules {
+		if r.Status == 0 {
+			r.Status = http.StatusInternalServerError
+		}
+		t.rules = append(t.rules, &ruleState{
+			rule: r,
+			rng:  splitmix64(sc.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)),
+		})
+	}
+	return t
+}
+
+// Injected returns the total number of faults injected so far.
+func (t *Transport) Injected() uint64 { return t.injected.Load() }
+
+// Fired returns how many times the named rule fired.
+func (t *Transport) Fired(name string) uint64 {
+	for _, rs := range t.rules {
+		if rs.rule.Name == name {
+			return rs.fired.Load()
+		}
+	}
+	return 0
+}
+
+// decide picks the fault for one request: the first matching rule
+// whose trigger fires.
+func (t *Transport) decide(req *http.Request) (Rule, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rs := range t.rules {
+		if !rs.rule.matches(req) {
+			continue
+		}
+		n := rs.matched.Add(1)
+		fire := false
+		for _, at := range rs.rule.At {
+			if uint64(at) == n {
+				fire = true
+				break
+			}
+		}
+		if !fire && rs.rule.Every > 0 && n%uint64(rs.rule.Every) == 0 {
+			fire = true
+		}
+		if !fire && rs.rule.P > 0 && rs.rng.float64() < rs.rule.P {
+			fire = true
+		}
+		if fire {
+			rs.fired.Add(1)
+			return rs.rule, true
+		}
+	}
+	return Rule{}, false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rule, fire := t.decide(req)
+	if !fire {
+		return t.base.RoundTrip(req)
+	}
+	t.injected.Add(1)
+	switch rule.Fault {
+	case FaultReset:
+		return nil, fmt.Errorf("%w (rule %q, %s %s)", ErrInjectedReset, rule.Name, req.Method, req.URL.Path)
+	case FaultError:
+		return syntheticError(req, rule), nil
+	case FaultLatency, FaultSlowBody:
+		if err := sleepCtx(req, rule.Latency); err != nil {
+			return nil, err
+		}
+		return t.base.RoundTrip(req)
+	default:
+		return t.base.RoundTrip(req)
+	}
+}
+
+// sleepCtx waits d or until the request context ends.
+func sleepCtx(req *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-req.Context().Done():
+		return req.Context().Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// syntheticError fabricates the backend error envelope shape so the
+// injected failure is indistinguishable from a real 5xx to the code
+// under test.
+func syntheticError(req *http.Request, rule Rule) *http.Response {
+	body := fmt.Sprintf(`{"error":{"code":"chaos","message":"injected %s by rule %q"}}`,
+		rule.Fault, rule.Name)
+	return &http.Response{
+		StatusCode:    rule.Status,
+		Status:        fmt.Sprintf("%d chaos", rule.Status),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// splitmix64 is the standard 64-bit mixing PRNG: tiny, seedable, and
+// good enough for fault coins (crypto quality is not the point;
+// reproducibility is).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}

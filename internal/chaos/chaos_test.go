@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// get issues one GET through the transport and returns the status
+// (0 on transport error) and the error.
+func get(t *testing.T, tr *Transport, url string) (int, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// TestTransportExactTriggers pins the deterministic contract: At and
+// Every fire on exact match indices, nothing else is touched, and the
+// same scenario replays identically.
+func TestTransportExactTriggers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	run := func() []int {
+		tr := NewTransport(nil, Scenario{
+			Seed: 42,
+			Rules: []Rule{
+				{Name: "reset", Fault: FaultReset, At: []int{2}},
+				{Name: "err503", Fault: FaultError, Status: 503, Every: 3},
+			},
+		})
+		var got []int
+		for i := 0; i < 9; i++ {
+			status, err := get(t, tr, srv.URL+"/v1/models/m")
+			if err != nil {
+				// http.Client wraps transport errors in *url.Error;
+				// the only failure the backend can produce here is the
+				// injected reset.
+				if !errors.Is(err, ErrInjectedReset) {
+					t.Fatalf("request %d: unexpected error %v", i, err)
+				}
+				got = append(got, -1)
+				continue
+			}
+			got = append(got, status)
+		}
+		return got
+	}
+
+	first := run()
+	// Request 2 (1-based) resets. Rule 2 sees matches 1,3,4,... (rule 1
+	// consumed match 2 by firing first): its own 3rd match is overall
+	// request 4, its 6th is request 7.
+	want := []int{200, -1, 200, 503, 200, 200, 503, 200, 200}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("request %d: want %d, got %d (full: %v)", i+1, want[i], first[i], first)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at request %d: %v vs %v", i+1, first, second)
+		}
+	}
+}
+
+// TestTransportSeededCoin pins that P-triggered faults replay
+// identically for a fixed seed and differ across seeds.
+func TestTransportSeededCoin(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	run := func(seed uint64) []int {
+		tr := NewTransport(nil, Scenario{
+			Seed:  seed,
+			Rules: []Rule{{Name: "flaky", Fault: FaultError, Status: 500, P: 0.5}},
+		})
+		var got []int
+		for i := 0; i < 32; i++ {
+			status, err := get(t, tr, srv.URL+"/x")
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			got = append(got, status)
+		}
+		return got
+	}
+
+	a1, a2 := run(7), run(7)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("seed 7 replay diverged at %d", i)
+		}
+	}
+	b := run(8)
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fault sequences")
+	}
+	fired := 0
+	for _, s := range a1 {
+		if s == 500 {
+			fired++
+		}
+	}
+	if fired < 8 || fired > 24 {
+		t.Fatalf("p=0.5 over 32 draws fired %d times — stream looks broken", fired)
+	}
+}
+
+// TestTransportMatchScoping: rules only touch matching traffic.
+func TestTransportMatchScoping(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Scenario{
+		Rules: []Rule{
+			{Name: "obs-only", PathPrefix: "/v1/models/m/observations", Method: "POST", Fault: FaultError, Every: 1},
+			{Name: "other-host", Host: "no-such-host", Fault: FaultReset, Every: 1},
+		},
+	})
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+
+	if status, err := get(t, tr, srv.URL+"/v1/models/m"); err != nil || status != 200 {
+		t.Fatalf("unmatched GET: want 200, got %d err=%v", status, err)
+	}
+	resp, err := client.Post(srv.URL+"/v1/models/m/observations", "application/json", nil)
+	if err != nil {
+		t.Fatalf("matched POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("matched POST: want injected 500, got %d", resp.StatusCode)
+	}
+	if tr.Fired("obs-only") != 1 || tr.Fired("other-host") != 0 || tr.Injected() != 1 {
+		t.Fatalf("counters: obs-only=%d other-host=%d injected=%d",
+			tr.Fired("obs-only"), tr.Fired("other-host"), tr.Injected())
+	}
+}
+
+// TestTransportLatency: FaultLatency delays then forwards, and the
+// request context cancels the injected sleep.
+func TestTransportLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Scenario{
+		Rules: []Rule{{Name: "slow", Fault: FaultLatency, Latency: 60 * time.Millisecond, Every: 1}},
+	})
+	start := time.Now()
+	status, err := get(t, tr, srv.URL+"/x")
+	if err != nil || status != 200 {
+		t.Fatalf("latency fault: want delayed 200, got %d err=%v", status, err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("latency fault returned in %v — injection skipped", el)
+	}
+
+	// A client deadline shorter than the injected delay cancels it.
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Millisecond}
+	if _, err := client.Get(srv.URL + "/x"); err == nil {
+		t.Fatal("expected deadline error through injected latency")
+	}
+}

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// This file is the operational surface of the injector: a JSON wire
+// form for scenarios (so the daemons can arm faults from a flag — the
+// CI chaos drill does) and a server-side http.Handler middleware that
+// applies a scenario to inbound requests, mirroring what Transport
+// does to outbound ones.
+
+// ruleSpec is the JSON wire form of one Rule.
+type ruleSpec struct {
+	Name       string  `json:"name,omitempty"`
+	Host       string  `json:"host,omitempty"`
+	PathPrefix string  `json:"path_prefix,omitempty"`
+	Method     string  `json:"method,omitempty"`
+	Fault      string  `json:"fault"`
+	LatencyMs  float64 `json:"latency_ms,omitempty"`
+	Status     int     `json:"status,omitempty"`
+	At         []int   `json:"at,omitempty"`
+	Every      int     `json:"every,omitempty"`
+	P          float64 `json:"p,omitempty"`
+}
+
+// scenarioSpec is the JSON wire form of a Scenario.
+type scenarioSpec struct {
+	Seed  uint64     `json:"seed,omitempty"`
+	Rules []ruleSpec `json:"rules"`
+}
+
+// parseFault maps the wire fault name to a Fault.
+func parseFault(s string) (Fault, error) {
+	switch s {
+	case "latency":
+		return FaultLatency, nil
+	case "reset":
+		return FaultReset, nil
+	case "error":
+		return FaultError, nil
+	case "slow_body":
+		return FaultSlowBody, nil
+	default:
+		return FaultNone, fmt.Errorf("chaos: unknown fault %q (want latency, reset, error or slow_body)", s)
+	}
+}
+
+// ParseScenario decodes the JSON wire form of a fault plan, e.g.
+//
+//	{"seed":1,"rules":[{"fault":"latency","latency_ms":80,
+//	 "path_prefix":"/v1/models/","every":2}]}
+//
+// Every rule must name a fault and at least one trigger (at, every or
+// p) — an inert rule in a chaos flag is always a typo, so it is
+// rejected rather than silently never firing.
+func ParseScenario(doc []byte) (Scenario, error) {
+	var spec scenarioSpec
+	if err := json.Unmarshal(doc, &spec); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: parsing scenario: %w", err)
+	}
+	if len(spec.Rules) == 0 {
+		return Scenario{}, fmt.Errorf("chaos: scenario has no rules")
+	}
+	sc := Scenario{Seed: spec.Seed}
+	for i, rs := range spec.Rules {
+		fault, err := parseFault(rs.Fault)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("rules[%d]: %w", i, err)
+		}
+		if len(rs.At) == 0 && rs.Every == 0 && rs.P == 0 {
+			return Scenario{}, fmt.Errorf("chaos: rules[%d]: no trigger (set at, every or p)", i)
+		}
+		if rs.P < 0 || rs.P > 1 {
+			return Scenario{}, fmt.Errorf("chaos: rules[%d]: p %v outside [0, 1]", i, rs.P)
+		}
+		sc.Rules = append(sc.Rules, Rule{
+			Name:       rs.Name,
+			Host:       rs.Host,
+			PathPrefix: rs.PathPrefix,
+			Method:     rs.Method,
+			Fault:      fault,
+			Latency:    time.Duration(rs.LatencyMs * float64(time.Millisecond)),
+			Status:     rs.Status,
+			At:         rs.At,
+			Every:      rs.Every,
+			P:          rs.P,
+		})
+	}
+	return sc, nil
+}
+
+// Middleware applies the scenario to inbound requests of an HTTP
+// server — the self-injection seam the gridstratd -chaos flag arms, so
+// a CI drill can latency-spike or fail a real daemon without touching
+// the network between the processes.
+//
+//   - latency / slow_body: the handler runs after the injected delay
+//     (cancelled early if the client gives up). The sleeping request
+//     holds whatever admission slot it was granted, exactly like a
+//     genuinely slow computation.
+//   - error: the synthetic 5xx envelope is written without invoking
+//     the handler.
+//   - reset: the connection is dropped via http.ErrAbortHandler — the
+//     peer sees the same mid-request loss a crashed process produces.
+func Middleware(next http.Handler, sc Scenario) http.Handler {
+	t := NewTransport(nil, sc) // reused for its rule/trigger engine
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rule, fire := t.decide(r)
+		if !fire {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t.injected.Add(1)
+		switch rule.Fault {
+		case FaultReset:
+			panic(http.ErrAbortHandler)
+		case FaultError:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rule.Status)
+			fmt.Fprintf(w, `{"error":{"code":"chaos","message":"injected %s by rule %q"}}`,
+				rule.Fault, rule.Name)
+		case FaultLatency, FaultSlowBody:
+			if err := sleepCtx(r, rule.Latency); err != nil {
+				return // client gone; nothing to answer
+			}
+			next.ServeHTTP(w, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}

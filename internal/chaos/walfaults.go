@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"syscall"
+
+	"gridstrat/internal/wal"
+)
+
+// WALFaults is a deterministic fault plan for a WAL's append path,
+// keyed by 1-based append index: "the 3rd append hits ENOSPC", "the
+// 5th append tears after 60% of the frame". Build one, arm it with
+// ENOSPCAt/TornAt/FsyncErrAt, and hand Hooks() to wal.Options.
+//
+// The plan is index-exact, not probabilistic: a test that arms a fault
+// at append N gets that fault at append N on every run.
+type WALFaults struct {
+	appends atomic.Uint64 // appends seen (hook consultations)
+	syncs   atomic.Uint64 // fsyncs seen
+
+	enospc   map[uint64]bool    // append index → fail before writing
+	torn     map[uint64]float64 // append index → write this fraction, then "crash"
+	fsyncErr map[uint64]bool    // fsync index → fail the flush
+}
+
+// NewWALFaults returns an empty plan (no faults armed).
+func NewWALFaults() *WALFaults {
+	return &WALFaults{
+		enospc:   map[uint64]bool{},
+		torn:     map[uint64]float64{},
+		fsyncErr: map[uint64]bool{},
+	}
+}
+
+// ENOSPCAt arms a disk-full failure on the n-th append (1-based):
+// nothing is written and the append returns ENOSPC. Returns the plan
+// for chaining.
+func (f *WALFaults) ENOSPCAt(n int) *WALFaults {
+	f.enospc[uint64(n)] = true
+	return f
+}
+
+// TornAt arms a torn write on the n-th append (1-based): frac of the
+// frame (0 < frac < 1) reaches the file and the simulated crash stops
+// everything after, poisoning the log. Recovery must truncate the torn
+// tail and land bit-equal to the last acked state.
+func (f *WALFaults) TornAt(n int, frac float64) *WALFaults {
+	if frac <= 0 {
+		frac = 0.5
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	f.torn[uint64(n)] = frac
+	return f
+}
+
+// FsyncErrAt arms a flush failure on the n-th fsync (1-based): the
+// append that triggered it fails its ack and the unsynced frame is
+// clawed back.
+func (f *WALFaults) FsyncErrAt(n int) *WALFaults {
+	f.fsyncErr[uint64(n)] = true
+	return f
+}
+
+// Appends returns how many appends the plan has been consulted for.
+func (f *WALFaults) Appends() uint64 { return f.appends.Load() }
+
+// Syncs returns how many fsyncs the plan has been consulted for.
+// Tests arm FsyncErrAt(Syncs()+1) to fail exactly the next flush.
+func (f *WALFaults) Syncs() uint64 { return f.syncs.Load() }
+
+// Hooks compiles the plan into wal.Hooks for wal.Options.
+func (f *WALFaults) Hooks() *wal.Hooks {
+	return &wal.Hooks{
+		BeforeAppend: func(frame []byte) (int, error) {
+			n := f.appends.Add(1)
+			if f.enospc[n] {
+				return 0, syscall.ENOSPC
+			}
+			if frac, ok := f.torn[n]; ok {
+				keep := int(float64(len(frame)) * frac)
+				if keep < 1 {
+					keep = 1
+				}
+				if keep >= len(frame) {
+					keep = len(frame) - 1
+				}
+				return keep, syscall.EIO
+			}
+			return 0, nil
+		},
+		BeforeSync: func() error {
+			n := f.syncs.Add(1)
+			if f.fsyncErr[n] {
+				return syscall.EIO
+			}
+			return nil
+		},
+	}
+}

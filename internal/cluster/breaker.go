@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file holds the router's per-backend resilience primitives: a
+// circuit breaker (fail fast against a backend that keeps failing,
+// probe it back to health), a retry budget (failover and hedging may
+// not amplify an overloaded fleet's load), and a rolling latency
+// tracker (the hedge delay tracks each backend's observed p95 instead
+// of a guessed constant).
+
+// errBreakerOpen is the synthetic transport error a request denied by
+// an open breaker reports; the caller treats it like a connection
+// failure (drop the placement, try a successor).
+var errBreakerOpen = errors.New("cluster: circuit breaker open")
+
+// breakerState is the classic three-state FSM.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one backend's circuit breaker. Closed admits everything
+// and counts consecutive failures; threshold failures open it. Open
+// denies everything until the cooldown elapses, then the next Allow
+// becomes the half-open probe: exactly one request is admitted, and
+// its outcome decides between closing (success) and re-opening with a
+// fresh cooldown (failure).
+//
+// A failure is a transport-level error or a 5xx — the backend did not
+// produce an answer. 4xx (including 429 shed) are the backend working
+// as designed and count as success.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	state       breakerState
+	failures    int       // consecutive, closed state only
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // the half-open probe is in flight
+	transitions uint64    // state-change count, for /v1/stats
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// transition moves to next and counts the edge.
+func (b *breaker) transition(next breakerState) {
+	if b.state != next {
+		b.state = next
+		b.transitions++
+	}
+}
+
+// WouldAllow reports whether Allow would admit a request right now,
+// without consuming the half-open probe slot — the router's candidate
+// selection uses it so merely *considering* a backend cannot burn its
+// one probe.
+func (b *breaker) WouldAllow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// Allow admits or denies one request. In half-open (or on the
+// open→half-open edge after the cooldown) the admitted request is the
+// probe: its Report decides the next state, and no other request is
+// admitted until it resolves.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transition(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report feeds one admitted request's outcome back. Outcomes arriving
+// in open state are from requests admitted before the trip and are
+// ignored. (A request admitted closed that resolves only after the
+// breaker has tripped, cooled down AND admitted a half-open probe
+// would be mistaken for that probe; the cooldown is orders of
+// magnitude above a request's lifetime, so the race is not handled.)
+func (b *breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.transition(breakerOpen)
+			b.openedAt = b.now()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.transition(breakerClosed)
+			b.failures = 0
+		} else {
+			b.transition(breakerOpen)
+			b.openedAt = b.now()
+		}
+	case breakerOpen:
+		// late result from before the trip; ignore
+	}
+}
+
+// Status snapshots the state name and transition count.
+func (b *breaker) Status() (state string, transitions uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.transitions
+}
+
+// retryBudget bounds the extra load failover retries and hedges may
+// add on top of primary traffic: each primary request earns ratio
+// tokens (capped at burst), each retry or hedge spends one. Under a
+// fleet-wide brownout the budget drains and the router degrades to
+// single-attempt forwarding instead of multiplying the overload —
+// exactly the failure mode the paper's resubmission-storm analysis
+// warns about, applied to the router's own retries.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio float64, burst int) *retryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 16
+	}
+	// Start full so a cold router can still fail over its first
+	// requests; steady state is governed by the earn rate.
+	return &retryBudget{tokens: float64(burst), burst: float64(burst), ratio: ratio}
+}
+
+// earn credits one primary request.
+func (rb *retryBudget) earn() {
+	rb.mu.Lock()
+	if rb.tokens += rb.ratio; rb.tokens > rb.burst {
+		rb.tokens = rb.burst
+	}
+	rb.mu.Unlock()
+}
+
+// take spends one token for a retry or hedge; false means the budget
+// is exhausted and the extra attempt must not be made.
+func (rb *retryBudget) take() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// latencySamples is how many recent successful-request latencies the
+// tracker rings over, and latencyMinSamples how many it needs before
+// trusting its p95 over the cold-start default.
+const (
+	latencySamples    = 128
+	latencyMinSamples = 16
+)
+
+// latencyTracker keeps a ring of one backend's recent successful
+// request latencies and serves their p95 as the hedge delay: hedge
+// only requests already slower than 95% of their peers, so ~5% extra
+// load buys tail-latency cover.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	n       int // total ever noted
+}
+
+func (t *latencyTracker) note(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.n%latencySamples] = d
+	t.n++
+	t.mu.Unlock()
+}
+
+// p95 returns the rolling 95th percentile; ok is false until enough
+// samples have accumulated.
+func (t *latencyTracker) p95() (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < latencyMinSamples {
+		return 0, false
+	}
+	n := t.n
+	if n > latencySamples {
+		n = latencySamples
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, t.samples[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(n-1)*95/100], true
+}

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerFSM drives the three-state machine on a fake clock:
+// threshold consecutive failures trip it, the cooldown gates the
+// half-open probe, exactly one probe is admitted, and the probe's
+// outcome decides between closing and re-opening.
+func TestBreakerFSM(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second, func() time.Time { return now })
+
+	if !b.Allow() || !b.WouldAllow() {
+		t.Fatal("closed breaker should admit")
+	}
+	b.Report(false)
+	b.Report(false)
+	if !b.Allow() {
+		t.Fatal("under-threshold failures should not trip")
+	}
+	b.Report(true) // a success resets the consecutive count
+	b.Report(false)
+	b.Report(false)
+	if state, _ := b.Status(); state != "closed" {
+		t.Fatalf("reset count should keep it closed, got %s", state)
+	}
+	b.Report(false)
+	if state, _ := b.Status(); state != "open" {
+		t.Fatalf("threshold failures should open it, got %s", state)
+	}
+	if b.Allow() || b.WouldAllow() {
+		t.Fatal("open breaker admitted inside the cooldown")
+	}
+	b.Report(true) // late outcome from before the trip: ignored
+	if state, _ := b.Status(); state != "open" {
+		t.Fatal("late report must not close an open breaker")
+	}
+
+	now = now.Add(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("admitted 1ms before the cooldown elapsed")
+	}
+	now = now.Add(time.Millisecond)
+	if !b.WouldAllow() {
+		t.Fatal("WouldAllow should report the cooled-down breaker admittable")
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker should admit the probe")
+	}
+	if b.Allow() || b.WouldAllow() {
+		t.Fatal("second request admitted alongside the half-open probe")
+	}
+	b.Report(false) // probe failed: re-open with a fresh cooldown
+	if state, _ := b.Status(); state != "open" {
+		t.Fatalf("failed probe should re-open, got %s", state)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted without a fresh cooldown")
+	}
+
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Report(true)
+	state, transitions := b.Status()
+	if state != "closed" {
+		t.Fatalf("successful probe should close, got %s", state)
+	}
+	// closed→open, open→half, half→open, open→half, half→closed.
+	if transitions != 5 {
+		t.Fatalf("transitions: want 5, got %d", transitions)
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker should admit")
+	}
+}
+
+// TestRetryBudget: the bucket starts full (cold failover must work),
+// spends one token per extra attempt, earns the ratio per primary and
+// never exceeds the burst.
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(0.5, 2)
+	if !rb.take() || !rb.take() {
+		t.Fatal("fresh budget should grant its burst")
+	}
+	if rb.take() {
+		t.Fatal("exhausted budget granted a token")
+	}
+	rb.earn() // 0.5: still under one token
+	if rb.take() {
+		t.Fatal("half a token granted")
+	}
+	rb.earn() // 1.0
+	if !rb.take() {
+		t.Fatal("earned token refused")
+	}
+	for i := 0; i < 100; i++ {
+		rb.earn()
+	}
+	if !rb.take() || !rb.take() {
+		t.Fatal("earning should refill up to the burst")
+	}
+	if rb.take() {
+		t.Fatal("budget exceeded its burst cap")
+	}
+}
+
+// TestLatencyTrackerP95: no answer until enough samples, then the
+// rolling 95th percentile over the ring.
+func TestLatencyTrackerP95(t *testing.T) {
+	tr := &latencyTracker{}
+	if _, ok := tr.p95(); ok {
+		t.Fatal("cold tracker reported a p95")
+	}
+	for i := 1; i <= 16; i++ {
+		tr.note(time.Duration(i) * time.Millisecond)
+	}
+	p, ok := tr.p95()
+	if !ok || p != 15*time.Millisecond {
+		t.Fatalf("p95 of 1..16ms: want 15ms, got %v (ok=%v)", p, ok)
+	}
+	// The ring forgets: after a full window of 5ms samples the old
+	// spread is gone.
+	for i := 0; i < latencySamples; i++ {
+		tr.note(5 * time.Millisecond)
+	}
+	if p, _ := tr.p95(); p != 5*time.Millisecond {
+		t.Fatalf("post-wrap p95: want 5ms, got %v", p)
+	}
+}
+
+// resilientBackendStub is an httptest backend that always reports
+// healthy/ready but serves model routes from a switchable handler —
+// the "answers healthz, fails real work" failure mode that only a
+// circuit breaker (not the health checker) can catch.
+func resilientBackendStub(t *testing.T, model http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "version": "stub", "models": 1, "wal": "ready",
+		})
+	})
+	mux.HandleFunc("/", model)
+	s := httptest.NewServer(mux)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// newStubRouter builds a router over the stub with tight breaker
+// settings and a front server + fast cooldowns for the tests.
+func newStubRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	rt.CheckNow()
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return rt, front
+}
+
+// TestBreakerTripAndRecover: consecutive 5xx from a healthz-green
+// backend open its breaker (requests fail fast with no_backend), the
+// cooldown admits a single half-open probe, and a successful probe
+// closes the breaker and restores traffic.
+func TestBreakerTripAndRecover(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	stub := resilientBackendStub(t, func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":{"code":"boom","message":"injected"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"m"}`)
+	})
+	rt, front := newStubRouter(t, Config{
+		Backends:         []string{stub.URL},
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+		HedgeDelay:       -1, // hedging off: exact request counting
+	})
+
+	get := func() int {
+		resp, err := http.Get(front.URL + "/v1/models/m")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Two 5xx responses pass through (the backend answered; the client
+	// sees them) and trip the breaker.
+	if got := get(); got != http.StatusInternalServerError {
+		t.Fatalf("want passthrough 500, got %d", got)
+	}
+	if got := get(); got != http.StatusInternalServerError {
+		t.Fatalf("want passthrough 500, got %d", got)
+	}
+	if state, _ := rt.breakers[stub.URL].Status(); state != "open" {
+		t.Fatalf("breaker after threshold 5xx: want open, got %s", state)
+	}
+	// Open breaker: the backend is not routable, so the request fails
+	// fast without touching it.
+	if got := get(); got != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: want 503, got %d", got)
+	}
+
+	// Fix the backend; after the cooldown the half-open probe goes
+	// through, closes the breaker and traffic resumes.
+	failing.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for get() != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	state, transitions := rt.breakers[stub.URL].Status()
+	if state != "closed" {
+		t.Fatalf("post-recovery breaker: want closed, got %s", state)
+	}
+	if transitions < 3 { // closed→open→half_open→closed
+		t.Fatalf("transitions: want >= 3, got %d", transitions)
+	}
+	if got := get(); got != http.StatusOK {
+		t.Fatalf("recovered backend: want 200, got %d", got)
+	}
+}
+
+// TestHedgedReadWins: a read whose primary attempt stalls is
+// duplicated to a second connection after the hedge delay; the fast
+// duplicate answers, stamped X-Gridstrat-Hedged, and the stalled
+// primary's cancellation is not held against the backend's breaker.
+func TestHedgedReadWins(t *testing.T) {
+	var calls atomic.Int64
+	stub := resilientBackendStub(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // stall the primary until it is cancelled
+			case <-r.Context().Done():
+				return
+			case <-time.After(5 * time.Second):
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"m"}`)
+	})
+	rt, front := newStubRouter(t, Config{
+		Backends:   []string{stub.URL},
+		HedgeDelay: 20 * time.Millisecond,
+	})
+
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/v1/models/m")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged read: want 200, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Gridstrat-Hedged") != "1" {
+		t.Fatal("winning response should be stamped X-Gridstrat-Hedged")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedge should beat the stalled primary; took %v", elapsed)
+	}
+	if rt.hedged.Load() != 1 || rt.hedgeWins.Load() != 1 {
+		t.Fatalf("hedge counters: want 1/1, got %d/%d", rt.hedged.Load(), rt.hedgeWins.Load())
+	}
+	// The cancelled primary reported nothing: a lost hedge race says
+	// nothing about backend health.
+	if state, _ := rt.breakers[stub.URL].Status(); state != "closed" {
+		t.Fatalf("breaker after hedge win: want closed, got %s", state)
+	}
+}
+
+// TestHedgeDeniedByBudget: with the retry budget drained, the hedge
+// is refused (counted in retries_denied) and the slow primary answer
+// is simply waited out — no load amplification under brownout.
+func TestHedgeDeniedByBudget(t *testing.T) {
+	var calls atomic.Int64
+	stub := resilientBackendStub(t, func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 || n == 3 { // each request's primary stalls briefly
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"m"}`)
+	})
+	rt, front := newStubRouter(t, Config{
+		Backends:         []string{stub.URL},
+		HedgeDelay:       20 * time.Millisecond,
+		RetryBudgetRatio: 0.01, // earns nothing meaningful during the test
+		RetryBudgetBurst: 1,    // exactly one hedge token
+	})
+
+	get := func() *http.Response {
+		resp, err := http.Get(front.URL + "/v1/models/m")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// First read: the single token funds the hedge, which wins.
+	if resp := get(); resp.Header.Get("X-Gridstrat-Hedged") != "1" {
+		t.Fatal("first read should be won by the hedge")
+	}
+	// Second read: budget empty — the hedge is denied and the primary
+	// answers late, unhedged.
+	resp := get()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unhedged slow read: want 200, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Gridstrat-Hedged") == "1" {
+		t.Fatal("budget-denied read must not be hedged")
+	}
+	if rt.hedgeWins.Load() != 1 {
+		t.Fatalf("hedge wins: want 1, got %d", rt.hedgeWins.Load())
+	}
+	if rt.retriesDenied.Load() != 1 {
+		t.Fatalf("retries_denied: want 1, got %d", rt.retriesDenied.Load())
+	}
+}
+
+// TestRouterStatsResilienceSurface: the router's /v1/stats carries the
+// breaker state per backend and the hedging counters.
+func TestRouterStatsResilienceSurface(t *testing.T) {
+	stub := resilientBackendStub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":{"code":"boom","message":"injected"}}`)
+	})
+	_, front := newStubRouter(t, Config{
+		Backends:         []string{stub.URL},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		HedgeDelay:       -1,
+	})
+	resp, err := http.Get(front.URL + "/v1/models/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sresp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := jsonDecode(sresp, &stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	bs, ok := stats.Backends[stub.URL]
+	if !ok {
+		t.Fatalf("stats missing backend %s", stub.URL)
+	}
+	if bs.Breaker != "open" || bs.BreakerTransitions == 0 {
+		t.Fatalf("backend breaker stats: want open with transitions, got %q/%d",
+			bs.Breaker, bs.BreakerTransitions)
+	}
+}

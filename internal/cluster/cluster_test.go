@@ -99,7 +99,16 @@ type backend struct {
 
 func startBackend(t *testing.T, addr, walDir string) *backend {
 	t.Helper()
-	s := server.MustNew(server.Config{WALDir: walDir, WALSync: "none", DefaultWindow: 1e6})
+	return startBackendCfg(t, addr, walDir, server.Config{})
+}
+
+// startBackendCfg starts a backend with extra Config knobs (admission
+// limits, chaos scenario) layered over the standard test base; the
+// soak harness uses it to build a faulty fleet.
+func startBackendCfg(t *testing.T, addr, walDir string, cfg server.Config) *backend {
+	t.Helper()
+	cfg.WALDir, cfg.WALSync, cfg.DefaultWindow = walDir, "none", 1e6
+	s := server.MustNew(cfg)
 	if err := s.Recover(); err != nil {
 		t.Fatalf("recover: %v", err)
 	}

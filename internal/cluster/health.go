@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -79,7 +80,10 @@ func NewChecker(members []string, interval time.Duration, hc *http.Client, onTra
 }
 
 // Start launches the background polling loop (no-op without an
-// interval).
+// interval). Successive sweeps are spaced interval ±20% (uniform
+// jitter, re-drawn every cycle) so a fleet of routers booted together
+// — or restarted together by an orchestrator after an outage — does
+// not probe every backend in synchronized waves.
 func (c *Checker) Start() {
 	if c.interval <= 0 || c.started {
 		return
@@ -87,7 +91,11 @@ func (c *Checker) Start() {
 	c.started = true
 	go func() {
 		defer close(c.done)
-		t := time.NewTicker(c.interval)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		jittered := func() time.Duration {
+			return time.Duration(float64(c.interval) * (0.8 + 0.4*rng.Float64()))
+		}
+		t := time.NewTimer(jittered())
 		defer t.Stop()
 		for {
 			select {
@@ -95,6 +103,7 @@ func (c *Checker) Start() {
 				return
 			case <-t.C:
 				c.CheckNow(context.Background())
+				t.Reset(jittered())
 			}
 		}
 	}()

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -45,6 +46,27 @@ type Config struct {
 	// timeout and down-detection lags far behind the poll interval
 	// (default: 2 s timeout).
 	HealthClient *http.Client
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker denies traffic before
+	// admitting the half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// HedgeDelay tunes read hedging: after this long without a primary
+	// response, an idempotent GET/HEAD is duplicated and the first
+	// answer wins. Zero (the default) tracks each backend's rolling p95
+	// latency (50ms until enough samples accumulate); negative disables
+	// hedging.
+	HedgeDelay time.Duration
+	// RetryBudgetRatio is the retry-budget earn rate: every primary
+	// request earns this many tokens and every failover retry or hedge
+	// spends one, bounding the router's load amplification under a
+	// fleet-wide brownout (default 0.1, i.e. ≤10% extra load at steady
+	// state).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst caps (and initially fills) the retry-budget
+	// token bucket (default 16).
+	RetryBudgetBurst int
 	// Logger receives placement and failover lines; nil disables.
 	Logger *log.Logger
 }
@@ -86,6 +108,13 @@ type Router struct {
 	start   time.Time
 
 	counters map[string]*backendCounters
+	breakers map[string]*breaker
+	latency  map[string]*latencyTracker
+	budget   *retryBudget
+
+	hedged        atomic.Uint64 // hedge attempts launched
+	hedgeWins     atomic.Uint64 // responses delivered by the hedge
+	retriesDenied atomic.Uint64 // retries/hedges refused by the budget
 
 	// placement pins a model ID to the backend serving it. An entry is
 	// written on first routing and cleared on ready-state transitions:
@@ -122,10 +151,15 @@ func NewRouter(cfg Config) (*Router, error) {
 		ring:      ring,
 		start:     time.Now(),
 		counters:  make(map[string]*backendCounters, len(backends)),
+		breakers:  make(map[string]*breaker, len(backends)),
+		latency:   make(map[string]*latencyTracker, len(backends)),
+		budget:    newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 		placement: make(map[string]string),
 	}
 	for _, b := range backends {
 		rt.counters[b] = &backendCounters{}
+		rt.breakers[b] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		rt.latency[b] = &latencyTracker{}
 	}
 	rt.checker = NewChecker(backends, cfg.HealthInterval, cfg.HealthClient, rt.noteTransition)
 	rt.mux = http.NewServeMux()
@@ -190,27 +224,36 @@ func (rt *Router) score(member string) float64 {
 	return float64(st.Models) + 16*float64(rt.counters[member].inflight.Load())
 }
 
+// routable reports whether a member may receive model traffic right
+// now: health-checked ready AND its circuit breaker would admit a
+// request. The breaker check is the non-consuming WouldAllow — merely
+// being considered as a candidate must not burn the one half-open
+// probe slot; the actual Allow is consumed by send.
+func (rt *Router) routable(member string) bool {
+	return rt.checker.Ready(member) && rt.breakers[member].WouldAllow()
+}
+
 // ownerFor picks the backend serving a model ID: the sticky placement
-// while it stays ready, else the ring owner, else the best-scoring
-// ready successor among the ID's candidates. It returns "" when no
-// candidate is ready.
+// while it stays routable, else the ring owner, else the best-scoring
+// routable successor among the ID's candidates. It returns "" when no
+// candidate is routable.
 func (rt *Router) ownerFor(id string) string {
 	cands := rt.ring.Candidates(id, rt.cfg.Replicas)
 
 	rt.mu.Lock()
-	if m, ok := rt.placement[id]; ok && rt.checker.Ready(m) {
+	if m, ok := rt.placement[id]; ok && rt.routable(m) {
 		rt.mu.Unlock()
 		return m
 	}
 	rt.mu.Unlock()
 
 	choice := ""
-	if rt.checker.Ready(cands[0]) {
+	if rt.routable(cands[0]) {
 		choice = cands[0]
 	} else {
 		best := -1.0
 		for _, m := range cands[1:] {
-			if !rt.checker.Ready(m) {
+			if !rt.routable(m) {
 				continue
 			}
 			if s := rt.score(m); best < 0 || s < best {
@@ -249,11 +292,23 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	})
 }
 
-// proxy forwards the request (with the given body, which may be nil)
-// to the member and copies the response through. It reports transport
-// failure; HTTP-level errors from the backend are passed to the caller
-// verbatim and count as success here.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, member string, body []byte) error {
+// send issues one attempt of the request against the member: it
+// consumes the member's breaker admission, issues the HTTP call, and
+// feeds the outcome back into the breaker and (on success) the
+// latency tracker. The caller owns resp.Body. A breaker denial
+// surfaces as errBreakerOpen — a transport-shaped failure, so callers
+// fail over exactly as they would on a refused connection.
+//
+// Failure, for the breaker, is a transport error or a 5xx: the
+// backend did not produce an answer. 4xx (shed 429 included) is the
+// backend working as designed. A transport error caused by our own
+// context being cancelled (a lost hedge race, a gone client) reports
+// nothing — it says nothing about the backend's health.
+func (rt *Router) send(ctx context.Context, r *http.Request, member string, body []byte) (*http.Response, error) {
+	br := rt.breakers[member]
+	if !br.Allow() {
+		return nil, errBreakerOpen
+	}
 	c := rt.counters[member]
 	c.forwarded.Add(1)
 	c.inflight.Add(1)
@@ -266,19 +321,35 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, member string, b
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
-	} else if r.Body != nil {
+	} else if r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodHead {
 		rd = r.Body
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req.Header = r.Header.Clone()
+	start := time.Now()
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
-		c.errors.Add(1)
-		return err
+		if ctx.Err() == nil {
+			c.errors.Add(1)
+			br.Report(false)
+		}
+		return nil, err
 	}
+	if resp.StatusCode >= 500 {
+		br.Report(false)
+	} else {
+		br.Report(true)
+		rt.latency[member].note(time.Since(start))
+	}
+	return resp, nil
+}
+
+// copyResponse streams one backend response to the client, stamped
+// with which backend answered and whether the hedge delivered it.
+func copyResponse(w http.ResponseWriter, resp *http.Response, member string, hedged bool) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
@@ -286,22 +357,135 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, member string, b
 		}
 	}
 	w.Header().Set("X-Gridstrat-Backend", member)
+	if hedged {
+		w.Header().Set("X-Gridstrat-Hedged", "1")
+	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// proxy forwards the request (with the given body, which may be nil)
+// to the member and copies the response through. It reports transport
+// failure; HTTP-level errors from the backend are passed to the caller
+// verbatim and count as success here.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, member string, body []byte) error {
+	resp, err := rt.send(r.Context(), r, member, body)
+	if err != nil {
+		return err
+	}
+	copyResponse(w, resp, member, false)
 	return nil
 }
 
+// hedgeDelay resolves the member's current hedge trigger: the fixed
+// configured delay, or (in the default auto mode) the member's rolling
+// p95 latency — hedge only requests already slower than 95% of their
+// recent peers. Negative means hedging is off.
+func (rt *Router) hedgeDelay(member string) time.Duration {
+	if rt.cfg.HedgeDelay != 0 {
+		return rt.cfg.HedgeDelay
+	}
+	if p, ok := rt.latency[member].p95(); ok {
+		if p < time.Millisecond {
+			p = time.Millisecond
+		}
+		return p
+	}
+	return 50 * time.Millisecond // cold-start default until samples accrue
+}
+
+// proxyHedged forwards an idempotent read, duplicating it to a second
+// connection of the same member if the primary has not answered
+// within the hedge delay; the first response wins and the loser is
+// cancelled. The same member, deliberately: a model is single-homed,
+// so a successor would only answer 404 — what the hedge covers is a
+// slow *connection* (GC pause, a stalled accept queue, an injected
+// latency spike), the exact per-attempt variance the paper's
+// Multiple(b=2) strategy pays one extra submission to cut, applied
+// here to proxied reads. Hedges spend a retry-budget token, so a
+// uniformly slow fleet degrades to single attempts instead of
+// doubling its own load.
+func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, member string) error {
+	delay := rt.hedgeDelay(member)
+	if delay < 0 {
+		return rt.proxy(w, r, member, nil)
+	}
+	type attempt struct {
+		resp  *http.Response
+		err   error
+		hedge bool
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	ch := make(chan attempt, 2) // buffered: the loser must never block
+	launch := func(hedge bool) {
+		go func() {
+			resp, err := rt.send(ctx, r, member, nil)
+			ch <- attempt{resp, err, hedge}
+		}()
+	}
+	launch(false)
+	pending, hedgeable := 1, true
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var firstErr error
+	for pending > 0 {
+		select {
+		case <-timer.C:
+			if !hedgeable {
+				continue
+			}
+			hedgeable = false
+			if !rt.budget.take() {
+				rt.retriesDenied.Add(1)
+				continue
+			}
+			rt.hedged.Add(1)
+			launch(true)
+			pending++
+		case a := <-ch:
+			pending--
+			if a.err != nil {
+				if firstErr == nil {
+					firstErr = a.err
+				}
+				continue
+			}
+			if a.hedge {
+				rt.hedgeWins.Add(1)
+			}
+			cancel() // the loser's context — its send reports nothing
+			if pending > 0 {
+				go func(n int) { // reap the loser's response, if any
+					for i := 0; i < n; i++ {
+						if la := <-ch; la.resp != nil {
+							la.resp.Body.Close()
+						}
+					}
+				}(pending)
+			}
+			copyResponse(w, a.resp, member, a.hedge)
+			return nil
+		}
+	}
+	return firstErr
+}
+
 // handleModel forwards a model-scoped request to its owner. A
-// transport failure drops the placement and, for idempotent reads,
-// retries once on the next pick; writes answer 502 (the client owns
-// the retry decision for non-idempotent requests).
+// transport failure (an open breaker included) drops the placement
+// and retries once on the next pick — if the retry budget grants it;
+// idempotent reads additionally hedge inside each attempt (see
+// proxyHedged). Bodyless writes answer 502 immediately (the client
+// owns the retry decision for non-idempotent requests).
 func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	isRead := r.Method == http.MethodGet || r.Method == http.MethodHead
 	// Buffer small write bodies so a retried pick can resend them; a
 	// model-scoped request body is a planning query, not a trace
 	// upload, so this stays cheap.
 	var body []byte
-	if r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodHead {
+	if r.Body != nil && !isRead {
 		var err error
 		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 		if err != nil {
@@ -309,6 +493,7 @@ func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	rt.budget.earn()
 	for attempt := 0; ; attempt++ {
 		member := rt.ownerFor(id)
 		if member == "" {
@@ -316,22 +501,30 @@ func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("no ready backend for model %q", id))
 			return
 		}
-		err := rt.proxy(w, r, member, body)
+		var err error
+		if isRead {
+			err = rt.proxyHedged(w, r, member)
+		} else {
+			err = rt.proxy(w, r, member, body)
+		}
 		if err == nil {
 			return
 		}
 		rt.dropPlacement(id, member)
-		if attempt == 0 {
+		if attempt == 0 && (isRead || body != nil) {
 			// One failover retry: safe for reads, and safe for writes
 			// too because nothing was written — the transport error
 			// means the request never reached a backend handler, or the
 			// response never came back; observation batches are the only
 			// non-idempotent case and the backend's at-most-once ack
 			// contract covers a duplicated delivery no worse than a
-			// client-side retry would.
-			if r.Method == http.MethodGet || r.Method == http.MethodHead || body != nil {
+			// client-side retry would. The retry spends a budget token:
+			// under a fleet-wide brownout the budget drains and failover
+			// stops amplifying the load.
+			if rt.budget.take() {
 				continue
 			}
+			rt.retriesDenied.Add(1)
 		}
 		writeError(w, http.StatusBadGateway, "bad_gateway",
 			fmt.Sprintf("backend %s: %v", member, err))
@@ -367,6 +560,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no ready backend for model %q", id))
 		return
 	}
+	rt.budget.earn()
 	if err := rt.proxy(w, r, member, body); err != nil {
 		rt.dropPlacement(id, member)
 		writeError(w, http.StatusBadGateway, "bad_gateway",
@@ -464,45 +658,66 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 // BackendStats is one backend's slice of the router stats response.
+// Breaker and BreakerTransitions are router-side (this router's
+// breaker over that backend); Resilience is the backend's own
+// admission/degradation counters, passed through.
 type BackendStats struct {
-	Healthy   bool              `json:"healthy"`
-	Ready     bool              `json:"ready"`
-	Forwarded uint64            `json:"forwarded"`
-	Errors    uint64            `json:"errors"`
-	Models    int               `json:"models"`
-	Totals    server.ShardStats `json:"totals"`
+	Healthy            bool                   `json:"healthy"`
+	Ready              bool                   `json:"ready"`
+	Forwarded          uint64                 `json:"forwarded"`
+	Errors             uint64                 `json:"errors"`
+	Breaker            string                 `json:"breaker"` // "closed", "open" or "half_open"
+	BreakerTransitions uint64                 `json:"breaker_transitions"`
+	Models             int                    `json:"models"`
+	Totals             server.ShardStats      `json:"totals"`
+	Resilience         server.ResilienceStats `json:"resilience"`
 }
 
 // StatsResponse is the router's GET /v1/stats body: per-backend router
-// counters plus the fleet-wide sum of every backend's registry totals.
+// counters plus the fleet-wide sums — every backend's registry totals,
+// and every backend's resilience counters (so shed-per-class and
+// degraded responses are readable at one place for the whole fleet),
+// plus the router's own hedging and retry-budget tallies.
 type StatsResponse struct {
-	UptimeS  float64                 `json:"uptime_s"`
-	Models   int                     `json:"models"`
-	Backends map[string]BackendStats `json:"backends"`
-	Totals   server.ShardStats       `json:"totals"`
-	Partial  bool                    `json:"partial,omitempty"`
-	Failed   map[string]string       `json:"failed_backends,omitempty"`
+	UptimeS       float64                 `json:"uptime_s"`
+	Models        int                     `json:"models"`
+	Backends      map[string]BackendStats `json:"backends"`
+	Totals        server.ShardStats       `json:"totals"`
+	Resilience    server.ResilienceStats  `json:"resilience"`
+	Hedged        uint64                  `json:"hedged_requests"`
+	HedgeWins     uint64                  `json:"hedge_wins"`
+	RetriesDenied uint64                  `json:"retries_denied"`
+	Partial       bool                    `json:"partial,omitempty"`
+	Failed        map[string]string       `json:"failed_backends,omitempty"`
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	results, failed := fanout[server.StatsResponse](rt, r, "/v1/stats")
 	resp := StatsResponse{
-		UptimeS:  time.Since(rt.start).Seconds(),
-		Backends: make(map[string]BackendStats, len(rt.cfg.Backends)),
+		UptimeS:       time.Since(rt.start).Seconds(),
+		Backends:      make(map[string]BackendStats, len(rt.cfg.Backends)),
+		Hedged:        rt.hedged.Load(),
+		HedgeWins:     rt.hedgeWins.Load(),
+		RetriesDenied: rt.retriesDenied.Load(),
 	}
 	for _, b := range rt.cfg.Backends {
 		st := rt.checker.State(b)
+		brState, brTransitions := rt.breakers[b].Status()
 		bs := BackendStats{
-			Healthy:   st.Healthy,
-			Ready:     st.Ready,
-			Forwarded: rt.counters[b].forwarded.Load(),
-			Errors:    rt.counters[b].errors.Load(),
+			Healthy:            st.Healthy,
+			Ready:              st.Ready,
+			Forwarded:          rt.counters[b].forwarded.Load(),
+			Errors:             rt.counters[b].errors.Load(),
+			Breaker:            brState,
+			BreakerTransitions: brTransitions,
 		}
 		if sr, ok := results[b]; ok {
 			bs.Models = sr.Models
 			bs.Totals = sr.Totals
+			bs.Resilience = sr.Resilience
 			resp.Models += sr.Models
 			addShardStats(&resp.Totals, sr.Totals)
+			server.AddResilienceStats(&resp.Resilience, sr.Resilience)
 		}
 		resp.Backends[b] = bs
 	}

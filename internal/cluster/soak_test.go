@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridstrat/internal/chaos"
+	"gridstrat/internal/server"
+)
+
+// TestChaosSoak is the end-to-end resilience pin: a three-node fleet
+// with deterministic chaos on both sides of the router (server-side
+// latency spikes and 5xx blips, transport-side connection resets), a
+// mixed-class workload, and a kill-and-recover of one backend in the
+// middle. The hard invariants:
+//
+//   - Zero acked-observation loss: after the dust settles, every
+//     model's window holds exactly its base records plus every batch
+//     whose Observe was acknowledged — kills, sheds, resets and
+//     failovers included.
+//   - Bounded shed: the sequential critical writer is never shed
+//     (sheddable/standard give way first); sheddable traffic does get
+//     shed, with the Retry-After contract intact.
+//   - The fleet converges: after the victim revives, every model
+//     answers again (breakers re-close, placements come home).
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a multi-second test")
+	}
+	ctx := context.Background()
+
+	// Server-side chaos: half of all model reads stall 50ms while
+	// holding their admission slot (that is what fills the gate and
+	// forces sheds), and 5% fail with a synthetic 5xx (that is what
+	// exercises the breakers). Writes are untouched — an injected fault
+	// must never be able to lose a write the backend acked.
+	sc := &chaos.Scenario{Seed: 7, Rules: []chaos.Rule{
+		{Name: "read-stall", PathPrefix: "/v1/models/", Method: http.MethodGet,
+			Fault: chaos.FaultLatency, Latency: 50 * time.Millisecond, P: 0.5},
+		{Name: "read-blip", PathPrefix: "/v1/models/", Method: http.MethodGet,
+			Fault: chaos.FaultError, P: 0.05},
+	}}
+	bcfg := server.Config{MaxInflight: 4, Chaos: sc}
+
+	backends := make([]*backend, 3)
+	urls := make([]string, 3)
+	for i := range backends {
+		backends[i] = startBackendCfg(t, "127.0.0.1:0", t.TempDir(), bcfg)
+		urls[i] = backends[i].url()
+		t.Cleanup(backends[i].kill)
+	}
+
+	// Transport-side chaos: 10% of forwarded reads lose their
+	// connection mid-flight. Reads only — a reset POST would leave the
+	// test unable to know whether the backend applied the batch, which
+	// is the client's retry problem, not this invariant's.
+	out := chaos.NewTransport(nil, chaos.Scenario{Seed: 11, Rules: []chaos.Rule{
+		{Name: "net-reset", PathPrefix: "/v1/models/", Method: http.MethodGet,
+			Fault: chaos.FaultReset, P: 0.1},
+	}})
+	rt, err := NewRouter(Config{
+		Backends:         urls,
+		Replicas:         3,
+		Client:           &http.Client{Transport: out, Timeout: 10 * time.Second},
+		BreakerThreshold: 4,
+		BreakerCooldown:  100 * time.Millisecond,
+		HedgeDelay:       25 * time.Millisecond,
+		RetryBudgetRatio: 0.5,
+		RetryBudgetBurst: 64,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	rt.CheckNow()
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	writer := server.NewClient(front.URL, front.Client()).WithClass("critical")
+	shedder := server.NewClient(front.URL, front.Client()).WithClass("sheddable")
+	standard := server.NewClient(front.URL, front.Client()).WithClass("standard")
+
+	ids := createModels(t, writer, 12)
+
+	// The sheddable hammer targets one model on a backend that stays up
+	// all soak, so shed pressure (and its counters) survive the victim
+	// restart; the victim is any other backend.
+	hot := ids[0]
+	hotOwner := rt.ring.Owner(hot)
+	victimIdx := -1
+	for i, b := range backends {
+		if b.url() != hotOwner {
+			victimIdx = i
+			break
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatal("no victim candidate")
+	}
+
+	// Prime every model with one acked batch to learn its base record
+	// count; from here on, WindowRecords must equal base + every acked
+	// batch (the servers are synchronous, so responses are exact).
+	lat := []float64{120, 240, 360, 480, 600}
+	base := make(map[string]int, len(ids))
+	acked := make(map[string]int, len(ids))
+	for _, id := range ids {
+		obs, err := writer.Observe(ctx, id, server.ObserveRequest{Latencies: lat})
+		if err != nil {
+			t.Fatalf("prime observe %s: %v", id, err)
+		}
+		base[id] = obs.WindowRecords - obs.Appended
+		acked[id] = obs.Appended
+	}
+
+	var criticalSheds, sheddableSheds atomic.Int64
+	var retryAfterOK atomic.Bool
+
+	// runRound drives one quiesced burst of mixed-class traffic: a
+	// single sequential critical writer over every model (so critical
+	// inflight never exceeds one and a shed of it would be a real
+	// admission bug), twelve sheddable readers hammering the hot model,
+	// and a few standard readers roaming. Reads tolerate every injected
+	// failure; only 429s are tallied.
+	runRound := func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 4; pass++ {
+				for _, id := range ids {
+					obs, err := writer.Observe(ctx, id, server.ObserveRequest{Latencies: lat})
+					if err == nil {
+						acked[id] += obs.Appended
+						continue
+					}
+					var apiErr *server.APIError
+					if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+						criticalSheds.Add(1)
+					}
+					// Other failures (dead owner mid-soak) are fine:
+					// no ack, no accounting.
+				}
+			}
+		}()
+		for r := 0; r < 12; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 15; j++ {
+					_, err := shedder.GetModel(ctx, hot, 0)
+					var apiErr *server.APIError
+					if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+						sheddableSheds.Add(1)
+						if apiErr.RetryAfter == time.Second {
+							retryAfterOK.Store(true)
+						}
+					}
+				}
+			}()
+		}
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					_, _ = standard.GetModel(ctx, ids[(seed+j)%len(ids)], 0)
+				}
+			}(r)
+		}
+		wg.Wait() // quiesce: nothing is in flight between rounds
+	}
+
+	runRound() // round 1: whole fleet
+
+	victim := backends[victimIdx]
+	victim.kill()
+	rt.CheckNow()
+
+	runRound() // round 2: victim down; its models fail over or error
+
+	revived := startBackendCfg(t, victim.addr, victim.walDir, bcfg)
+	t.Cleanup(revived.kill)
+	backends[victimIdx] = revived
+	rt.CheckNow()
+
+	runRound() // round 3: whole fleet again, WAL-replayed victim
+
+	// Convergence: every model answers through the router again. The
+	// retry loop rides out the still-armed probabilistic chaos and any
+	// breaker cooldown; what it must not ride out is a lost model.
+	for _, id := range ids {
+		ok := false
+		for i := 0; i < 30 && !ok; i++ {
+			if _, err := writer.GetModel(ctx, id, 0); err == nil {
+				ok = true
+			} else {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		if !ok {
+			t.Fatalf("model %s never answered after recovery", id)
+		}
+	}
+
+	// Zero acked loss, bit-exact: each model's window is base + acked,
+	// read straight out of the owning registry (the revived victim's
+	// replayed state included).
+	for _, id := range ids {
+		got := -1
+		for _, b := range backends {
+			if e, err := b.srv.Registry().Get(id); err == nil {
+				got = len(e.State().Trace.Records)
+				break
+			}
+		}
+		if got != base[id]+acked[id] {
+			t.Errorf("model %s: window has %d records, want base %d + acked %d",
+				id, got, base[id], acked[id])
+		}
+	}
+
+	if n := criticalSheds.Load(); n != 0 {
+		t.Errorf("critical writer was shed %d times; admission must shed lower classes first", n)
+	}
+	if sheddableSheds.Load() == 0 {
+		t.Error("soak produced no sheddable sheds; the gate never filled")
+	}
+	if !retryAfterOK.Load() {
+		t.Error("no shed response carried the Retry-After: 1 contract")
+	}
+
+	// The router's stats surface saw the action: fleet-summed shed
+	// counters (the hot backend never restarted, so its tallies
+	// survive) and at least one hedge launched against the injected
+	// latency spikes.
+	resp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var stats StatsResponse
+	if err := jsonDecode(resp, &stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Resilience.ShedSheddable == 0 {
+		t.Error("fleet stats did not sum the sheddable sheds")
+	}
+	if stats.Hedged == 0 {
+		t.Error("no hedges launched against 50ms read stalls with a 25ms hedge delay")
+	}
+	for url, bs := range stats.Backends {
+		if bs.Breaker == "open" {
+			// Converged fleet: a still-open breaker would mean fail-fast
+			// against a healthy backend.
+			if !rt.breakers[url].WouldAllow() {
+				t.Errorf("backend %s breaker still open after recovery", url)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gridstrat/internal/chaos"
+)
+
+// WAL fault-injection tests: the ack contract under storage failure.
+// An append the log could not take durably must refuse the ack (the
+// handler maps it to 503 storage_error via ErrDurability), leave the
+// in-memory state exactly where it was, and — the durability pin —
+// recovery over the damaged directory must land bit-equal to the last
+// *acked* state, never including a refused batch.
+
+// faultedServer builds a durable server with the fault plan armed,
+// seeds one model and ingests warm batches so the fault lands on a
+// log with real history. It returns the entry and the batch rng.
+func faultedServer(t *testing.T, cfg Config) (*Entry, *rand.Rand) {
+	t.Helper()
+	s := recoverServer(t, cfg)
+	e, err := s.Registry().Put("m", "test", 4000, synthTrace("m", 60, 3, 1))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4; i++ {
+		if _, err := e.Observe(randomBatch(rng, 20), nil, 2); err != nil {
+			t.Fatalf("warm Observe %d: %v", i, err)
+		}
+	}
+	return e, rng
+}
+
+// requireEntryPinned asserts the entry still serves exactly the given
+// snapshot and stamping state — what a refused ack must guarantee.
+func requireEntryPinned(t *testing.T, e *Entry, st *ModelState, cursor float64, nextID int) {
+	t.Helper()
+	if e.State() != st {
+		t.Fatal("refused ack advanced the model snapshot")
+	}
+	if math.Float64bits(e.cursor) != math.Float64bits(cursor) {
+		t.Fatalf("refused ack moved the cursor: %v -> %v", cursor, e.cursor)
+	}
+	if e.nextID != nextID {
+		t.Fatalf("refused ack moved nextID: %d -> %d", nextID, e.nextID)
+	}
+}
+
+// requireRecoveredEqual replays the WAL directory with the fault plan
+// disarmed and asserts the recovered entry is bit-equal to want.
+func requireRecoveredEqual(t *testing.T, cfg Config, want *Entry) {
+	t.Helper()
+	clean := cfg
+	clean.WALHooks = nil
+	s := recoverServer(t, clean)
+	got, err := s.Registry().Get("m")
+	if err != nil {
+		t.Fatalf("recovered Get: %v", err)
+	}
+	requireECDFBitEqual(t, want.State().ecdf, got.State().ecdf)
+	if !reflect.DeepEqual(want.State().Trace.Records, got.State().Trace.Records) {
+		t.Fatalf("recovered window diverged: %d vs %d records",
+			len(want.State().Trace.Records), len(got.State().Trace.Records))
+	}
+	if math.Float64bits(want.cursor) != math.Float64bits(got.cursor) {
+		t.Fatalf("recovered cursor: want %v, got %v", want.cursor, got.cursor)
+	}
+	if want.nextID != got.nextID {
+		t.Fatalf("recovered nextID: want %d, got %d", want.nextID, got.nextID)
+	}
+}
+
+// TestWALENOSPCRefusesAckAndRecovers: a disk-full append refuses the
+// ack and changes nothing; the failure is transient (the next batch
+// lands) and recovery reproduces exactly the acked history.
+func TestWALENOSPCRefusesAckAndRecovers(t *testing.T) {
+	faults := chaos.NewWALFaults()
+	cfg := Config{WALDir: t.TempDir(), WALSync: "none", WALHooks: faults.Hooks()}
+	e, rng := faultedServer(t, cfg)
+
+	st, cursor, nextID := e.State(), e.cursor, e.nextID
+	faults.ENOSPCAt(int(faults.Appends()) + 1)
+	_, err := e.Observe(randomBatch(rng, 20), nil, 2)
+	if err == nil {
+		t.Fatal("append through a full disk was acknowledged")
+	}
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("want ErrDurability, got %v", err)
+	}
+	requireEntryPinned(t, e, st, cursor, nextID)
+
+	// ENOSPC writes nothing, so the log stays whole: the next batch
+	// must be acknowledged normally.
+	if _, err := e.Observe(randomBatch(rng, 20), nil, 2); err != nil {
+		t.Fatalf("Observe after transient ENOSPC: %v", err)
+	}
+	requireRecoveredEqual(t, cfg, e)
+}
+
+// TestWALTornWritePoisonsLogAndRecovers: a torn append (part of the
+// frame reached disk, the "crash" stopped the cleanup) refuses the
+// ack and poisons the log — later appends are refused outright rather
+// than landed behind the tear — and recovery truncates the torn tail,
+// landing bit-equal to the last acked state.
+func TestWALTornWritePoisonsLogAndRecovers(t *testing.T) {
+	faults := chaos.NewWALFaults()
+	cfg := Config{WALDir: t.TempDir(), WALSync: "none", WALHooks: faults.Hooks()}
+	e, rng := faultedServer(t, cfg)
+
+	st, cursor, nextID := e.State(), e.cursor, e.nextID
+	faults.TornAt(int(faults.Appends())+1, 0.6)
+	_, err := e.Observe(randomBatch(rng, 20), nil, 2)
+	if err == nil {
+		t.Fatal("torn append was acknowledged")
+	}
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("want ErrDurability, got %v", err)
+	}
+	requireEntryPinned(t, e, st, cursor, nextID)
+
+	// The log is poisoned: appending behind the tear would be silently
+	// lost to recovery, so the ack must be refused cleanly instead.
+	_, err = e.Observe(randomBatch(rng, 20), nil, 2)
+	if err == nil {
+		t.Fatal("append onto a poisoned log was acknowledged")
+	}
+	if !errors.Is(err, ErrDurability) || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("want poisoned-log ErrDurability, got %v", err)
+	}
+	requireEntryPinned(t, e, st, cursor, nextID)
+	requireRecoveredEqual(t, cfg, e)
+}
+
+// TestWALFsyncErrorClawsBackFrame: under the "always" policy a failed
+// fsync refuses the ack and claws the written-but-unsynced frame back,
+// so the refused batch can never be replayed; the log heals and keeps
+// taking batches.
+func TestWALFsyncErrorClawsBackFrame(t *testing.T) {
+	faults := chaos.NewWALFaults()
+	cfg := Config{WALDir: t.TempDir(), WALSync: "always", WALHooks: faults.Hooks()}
+	e, rng := faultedServer(t, cfg)
+
+	st, cursor, nextID := e.State(), e.cursor, e.nextID
+	faults.FsyncErrAt(int(faults.Syncs()) + 1)
+	_, err := e.Observe(randomBatch(rng, 20), nil, 2)
+	if err == nil {
+		t.Fatal("unsynced append was acknowledged")
+	}
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("want ErrDurability, got %v", err)
+	}
+	requireEntryPinned(t, e, st, cursor, nextID)
+
+	// The clawback truncated the unsynced frame, so the log is whole
+	// again; the next batch lands, and recovery replays exactly the
+	// acked batches — the clawed-back one is absent.
+	if _, err := e.Observe(randomBatch(rng, 20), nil, 2); err != nil {
+		t.Fatalf("Observe after healed fsync failure: %v", err)
+	}
+	requireRecoveredEqual(t, cfg, e)
+}
+
+// TestObservationsStorageErrorEnvelope: through the HTTP surface a
+// refused ack answers 503 storage_error — retryable, explicitly not
+// an acknowledgement.
+func TestObservationsStorageErrorEnvelope(t *testing.T) {
+	faults := chaos.NewWALFaults()
+	cfg := Config{WALDir: t.TempDir(), WALSync: "none", WALHooks: faults.Hooks()}
+	s := recoverServer(t, cfg)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL, hs.Client())
+	ctx := context.Background()
+	if _, err := s.Registry().Put("m", "test", 4000, synthTrace("m", 40, 2, 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	faults.ENOSPCAt(int(faults.Appends()) + 1)
+	_, err := c.Observe(ctx, "m", ObserveRequest{Latencies: []float64{100, 200}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.Status != 503 || apiErr.Code != "storage_error" {
+		t.Fatalf("want 503 storage_error, got %d %s", apiErr.Status, apiErr.Code)
+	}
+
+	// Transient: the retried batch is acknowledged.
+	if _, err := c.Observe(ctx, "m", ObserveRequest{Latencies: []float64{100, 200}}); err != nil {
+		t.Fatalf("retry after storage error: %v", err)
+	}
+}

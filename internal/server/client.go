@@ -20,6 +20,11 @@ type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // envelope code, e.g. "not_found"
 	Message string // envelope message
+	// RetryAfter is the server's Retry-After hint (zero when the
+	// response carried none): how long a shed (429) or unavailable
+	// (503) answer asks the caller to wait before retrying. The
+	// client's own retry loop honors it in place of its backoff.
+	RetryAfter time.Duration
 }
 
 // Error renders the status, code and message on one line.
@@ -41,10 +46,19 @@ type RetryPolicy struct {
 	// BaseDelay seeds the exponential backoff: the k-th retry waits a
 	// uniformly random duration in (0, BaseDelay·2^k], capped at
 	// MaxDelay — "full jitter", so a fleet of clients re-probing a
-	// restarting daemon does not stampede it in lockstep.
+	// restarting daemon does not stampede it in lockstep. A response
+	// carrying a Retry-After hint (a 429 shed, a 503) overrides the
+	// jittered delay with the server's own ask.
 	BaseDelay time.Duration
 	// MaxDelay caps a single backoff sleep (default 2s).
 	MaxDelay time.Duration
+	// Budget caps the total wall-clock time the attempt loop may
+	// spend, sleeps included, measured from the first request. A retry
+	// whose pre-sleep would overrun the budget is not made — the last
+	// real failure is returned instead, so a caller with its own
+	// deadline is never left waiting on a backoff that cannot help.
+	// Zero means no wall-clock cap (MaxAttempts still bounds the loop).
+	Budget time.Duration
 }
 
 // DefaultRetryPolicy retries idempotent GETs three times over roughly
@@ -59,6 +73,7 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy // zero: no retries
+	class string      // X-Gridstrat-Class on every request; "": none
 }
 
 // NewClient builds a client for the service at base (for example
@@ -82,6 +97,16 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 		p.MaxDelay = 2 * time.Second
 	}
 	out.retry = p
+	return &out
+}
+
+// WithClass returns a copy of the client that stamps every request
+// with the SLO class ("critical", "standard" or "sheddable") via the
+// X-Gridstrat-Class header, steering the server's admission control
+// (see docs/openapi.yaml). An empty class removes the header.
+func (c *Client) WithClass(class string) *Client {
+	out := *c
+	out.class = class
 	return &out
 }
 
@@ -110,14 +135,25 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // under the client's policy — maps non-2xx responses to *APIError via
 // the error envelope, and decodes a 2xx body into out (when non-nil).
 func (c *Client) roundTrip(req *http.Request, out any) error {
+	if c.class != "" {
+		req.Header.Set(ClassHeader, c.class)
+	}
 	attempts := 1
 	if req.Method == http.MethodGet && req.Body == nil && c.retry.MaxAttempts > attempts {
 		attempts = c.retry.MaxAttempts
 	}
+	var cutoff time.Time
+	if c.retry.Budget > 0 {
+		cutoff = time.Now().Add(c.retry.Budget)
+	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := c.backoff(req.Context(), attempt); err != nil {
+			d := c.retryDelay(attempt, lastErr)
+			if !cutoff.IsZero() && time.Now().Add(d).After(cutoff) {
+				return lastErr // the sleep would overrun the retry budget
+			}
+			if err := sleep(req.Context(), d); err != nil {
 				return lastErr // context gone: report the real failure
 			}
 		}
@@ -130,14 +166,23 @@ func (c *Client) roundTrip(req *http.Request, out any) error {
 	return lastErr
 }
 
-// backoff sleeps the attempt's jittered exponential delay, bailing
-// early if the request context ends first.
-func (c *Client) backoff(ctx context.Context, attempt int) error {
+// retryDelay picks the attempt's pre-sleep: the server's Retry-After
+// ask when the last failure carried one, else the jittered
+// exponential backoff.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
 	d := c.retry.BaseDelay << (attempt - 1)
 	if d <= 0 || d > c.retry.MaxDelay {
 		d = c.retry.MaxDelay
 	}
-	d = time.Duration(rand.Int63n(int64(d)) + 1) // full jitter: (0, d]
+	return time.Duration(rand.Int63n(int64(d)) + 1) // full jitter: (0, d]
+}
+
+// sleep waits d, bailing early if the context ends first.
+func sleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -150,13 +195,15 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 
 // retryable reports whether a roundTripOnce failure may resolve on a
 // fresh attempt: transport errors (nothing was received — for a GET,
-// safe to reissue) and 5xx envelopes (the daemon is restarting,
-// replaying its WAL, or shedding load). 4xx responses are the
-// caller's bug or a real miss; retrying them would only add latency.
+// safe to reissue), 5xx envelopes (the daemon is restarting, replaying
+// its WAL, or its durable log is briefly refusing appends) and 429
+// sheds (the admission gate turned the request away and said when to
+// come back). Other 4xx responses are the caller's bug or a real miss;
+// retrying them would only add latency.
 func retryable(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.Status >= 500
+		return apiErr.Status >= 500 || apiErr.Status == http.StatusTooManyRequests
 	}
 	return true // transport-level failure
 }
@@ -169,11 +216,17 @@ func (c *Client) roundTripOnce(req *http.Request, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
 		var env ErrorEnvelope
-		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code == "" {
-			return &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err == nil && env.Error.Code != "" {
+			apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
 		}
-		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if s, err := strconv.Atoi(ra); err == nil && s >= 0 {
+				apiErr.RetryAfter = time.Duration(s) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil

@@ -61,16 +61,22 @@ type StationarityJSON struct {
 	WindowWidthS float64 `json:"window_width_s"`
 }
 
-// ModelInfo describes one registered model.
+// ModelInfo describes one registered model. Degraded (with its
+// reason) marks an answer served under adverse conditions — boot
+// replay still in flight, rebuild backlog past the staleness
+// threshold, or a memory-pressure demotion to the sketch tier — that
+// the pre-resilience server refused with 503; see degradedOf.
 type ModelInfo struct {
-	ID           string            `json:"id"`
-	Source       string            `json:"source"`
-	Version      int64             `json:"version"`
-	WindowS      float64           `json:"window_s"`
-	TimeoutS     float64           `json:"timeout_s"`
-	Tier         string            `json:"tier"` // "exact" or "sketch"
-	Stats        TraceStatsJSON    `json:"stats"`
-	Stationarity *StationarityJSON `json:"stationarity,omitempty"`
+	ID             string            `json:"id"`
+	Source         string            `json:"source"`
+	Version        int64             `json:"version"`
+	WindowS        float64           `json:"window_s"`
+	TimeoutS       float64           `json:"timeout_s"`
+	Tier           string            `json:"tier"` // "exact" or "sketch"
+	Stats          TraceStatsJSON    `json:"stats"`
+	Stationarity   *StationarityJSON `json:"stationarity,omitempty"`
+	Degraded       bool              `json:"degraded,omitempty"`
+	DegradedReason string            `json:"degraded_reason,omitempty"` // "recovering", "backlog" or "memory_pressure"
 }
 
 func modelInfo(e *Entry) ModelInfo { return modelInfoAt(e, e.State()) }
@@ -237,6 +243,8 @@ type RecommendResponse struct {
 	Model          string             `json:"model"`
 	Version        int64              `json:"version"`
 	Recommendation RecommendationJSON `json:"recommendation"`
+	Degraded       bool               `json:"degraded,omitempty"`
+	DegradedReason string             `json:"degraded_reason,omitempty"`
 }
 
 // RankedJSON is one entry of a ranking.
@@ -256,9 +264,11 @@ type RankRequest struct {
 
 // RankResponse lists strategies by ascending expected latency.
 type RankResponse struct {
-	Model   string       `json:"model"`
-	Version int64        `json:"version"`
-	Ranking []RankedJSON `json:"ranking"`
+	Model          string       `json:"model"`
+	Version        int64        `json:"version"`
+	Ranking        []RankedJSON `json:"ranking"`
+	Degraded       bool         `json:"degraded,omitempty"`
+	DegradedReason string       `json:"degraded_reason,omitempty"`
 }
 
 // OptimizeRequest is the body of POST /v1/models/{id}/optimize.
@@ -269,10 +279,12 @@ type OptimizeRequest struct {
 
 // OptimizeResponse carries the tuned strategy and its evaluation.
 type OptimizeResponse struct {
-	Model    string         `json:"model"`
-	Version  int64          `json:"version"`
-	Strategy StrategySpec   `json:"strategy"`
-	Eval     EvaluationJSON `json:"eval"`
+	Model          string         `json:"model"`
+	Version        int64          `json:"version"`
+	Strategy       StrategySpec   `json:"strategy"`
+	Eval           EvaluationJSON `json:"eval"`
+	Degraded       bool           `json:"degraded,omitempty"`
+	DegradedReason string         `json:"degraded_reason,omitempty"`
 }
 
 // SimResultJSON is the wire form of a Monte Carlo outcome.
@@ -299,10 +311,12 @@ type SimulateRequest struct {
 // otherwise, so any replay can be reproduced by sending the echoed
 // seed back.
 type SimulateResponse struct {
-	Model   string        `json:"model"`
-	Version int64         `json:"version"`
-	Seed    uint64        `json:"seed"`
-	Result  SimResultJSON `json:"result"`
+	Model          string        `json:"model"`
+	Version        int64         `json:"version"`
+	Seed           uint64        `json:"seed"`
+	Result         SimResultJSON `json:"result"`
+	Degraded       bool          `json:"degraded,omitempty"`
+	DegradedReason string        `json:"degraded_reason,omitempty"`
 }
 
 // ApplicationJSON is the wire form of a bag-of-tasks application.
@@ -337,10 +351,12 @@ type MakespanRequest struct {
 // searches, the chosen b; a search where no b up to MaxB meets the
 // deadline answers 422, so a 200 always carries a real estimate).
 type MakespanResponse struct {
-	Model    string       `json:"model"`
-	Version  int64        `json:"version"`
-	Estimate MakespanJSON `json:"estimate"`
-	B        int          `json:"b,omitempty"`
+	Model          string       `json:"model"`
+	Version        int64        `json:"version"`
+	Estimate       MakespanJSON `json:"estimate"`
+	B              int          `json:"b,omitempty"`
+	Degraded       bool         `json:"degraded,omitempty"`
+	DegradedReason string       `json:"degraded_reason,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/models/{id}/observations:
@@ -392,11 +408,13 @@ type HealthResponse struct {
 	WAL     string  `json:"wal"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Resilience is
+// server-wide (the admission gate is one front door, not per-shard).
 type StatsResponse struct {
-	UptimeS  float64      `json:"uptime_s"`
-	Models   int          `json:"models"`
-	Capacity int          `json:"capacity"`
-	Shards   []ShardStats `json:"shards"`
-	Totals   ShardStats   `json:"totals"`
+	UptimeS    float64         `json:"uptime_s"`
+	Models     int             `json:"models"`
+	Capacity   int             `json:"capacity"`
+	Shards     []ShardStats    `json:"shards"`
+	Totals     ShardStats      `json:"totals"`
+	Resilience ResilienceStats `json:"resilience"`
 }

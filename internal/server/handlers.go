@@ -73,6 +73,12 @@ func failCompute(w http.ResponseWriter, r *http.Request, err error) {
 		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, ErrDurability):
+		// The ack was refused because the durable log could not take
+		// the batch (disk full, fsync failure, poisoned segment); the
+		// records were NOT acknowledged, so the caller may retry once
+		// the storage recovers.
+		writeError(w, http.StatusServiceUnavailable, "storage_error", err.Error())
 	default:
 		writeError(w, http.StatusUnprocessableEntity, "unprocessable", err.Error())
 	}
@@ -133,11 +139,13 @@ func (s *Server) checkReady(w http.ResponseWriter) bool {
 // entryFor resolves the {id} path segment against the registry,
 // writing the 404 envelope on a miss. On a durable registry a miss
 // first tries a restore from disk — an LRU-evicted model is a cache
-// miss, not a gone model.
+// miss, not a gone model. The same lazy restore is what lets model
+// routes keep serving during a boot WAL replay: a model the replay
+// has not reached yet is restored on demand and answers degraded
+// ("recovering") instead of 503ing, and a genuinely absent model is a
+// real 404 even mid-replay because the durable store is consulted
+// directly.
 func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
-	if !s.checkReady(w) {
-		return nil, false
-	}
 	id := r.PathValue("id")
 	e, err := s.reg.Get(id)
 	if err != nil {
@@ -201,11 +209,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totals.Demotions += sh.Demotions
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		UptimeS:  time.Since(s.start).Seconds(),
-		Models:   totals.Models,
-		Capacity: s.reg.Capacity(),
-		Shards:   shards,
-		Totals:   totals,
+		UptimeS:    time.Since(s.start).Seconds(),
+		Models:     totals.Models,
+		Capacity:   s.reg.Capacity(),
+		Shards:     shards,
+		Totals:     totals,
+		Resilience: s.resilienceStats(),
 	})
 }
 
@@ -356,6 +365,7 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 			WindowWidthS: width,
 		}
 	}
+	info.DegradedReason, info.Degraded = s.degradedOf(e, st)
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -398,11 +408,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		failCompute(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RecommendResponse{
+	resp := RecommendResponse{
 		Model:          e.ID,
 		Version:        st.Version,
 		Recommendation: recToJSON(rec),
-	})
+	}
+	resp.DegradedReason, resp.Degraded = s.degradedOf(e, st)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRank serves POST /v1/models/{id}/rank.
@@ -444,6 +456,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			DeltaCost:    rs.Delta,
 		})
 	}
+	resp.DegradedReason, resp.Degraded = s.degradedOf(e, st)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -474,12 +487,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		failCompute(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{
+	resp := OptimizeResponse{
 		Model:    e.ID,
 		Version:  st.Version,
 		Strategy: specOf(tuned),
 		Eval:     evalToJSON(ev),
-	})
+	}
+	resp.DegradedReason, resp.Degraded = s.degradedOf(e, st)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSimulate serves POST /v1/models/{id}/simulate: a Monte Carlo
@@ -530,7 +545,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		failCompute(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimulateResponse{
+	resp := SimulateResponse{
 		Model:   e.ID,
 		Version: st.Version,
 		Seed:    *req.Options.Seed,
@@ -542,7 +557,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			MeanSubmissions: res.MeanSubmissions,
 			MeanParallel:    res.MeanParallel,
 		},
-	})
+	}
+	resp.DegradedReason, resp.Degraded = s.degradedOf(e, st)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMakespan serves POST /v1/models/{id}/makespan.
@@ -613,6 +630,7 @@ func (s *Server) handleMakespan(w http.ResponseWriter, r *http.Request) {
 		GridLoad:     est.GridLoad,
 		TotalTaskSec: est.TotalTaskSec,
 	}
+	resp.DegradedReason, resp.Degraded = s.degradedOf(e, st)
 	writeJSON(w, http.StatusOK, resp)
 }
 

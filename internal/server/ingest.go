@@ -282,7 +282,7 @@ func (e *Entry) walAppend(stamped []trace.ProbeRecord, cursor float64, nextID in
 		return nil
 	}
 	if err := e.wal.AppendBatch(wal.Batch{Cursor: cursor, NextID: int64(nextID), Records: stamped}); err != nil {
-		return fmt.Errorf("server: wal append: %w", err)
+		return fmt.Errorf("%w: wal append: %v", ErrDurability, err)
 	}
 	return nil
 }

@@ -35,6 +35,13 @@ var (
 	ErrNotFound = errors.New("server: model not found")
 	ErrExists   = errors.New("server: model already exists")
 	ErrInvalid  = errors.New("server: invalid argument")
+
+	// ErrDurability marks a refused acknowledgement whose cause is the
+	// durable log, not the request: the disk is full, the fsync failed,
+	// or the log is poisoned by an unhealed torn write. Handlers map it
+	// to 503 — the batch is safe to retry (it was never acked) once the
+	// storage recovers.
+	ErrDurability = errors.New("server: durable log unavailable")
 )
 
 // ModelTier is the representation a model snapshot is held in: the

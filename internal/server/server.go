@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gridstrat"
+	"gridstrat/internal/chaos"
 	"gridstrat/internal/trace"
 	"gridstrat/internal/wal"
 )
@@ -83,6 +84,24 @@ type Config struct {
 	// registration on — the representation-parity CI toggle
 	// (GRIDSTRAT_SKETCH_TIER=1 in the test helper).
 	SketchTier bool
+	// MaxInflight is the hard cap on concurrently admitted
+	// /v1/models* requests; past class-specific fractions of it
+	// (sheddable 50%, standard 90%, critical 100%) requests answer
+	// 429 + Retry-After instead of queueing (see admission.go).
+	// Zero (the default) disables admission control.
+	MaxInflight int
+	// DegradedPending is the acknowledged-but-unapplied record count
+	// past which query responses on an entry are marked degraded
+	// ("backlog") — the answer is still the last-good snapshot, but it
+	// lags the acked data (default 4096).
+	DegradedPending int
+	// WALHooks injects append/fsync faults into the WAL (nil in
+	// production) — the internal/chaos test seam.
+	WALHooks *wal.Hooks
+	// Chaos injects deterministic handler-level faults (latency,
+	// resets, 5xx) per the scenario; nil disables. The CI chaos drill
+	// arms it via gridstratd's -chaos flag.
+	Chaos *chaos.Scenario
 	// Logger receives one line per request; nil disables request
 	// logging.
 	Logger *log.Logger
@@ -110,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 4096
 	}
+	if c.DegradedPending <= 0 {
+		c.DegradedPending = 4096
+	}
 	return c
 }
 
@@ -122,11 +144,18 @@ type Server struct {
 	reg   *Registry
 	mux   *http.ServeMux
 	start time.Time
+	adm   *admission
+
+	// degradedCount tallies responses served with degraded: true (see
+	// degradedOf for the conditions).
+	degradedCount atomic.Uint64
 
 	// recovering is true from construction (of a WAL-enabled server)
-	// until Recover finishes; model routes answer 503 and /v1/healthz
-	// reports "recovering" so a cluster router can tell a booting
-	// backend from a dead one.
+	// until Recover finishes; registry-wide routes (create, list,
+	// delete) answer 503 and /v1/healthz reports "recovering" so a
+	// cluster router can tell a booting backend from a dead one.
+	// Model-scoped routes restore their model on demand and serve it
+	// with degraded: "recovering" instead of refusing.
 	recovering atomic.Bool
 }
 
@@ -138,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg.withDefaults(),
 		start: time.Now(),
 	}
+	s.adm = newAdmission(s.cfg.MaxInflight)
 	s.reg = NewRegistry(s.cfg.Shards, s.cfg.MaxModels)
 	s.reg.SetIngestPolicy(s.cfg.RebuildInterval, s.cfg.MaxQueuedRecords)
 	s.reg.SetMemoryPolicy(s.cfg.MaxBytes, s.cfg.SketchTier)
@@ -150,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 			Sync:         policy,
 			SyncEvery:    s.cfg.WALSyncInterval,
 			SegmentBytes: s.cfg.WALSegmentBytes,
+			Hooks:        s.cfg.WALHooks,
 		})
 		if err != nil {
 			return nil, err
@@ -223,9 +254,18 @@ func (s *Server) routes() {
 }
 
 // Handler returns the service's HTTP handler: the route mux wrapped
-// in panic recovery and (when configured) request logging.
+// in admission control (SLO-class shedding + deadline propagation),
+// panic recovery, optional fault injection and (when configured)
+// request logging. Chaos sits inside admission so injected faults
+// exercise exactly what real slow/failing work would: an injected
+// latency spike holds its admission slot, pushing the gate toward
+// shedding, the way a genuinely slow backend does.
 func (s *Server) Handler() http.Handler {
 	var h http.Handler = s.mux
+	if s.cfg.Chaos != nil {
+		h = chaos.Middleware(h, *s.cfg.Chaos)
+	}
+	h = s.admissionMiddleware(h)
 	h = recoverMiddleware(h)
 	if s.cfg.Logger != nil {
 		h = loggingMiddleware(s.cfg.Logger, h)

@@ -82,6 +82,24 @@ func (p SyncPolicy) String() string {
 	}
 }
 
+// Hooks are fault-injection seams consulted on the append path (see
+// internal/chaos, which builds deterministic ENOSPC/torn-write plans
+// against them). Production configs leave them nil; every hook call
+// happens under the log's append mutex.
+type Hooks struct {
+	// BeforeAppend is consulted with the framed bytes before each
+	// append. A non-nil error fails the append without writing (the
+	// ENOSPC shape); keep > 0 additionally writes frame[:keep] first
+	// and poisons the log — the torn-write-then-crash shape, where
+	// part of a frame reached the disk and the process never got to
+	// clean it up.
+	BeforeAppend func(frame []byte) (keep int, err error)
+	// BeforeSync is consulted before each fsync; a non-nil error fails
+	// the flush (the append path then claws the unsynced frame back so
+	// a failed ack can never be replayed).
+	BeforeSync func() error
+}
+
 // Options tunes a Store and the Logs it opens. The zero value is
 // usable; every field falls back to the default documented on it.
 type Options struct {
@@ -92,6 +110,8 @@ type Options struct {
 	// SegmentBytes rotates the active segment past this size
 	// (default 4 MiB).
 	SegmentBytes int64
+	// Hooks inject append/fsync faults for tests (nil in production).
+	Hooks *Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +217,14 @@ func parseSegmentName(name string) (int, bool) {
 	return seq, true
 }
 
+// ErrBroken marks a log whose failed append could not be healed: the
+// active segment may end in a torn frame, so further appends would
+// land behind the tear and be silently lost to recovery. Appends are
+// refused instead; the entry keeps serving reads, and an eviction +
+// restore (or a daemon restart) reopens the log cleanly past the torn
+// tail.
+var ErrBroken = errors.New("wal: log poisoned by an unhealed torn write")
+
 // Log is one model's write-ahead log: an open active segment plus the
 // snapshot/rotation machinery. Appends are serialized by an internal
 // mutex; the ingest path additionally serializes them by its own entry
@@ -211,6 +239,7 @@ type Log struct {
 	segSize  int64
 	lastSync time.Time
 	closed   bool
+	broken   bool // an unhealed torn write ended the appendable prefix
 
 	appends       atomic.Uint64 // batch + rebase frames appended
 	snapshotBytes atomic.Uint64 // total snapshot bytes written
@@ -456,21 +485,56 @@ func (l *Log) AppendRebase(offset float64) error {
 
 // append frames the payload onto the active segment, rotating past the
 // size threshold and fsyncing per the policy.
+//
+// Failure contract: an error here means the ingest path will refuse
+// the ack, so the frame must NOT survive to be replayed. A write that
+// failed partway (real short write or injected torn write) is healed
+// by truncating the segment back to its pre-append size; if even the
+// truncate fails the log is poisoned (ErrBroken) rather than left to
+// append acked frames behind a tear that recovery would stop at.
 func (l *Log) append(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
+	if l.broken {
+		return ErrBroken
+	}
 	frame := appendFrame(make([]byte, 0, 8+len(payload)), payload)
-	if _, err := l.seg.Write(frame); err != nil {
+	if h := l.opts.Hooks; h != nil && h.BeforeAppend != nil {
+		keep, err := h.BeforeAppend(frame)
+		if err != nil {
+			if keep > 0 {
+				// Injected torn write: part of the frame reaches the
+				// file and the "crash" prevents any cleanup, exactly
+				// what a power cut mid-write leaves behind.
+				if keep > len(frame) {
+					keep = len(frame)
+				}
+				_, _ = l.seg.Write(frame[:keep])
+				l.broken = true
+			}
+			return fmt.Errorf("wal: appending: %w", err)
+		}
+	}
+	if n, err := l.seg.Write(frame); err != nil {
+		if n > 0 && l.seg.Truncate(l.segSize) != nil {
+			l.broken = true
+		}
 		return fmt.Errorf("wal: appending: %w", err)
+	}
+	if err := l.maybeSyncLocked(); err != nil {
+		// The frame is written but not durable, and the caller will
+		// refuse the ack: claw the frame back so a later replay cannot
+		// resurrect a record whose acknowledgement failed.
+		if l.seg.Truncate(l.segSize) != nil {
+			l.broken = true
+		}
+		return err
 	}
 	l.segSize += int64(len(frame))
 	l.appends.Add(1)
-	if err := l.maybeSyncLocked(); err != nil {
-		return err
-	}
 	if l.segSize >= l.opts.SegmentBytes {
 		return l.rotateLocked()
 	}
@@ -491,6 +555,11 @@ func (l *Log) maybeSyncLocked() error {
 }
 
 func (l *Log) syncLocked() error {
+	if h := l.opts.Hooks; h != nil && h.BeforeSync != nil {
+		if err := h.BeforeSync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
 	if err := l.seg.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
