@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -287,6 +289,60 @@ func TestHedgedReadWins(t *testing.T) {
 	// nothing about backend health.
 	if state, _ := rt.breakers[stub.URL].Status(); state != "closed" {
 		t.Fatalf("breaker after hedge win: want closed, got %s", state)
+	}
+}
+
+// TestHedgeWinnerBodyNotTruncated: the hedge race's cancellation must
+// not abort the winner's in-flight body read. The winning attempt
+// streams a large body slowly (flushed chunks); the client must
+// receive every byte even though the losing attempt is cancelled the
+// moment the winner's headers arrive.
+func TestHedgeWinnerBodyNotTruncated(t *testing.T) {
+	const chunk, chunks = 4096, 64 // 256 KiB, streamed over ~130ms
+	var calls atomic.Int64
+	stub := resilientBackendStub(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // stall the primary until it is cancelled
+			case <-r.Context().Done():
+				return
+			case <-time.After(5 * time.Second):
+			}
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		f, _ := w.(http.Flusher)
+		buf := bytes.Repeat([]byte{'x'}, chunk)
+		for i := 0; i < chunks; i++ {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	_, front := newStubRouter(t, Config{
+		Backends:   []string{stub.URL},
+		HedgeDelay: 20 * time.Millisecond,
+	})
+
+	resp, err := http.Get(front.URL + "/v1/models/m")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged read: want 200, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Gridstrat-Hedged") != "1" {
+		t.Fatal("winning response should be stamped X-Gridstrat-Hedged")
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading winner body: %v", err)
+	}
+	if len(body) != chunk*chunks {
+		t.Fatalf("winner body truncated: want %d bytes, got %d", chunk*chunks, len(body))
 	}
 }
 

@@ -414,17 +414,30 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, member str
 		resp  *http.Response
 		err   error
 		hedge bool
+		idx   int
 	}
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
+	// Each attempt owns its context: cancelling one must not abort the
+	// other's in-flight body read (net/http kills Body reads when the
+	// request context is cancelled, which would truncate the winner's
+	// response mid-copy).
+	var cancels [2]context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			if c != nil {
+				c()
+			}
+		}
+	}()
 	ch := make(chan attempt, 2) // buffered: the loser must never block
-	launch := func(hedge bool) {
+	launch := func(idx int, hedge bool) {
+		ctx, cancel := context.WithCancel(r.Context())
+		cancels[idx] = cancel
 		go func() {
 			resp, err := rt.send(ctx, r, member, nil)
-			ch <- attempt{resp, err, hedge}
+			ch <- attempt{resp, err, hedge, idx}
 		}()
 	}
-	launch(false)
+	launch(0, false)
 	pending, hedgeable := 1, true
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -442,11 +455,12 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, member str
 				continue
 			}
 			rt.hedged.Add(1)
-			launch(true)
+			launch(1, true)
 			pending++
 		case a := <-ch:
 			pending--
 			if a.err != nil {
+				cancels[a.idx]()
 				if firstErr == nil {
 					firstErr = a.err
 				}
@@ -455,7 +469,14 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, member str
 			if a.hedge {
 				rt.hedgeWins.Add(1)
 			}
-			cancel() // the loser's context — its send reports nothing
+			// Cancel only the losing attempt — its send reports nothing.
+			// The winner's context stays live until its body has been
+			// copied through (the deferred sweep releases it then).
+			for j, c := range cancels {
+				if j != a.idx && c != nil {
+					c()
+				}
+			}
 			if pending > 0 {
 				go func(n int) { // reap the loser's response, if any
 					for i := 0; i < n; i++ {

@@ -111,20 +111,24 @@ func newAdmission(max int) *admission {
 	return a
 }
 
-// acquire admits or sheds one request of the class. On admit the
-// caller must release exactly once.
-func (a *admission) acquire(c Class) bool {
+// acquire admits or sheds one request of the class, returning the
+// inflight count it observed at the decision (this request included)
+// so shed messages can report the number the verdict was based on
+// rather than a later, already-decremented read. On admit the caller
+// must release exactly once.
+func (a *admission) acquire(c Class) (int64, bool) {
 	if a.max <= 0 {
 		a.admitted.Add(1)
-		return true
+		return 0, true
 	}
-	if n := a.inflight.Add(1); n > a.limits[c] {
+	n := a.inflight.Add(1)
+	if n > a.limits[c] {
 		a.inflight.Add(-1)
 		a.shed[c].Add(1)
-		return false
+		return n, false
 	}
 	a.admitted.Add(1)
-	return true
+	return n, true
 }
 
 func (a *admission) release() {
@@ -183,11 +187,11 @@ func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 			defer cancel()
 		}
-		if !s.adm.acquire(class) {
+		if n, ok := s.adm.acquire(class); !ok {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
 			writeError(w, http.StatusTooManyRequests, "shed",
-				fmt.Sprintf("%s-class request shed: %d requests in flight against a cap of %d; retry after %ds",
-					class, s.adm.inflight.Load(), s.adm.max, retryAfterS))
+				fmt.Sprintf("%s-class request shed: %d requests in flight against a %s limit of %d; retry after %ds",
+					class, n, class, s.adm.limits[class], retryAfterS))
 			return
 		}
 		defer s.adm.release()
