@@ -1,21 +1,24 @@
 // Command gridsim runs the discrete-event grid simulator: it executes
 // a probe measurement campaign against a synthetic EGEE-like
 // infrastructure and optionally evaluates the three submission
-// strategies against the live grid.
+// strategies against the live grid. With -regime it instead runs the
+// replay conformance harness: adversarial regime traces are planned
+// per SLO class and the recommendations replayed against the same
+// seeded regime.
 //
 // Usage:
 //
 //	gridsim [-sites 24] [-seed 1] [-probes 1000] [-out trace.csv] [-strategies]
+//	gridsim -regime all [-dataset all] [-regimeseed 20090611] [-verdicts out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gridstrat"
-	"gridstrat/internal/core"
-	"gridstrat/internal/gridsim"
 )
 
 func main() {
@@ -25,7 +28,18 @@ func main() {
 	out := flag.String("out", "", "write the probe trace as CSV to this file")
 	strategies := flag.Bool("strategies", false, "also run the three client strategies against the live grid")
 	tasks := flag.Int("tasks", 100, "tasks per strategy with -strategies")
+	regimeName := flag.String("regime", "", "run the replay conformance harness for one regime (stationary, heavytail, diurnal, switching, outage) or \"all\"")
+	dataset := flag.String("dataset", "2006-IX", "paper dataset for -regime, or \"all\"")
+	regimeSeed := flag.Uint64("regimeseed", 20090611, "master seed for -regime")
+	verdictsOut := flag.String("verdicts", "", "write the -regime verdict table as JSON to this file")
 	flag.Parse()
+
+	if *regimeName != "" {
+		if err := runRegimes(*regimeName, *dataset, *regimeSeed, *verdictsOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	g, err := gridstrat.NewGrid(gridstrat.DefaultGrid(*sites, *seed))
 	if err != nil {
@@ -77,21 +91,16 @@ func main() {
 	}
 
 	fmt.Println("\nreplaying against the live grid:")
-	var specs []gridsim.StrategySpec
+	var specs []gridstrat.SimStrategySpec
 	for _, r := range ranked {
-		params := r.Strategy.Params()
-		switch r.Strategy.Name() {
-		case gridstrat.StrategySingle:
-			specs = append(specs, gridsim.StrategySpec{Kind: gridsim.StrategySingle, TInf: params.TInf})
-		case gridstrat.StrategyMultiple:
-			specs = append(specs, gridsim.StrategySpec{Kind: gridsim.StrategyMultiple, TInf: params.TInf, B: params.B})
-		case gridstrat.StrategyDelayed:
-			specs = append(specs, gridsim.StrategySpec{
-				Kind: gridsim.StrategyDelayed, Delayed: core.DelayedParams{T0: params.T0, TInf: params.TInf}})
+		spec, err := gridstrat.SimSpec(r.Strategy)
+		if err != nil {
+			fail(err)
 		}
+		specs = append(specs, spec)
 	}
 	for _, spec := range specs {
-		outc, err := gridsim.RunStrategy(g, spec, *tasks, 200, 1)
+		outc, err := gridstrat.RunStrategySim(g, spec, *tasks, 200, 1)
 		if err != nil {
 			fail(err)
 		}
@@ -99,6 +108,68 @@ func main() {
 			spec.Kind, outc.MeanJ, outc.StdJ, outc.MeanSubmissions, outc.MeanParallel,
 			outc.Tasks, outc.TimedOutTasks)
 	}
+}
+
+// runRegimes executes the replay conformance harness for the chosen
+// regime × dataset cells and prints the verdict table. It exits
+// non-zero on any silent SLO miss — a cell where the planner claimed
+// feasibility the replay did not deliver.
+func runRegimes(regimeName, dataset string, seed uint64, verdictsOut string) error {
+	var kinds []gridstrat.RegimeKind
+	if regimeName == "all" {
+		kinds = gridstrat.RegimeKinds()
+	} else {
+		kind, err := gridstrat.ParseRegimeKind(regimeName)
+		if err != nil {
+			return err
+		}
+		kinds = []gridstrat.RegimeKind{kind}
+	}
+	var datasets []string
+	if dataset == "all" {
+		for _, ds := range gridstrat.PaperDatasets() {
+			datasets = append(datasets, ds.Name)
+		}
+	} else {
+		datasets = []string{dataset}
+	}
+
+	var table []gridstrat.RegimeVerdict
+	misses := 0
+	for _, kind := range kinds {
+		for _, name := range datasets {
+			spec, err := gridstrat.NewRegimeSpec(name, kind, seed)
+			if err != nil {
+				return err
+			}
+			verdicts, err := gridstrat.RunRegimeConformance(spec, gridstrat.RegimeConformanceConfig{})
+			if err != nil {
+				return err
+			}
+			for _, v := range verdicts {
+				fmt.Println(v)
+				if v.SilentMiss {
+					misses++
+				}
+			}
+			table = append(table, verdicts...)
+		}
+	}
+	if verdictsOut != "" {
+		buf, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(verdictsOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "verdict table written to %s (%d rows)\n", verdictsOut, len(table))
+	}
+	if misses > 0 {
+		return fmt.Errorf("%d silent SLO miss(es) across %d cells", misses, len(table))
+	}
+	fmt.Printf("%d cells, zero silent SLO misses\n", len(table))
+	return nil
 }
 
 func fail(err error) {

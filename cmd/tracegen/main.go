@@ -5,6 +5,7 @@
 //
 //	tracegen -list
 //	tracegen -dataset 2006-IX [-format csv|json] [-out file]
+//	tracegen -dataset 2006-IX -regime switching [-seed 20090611]
 //	tracegen -all -dir traces
 package main
 
@@ -26,6 +27,8 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	all := flag.Bool("all", false, "generate every dataset")
 	dir := flag.String("dir", "traces", "output directory with -all")
+	regimeName := flag.String("regime", "", "overlay an adversarial regime on the dataset: stationary, heavytail, diurnal, switching or outage")
+	seed := flag.Uint64("seed", 20090611, "master seed with -regime")
 	flag.Parse()
 
 	switch {
@@ -40,7 +43,19 @@ func main() {
 			fail(err)
 		}
 	case *dataset != "":
-		tr, err := gridstrat.SynthesizeDataset(*dataset)
+		var (
+			tr  *gridstrat.Trace
+			err error
+		)
+		if *regimeName != "" {
+			kind, kerr := gridstrat.ParseRegimeKind(*regimeName)
+			if kerr != nil {
+				fail(kerr)
+			}
+			tr, err = gridstrat.SynthesizeRegime(*dataset, kind, *seed)
+		} else {
+			tr, err = gridstrat.SynthesizeDataset(*dataset)
+		}
 		if err != nil {
 			fail(err)
 		}

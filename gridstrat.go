@@ -47,6 +47,8 @@
 package gridstrat
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"gridstrat/internal/core"
@@ -283,6 +285,41 @@ func RunProbes(g *Grid, cfg ProbeConfig, name string) (*Trace, error) {
 
 // DefaultProbeConfig mirrors the paper's campaign shape.
 func DefaultProbeConfig(total int) ProbeConfig { return gridsim.DefaultProbeConfig(total) }
+
+// SimStrategySpec fully parameterizes a client strategy for replay
+// against a simulated grid.
+type SimStrategySpec = gridsim.StrategySpec
+
+// SimOutcome aggregates a grid-replay campaign.
+type SimOutcome = gridsim.StrategyOutcome
+
+// SimSpec translates a tuned Strategy into the grid simulator's
+// replayable spec, closing the loop between what the model recommends
+// and what a live grid does under it.
+func SimSpec(s Strategy) (SimStrategySpec, error) {
+	if s == nil {
+		return SimStrategySpec{}, errors.New("gridstrat: nil strategy")
+	}
+	p := s.Params()
+	switch s.Name() {
+	case StrategySingle:
+		return SimStrategySpec{Kind: gridsim.StrategySingle, TInf: p.TInf}, nil
+	case StrategyMultiple:
+		return SimStrategySpec{Kind: gridsim.StrategyMultiple, TInf: p.TInf, B: p.B}, nil
+	case StrategyDelayed:
+		return SimStrategySpec{
+			Kind:    gridsim.StrategyDelayed,
+			Delayed: core.DelayedParams{T0: p.T0, TInf: p.TInf},
+		}, nil
+	}
+	return SimStrategySpec{}, fmt.Errorf("gridstrat: no simulator spec for strategy %q", s.Name())
+}
+
+// RunStrategySim replays a strategy spec for a task campaign against a
+// live simulated grid.
+func RunStrategySim(g *Grid, spec SimStrategySpec, tasks, maxRounds int, runtime float64) (SimOutcome, error) {
+	return gridsim.RunStrategy(g, spec, tasks, maxRounds, runtime)
+}
 
 // --- Experiments ---
 

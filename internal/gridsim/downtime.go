@@ -1,6 +1,9 @@
 package gridsim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // DowntimeConfig adds site outages to the simulation: a CE
 // periodically stops starting jobs (scheduled maintenance, middleware
@@ -41,15 +44,51 @@ func (g *Grid) scheduleOutage(siteIdx int, cfg DowntimeConfig) {
 	s := g.sites[siteIdx]
 	up := g.rng.ExpFloat64() * cfg.MTBF
 	g.Engine.Schedule(up, func() {
-		s.down = true
+		s.downDepth++
 		repair := g.rng.ExpFloat64() * cfg.MTTR
 		g.Engine.Schedule(repair, func() {
-			s.down = false
+			s.downDepth--
 			g.tryStart(s) // drain the queue that built up
 			g.scheduleOutage(siteIdx, cfg)
 		})
 	})
 }
 
+// ScheduleOutage takes site i down for [at, at+dur) of simulated time,
+// measured from now. Windows may overlap each other and the random
+// up/down cycling of EnableDowntime: the site restarts jobs only when
+// the last covering window ends. Used by the correlated-outage regime
+// to force synchronized CE downtime bursts.
+func (g *Grid) ScheduleOutage(i int, at, dur float64) error {
+	if i < 0 || i >= len(g.sites) {
+		return fmt.Errorf("gridsim: site index %d out of range", i)
+	}
+	if at < 0 || dur <= 0 || math.IsNaN(at) || math.IsNaN(dur) {
+		return fmt.Errorf("gridsim: invalid outage window at=%v dur=%v", at, dur)
+	}
+	s := g.sites[i]
+	g.Engine.Schedule(at, func() {
+		s.downDepth++
+		g.Engine.Schedule(dur, func() {
+			s.downDepth--
+			g.tryStart(s)
+		})
+	})
+	return nil
+}
+
+// ScheduleGridOutage takes every site down for [at, at+dur) — the
+// synchronized, correlated outage a middleware or network incident
+// produces, where client-side redundancy cannot help because all CEs
+// fail together.
+func (g *Grid) ScheduleGridOutage(at, dur float64) error {
+	for i := range g.sites {
+		if err := g.ScheduleOutage(i, at, dur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SiteDown reports whether site i is currently in an outage.
-func (g *Grid) SiteDown(i int) bool { return g.sites[i].down }
+func (g *Grid) SiteDown(i int) bool { return g.sites[i].down() }

@@ -39,6 +39,14 @@ type GridConfig struct {
 	// arrival at a CE queue: credential delegation, match-making,
 	// file-name resolution, dispatch. This is the latency floor.
 	WMSDelay stats.Distribution
+	// WMSLatency, when set, replaces WMSDelay with a time-varying law:
+	// it is called with the current simulation time at each submission
+	// and must return that submission's middleware delay in seconds.
+	// This is how the regime generator drives a non-stationary latency
+	// process through the simulator; the closure owns its own random
+	// stream so replays stay deterministic. Negative or NaN returns are
+	// clamped to zero.
+	WMSLatency func(now float64) float64
 	// InfoStaleness is the age (seconds) of the occupancy information
 	// the WMS ranks sites with; stale information produces the
 	// mis-scheduling bursts that fatten the latency tail.
@@ -46,6 +54,11 @@ type GridConfig struct {
 	// Diurnal is the relative amplitude (0..1) of the sinusoidal
 	// modulation of background arrivals over a 24 h period.
 	Diurnal float64
+	// RateModulator, when set, replaces the built-in diurnal modulation
+	// of background arrivals: each site's arrival rate is its base rate
+	// times RateModulator(now). Returns are clamped to a small positive
+	// floor so a hostile modulator cannot stall the event loop.
+	RateModulator func(now float64) float64
 	// Seed drives all randomness in the simulation.
 	Seed int64
 }
@@ -83,7 +96,7 @@ func (c GridConfig) Validate() error {
 	if len(c.Sites) == 0 {
 		return fmt.Errorf("gridsim: no sites configured")
 	}
-	if c.WMSDelay == nil {
+	if c.WMSDelay == nil && c.WMSLatency == nil {
 		return fmt.Errorf("gridsim: nil WMS delay distribution")
 	}
 	if c.Diurnal < 0 || c.Diurnal >= 1 {
@@ -145,9 +158,15 @@ type site struct {
 	// refreshed every InfoStaleness seconds.
 	occupancySnapshot int
 
-	// down marks an outage window: queued jobs wait, nothing starts.
-	down bool
+	// downDepth counts the outage windows currently covering the site:
+	// queued jobs wait and nothing starts while it is positive. A depth
+	// rather than a flag so overlapping windows (random cycling plus
+	// explicitly scheduled outages) nest correctly — the site only
+	// comes back up when the last covering window ends.
+	downDepth int
 }
+
+func (s *site) down() bool { return s.downDepth > 0 }
 
 // Grid is a live simulation instance.
 type Grid struct {
@@ -206,9 +225,19 @@ func (g *Grid) startBackground() {
 
 func (g *Grid) scheduleBackgroundArrival(siteIdx int) {
 	s := g.sites[siteIdx]
-	// Diurnal modulation of the Poisson rate.
-	phase := 2 * math.Pi * g.Engine.Now() / 86400
-	rate := (1 + g.cfg.Diurnal*math.Sin(phase)) / s.cfg.BackgroundInterArrival
+	// Modulation of the Poisson rate: the configured RateModulator if
+	// any (regime-driven load), the built-in diurnal sinusoid otherwise.
+	var mod float64
+	if g.cfg.RateModulator != nil {
+		mod = g.cfg.RateModulator(g.Engine.Now())
+		if !(mod > 1e-6) { // also catches NaN
+			mod = 1e-6
+		}
+	} else {
+		phase := 2 * math.Pi * g.Engine.Now() / 86400
+		mod = 1 + g.cfg.Diurnal*math.Sin(phase)
+	}
+	rate := mod / s.cfg.BackgroundInterArrival
 	gap := g.rng.ExpFloat64() / rate
 	g.Engine.Schedule(gap, func() {
 		j := g.newJob(s.cfg.BackgroundRuntime.Rand(g.rng))
@@ -235,6 +264,20 @@ func (g *Grid) newJob(runtime float64) *Job {
 	return &Job{ID: g.nextID, Runtime: runtime, Submit: g.Engine.Now(), Site: -1}
 }
 
+// wmsDelay draws one submission's middleware delay: the time-varying
+// WMSLatency law when configured, the stationary WMSDelay distribution
+// otherwise.
+func (g *Grid) wmsDelay() float64 {
+	if g.cfg.WMSLatency != nil {
+		d := g.cfg.WMSLatency(g.Engine.Now())
+		if d < 0 || math.IsNaN(d) {
+			return 0
+		}
+		return d
+	}
+	return g.cfg.WMSDelay.Rand(g.rng)
+}
+
 // Submit hands a user job with the given runtime to the WMS. The
 // returned job's OnStart/OnFinish hooks (set by the caller before the
 // WMS delay elapses) observe its lifecycle.
@@ -242,7 +285,7 @@ func (g *Grid) Submit(runtime float64) *Job {
 	j := g.newJob(runtime)
 	g.Submitted++
 	j.State = JobSubmitted
-	delay := g.cfg.WMSDelay.Rand(g.rng)
+	delay := g.wmsDelay()
 	g.Engine.Schedule(delay, func() {
 		if j.State == JobCancelled {
 			return
@@ -311,7 +354,7 @@ func (g *Grid) removeFromQueue(s *site, j *Job) {
 
 // tryStart fills free slots from the FIFO queue.
 func (g *Grid) tryStart(s *site) {
-	for !s.down && s.running < s.cfg.Slots && len(s.queue) > 0 {
+	for !s.down() && s.running < s.cfg.Slots && len(s.queue) > 0 {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		if j.State != JobQueued {

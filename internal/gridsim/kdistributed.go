@@ -50,7 +50,7 @@ func (g *Grid) SubmitToSite(siteIdx int, runtime float64) *Job {
 	j := g.newJob(runtime)
 	g.Submitted++
 	j.State = JobSubmitted
-	delay := g.cfg.WMSDelay.Rand(g.rng)
+	delay := g.wmsDelay()
 	g.Engine.Schedule(delay, func() {
 		if j.State == JobCancelled {
 			return

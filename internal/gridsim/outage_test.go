@@ -1,0 +1,233 @@
+package gridsim
+
+import (
+	"math"
+	"testing"
+
+	"gridstrat/internal/stats"
+)
+
+// quietGrid builds a deterministic single-purpose grid: constant WMS
+// delay, effectively no background load, no faults.
+func quietGrid(t *testing.T, sites, slots int, wms float64) *Grid {
+	t.Helper()
+	cfg := GridConfig{
+		WMSLatency: func(float64) float64 { return wms },
+		Seed:       7,
+	}
+	for i := 0; i < sites; i++ {
+		cfg.Sites = append(cfg.Sites, SiteConfig{
+			Name:                   "q",
+			Slots:                  slots,
+			BackgroundInterArrival: 1e9,
+			BackgroundRuntime:      stats.NewShifted(stats.NewLogNormal(1, 0.1), 1),
+		})
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestScheduleOutageValidation(t *testing.T) {
+	g := quietGrid(t, 2, 1, 10)
+	if err := g.ScheduleOutage(-1, 0, 10); err == nil {
+		t.Error("negative site index accepted")
+	}
+	if err := g.ScheduleOutage(2, 0, 10); err == nil {
+		t.Error("out-of-range site index accepted")
+	}
+	if err := g.ScheduleOutage(0, -5, 10); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := g.ScheduleOutage(0, 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := g.ScheduleOutage(0, 0, math.NaN()); err == nil {
+		t.Error("NaN duration accepted")
+	}
+	if err := g.ScheduleGridOutage(100, 50); err != nil {
+		t.Errorf("valid grid-wide outage rejected: %v", err)
+	}
+}
+
+// TestOutageDuringQueue: a job that reaches the CE queue while the
+// site is down must wait out the outage and start at recovery, not
+// vanish and not start early.
+func TestOutageDuringQueue(t *testing.T) {
+	g := quietGrid(t, 1, 1, 10)
+	if err := g.ScheduleOutage(0, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	j := g.Submit(50) // arrives at the queue at t=10, mid-outage
+	g.Engine.Run(200)
+	if !g.SiteDown(0) {
+		t.Fatal("site should be down at t=200")
+	}
+	if j.State != JobQueued {
+		t.Fatalf("job state %v at t=200, want queued behind the outage", j.State)
+	}
+	g.Engine.Run(2000)
+	if j.State != JobDone {
+		t.Fatalf("job state %v after recovery, want done", j.State)
+	}
+	if j.Start < 500 || j.Start > 501 {
+		t.Errorf("job started at %v, want at recovery (t=500)", j.Start)
+	}
+}
+
+// TestOutageDuringRun: an outage beginning while a job occupies a slot
+// does not kill the job — batch systems drain; only new starts are
+// blocked.
+func TestOutageDuringRun(t *testing.T) {
+	g := quietGrid(t, 1, 1, 10)
+	if err := g.ScheduleOutage(0, 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	running := g.Submit(1000) // starts at t=10, runs through the outage
+	queued := (*Job)(nil)
+	g.Engine.Schedule(150, func() { queued = g.Submit(50) }) // arrives mid-outage
+	g.Engine.Run(250)
+	if running.State != JobRunning {
+		t.Fatalf("running job state %v mid-outage, want running", running.State)
+	}
+	g.Engine.Run(5000)
+	if running.State != JobDone || math.Abs(running.Done-1010) > 1 {
+		t.Errorf("running job: state %v done at %v, want done at ~1010", running.State, running.Done)
+	}
+	// The queued job waited for the slot, not just the outage: the
+	// running job holds the only slot until 1010.
+	if queued.State != JobDone {
+		t.Fatalf("queued job state %v, want done", queued.State)
+	}
+	if queued.Start < 1010-1 {
+		t.Errorf("queued job started at %v, want after the slot freed (~1010)", queued.Start)
+	}
+}
+
+// TestOverlappingOutagesNest: two overlapping windows must keep the
+// site down until the LAST one ends. With boolean down-tracking the
+// inner window's recovery would wrongly re-open the site.
+func TestOverlappingOutagesNest(t *testing.T) {
+	g := quietGrid(t, 1, 1, 10)
+	if err := g.ScheduleOutage(0, 100, 300); err != nil { // down 100..400
+		t.Fatal(err)
+	}
+	if err := g.ScheduleOutage(0, 200, 100); err != nil { // down 200..300, nested
+		t.Fatal(err)
+	}
+	g.Engine.Schedule(150, func() { g.Submit(50) })
+	g.Engine.Run(320)
+	if !g.SiteDown(0) {
+		t.Fatal("site re-opened at t=320 after the nested window closed; outer window should hold it down until 400")
+	}
+	g.Engine.Run(450)
+	if g.SiteDown(0) {
+		t.Fatal("site still down at t=450")
+	}
+}
+
+// TestRecoveryRedispatch: every job queued behind an outage is
+// re-dispatched at recovery, in FIFO order, up to the slot count.
+func TestRecoveryRedispatch(t *testing.T) {
+	g := quietGrid(t, 1, 2, 10)
+	if err := g.ScheduleOutage(0, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, g.Submit(100))
+	}
+	g.Engine.Run(400)
+	for i, j := range jobs {
+		if j.State != JobQueued {
+			t.Fatalf("job %d state %v mid-outage, want queued", i, j.State)
+		}
+	}
+	g.Engine.Run(5000)
+	for i, j := range jobs {
+		if j.State != JobDone {
+			t.Fatalf("job %d state %v after recovery, want done", i, j.State)
+		}
+	}
+	// Two slots: the first two start at recovery, the third when a
+	// slot frees at ~600.
+	if jobs[0].Start > 501 || jobs[1].Start > 501 {
+		t.Errorf("first two jobs started at %v and %v, want at recovery (~500)", jobs[0].Start, jobs[1].Start)
+	}
+	if jobs[2].Start < 599 {
+		t.Errorf("third job started at %v, want after a slot freed (~600)", jobs[2].Start)
+	}
+}
+
+// TestKDistributedUnderOutage: k-fold distributed placement keeps
+// completing tasks while one site sits in a long outage — redundancy
+// across sites is exactly what the strategy buys.
+func TestKDistributedUnderOutage(t *testing.T) {
+	g := quietGrid(t, 3, 4, 10)
+	if err := g.ScheduleOutage(0, 0, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunKDistributed(g, 2, 20, 10, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks != 20 {
+		t.Fatalf("completed %d/20 tasks", out.Tasks)
+	}
+	if out.TimedOutTasks != 0 {
+		t.Errorf("%d tasks abandoned despite two healthy sites", out.TimedOutTasks)
+	}
+	if math.IsInf(out.MeanJ, 0) || math.IsNaN(out.MeanJ) || out.MeanJ <= 0 {
+		t.Errorf("degenerate mean J %v", out.MeanJ)
+	}
+}
+
+// TestSubmitToSiteHonorsOutage: direct placement onto a down site
+// queues rather than starts.
+func TestSubmitToSiteHonorsOutage(t *testing.T) {
+	g := quietGrid(t, 2, 1, 10)
+	if err := g.ScheduleOutage(1, 0, 300); err != nil {
+		t.Fatal(err)
+	}
+	j := g.SubmitToSite(1, 50)
+	g.Engine.Run(200)
+	if j.State != JobQueued {
+		t.Fatalf("job on down site in state %v at t=200, want queued", j.State)
+	}
+	g.Engine.Run(1000)
+	if j.State != JobDone || j.Start < 300 {
+		t.Errorf("job state %v started %v, want done with start at recovery (>=300)", j.State, j.Start)
+	}
+}
+
+// TestWMSLatencyClamped: a hostile WMSLatency closure returning
+// negative or NaN delays must not panic the engine.
+func TestWMSLatencyClamped(t *testing.T) {
+	bad := []float64{-5, math.NaN(), 0}
+	i := 0
+	cfg := GridConfig{
+		WMSLatency: func(float64) float64 { d := bad[i%len(bad)]; i++; return d },
+		Seed:       3,
+		Sites: []SiteConfig{{
+			Name: "q", Slots: 2,
+			BackgroundInterArrival: 1e9,
+			BackgroundRuntime:      stats.NewShifted(stats.NewLogNormal(1, 0.1), 1),
+		}},
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for range bad {
+		jobs = append(jobs, g.Submit(10))
+	}
+	g.Engine.Run(100)
+	for i, j := range jobs {
+		if j.State != JobDone {
+			t.Errorf("job %d state %v, want done", i, j.State)
+		}
+	}
+}

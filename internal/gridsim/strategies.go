@@ -80,21 +80,41 @@ type StrategyOutcome struct {
 	TimedOutTasks   int     // tasks that never started within the budget
 }
 
+// TaskOutcome is one task's result in a detailed strategy run.
+type TaskOutcome struct {
+	TaskResult
+	// Started reports whether the task got a copy running within its
+	// round budget; when false the TaskResult carries only the load the
+	// abandoned task placed on the grid.
+	Started bool
+}
+
 // RunStrategy executes `tasks` sequential tasks under the strategy
 // against the live grid and aggregates outcomes. Each task is given at
 // most maxRounds strategy rounds before being abandoned (counted in
 // TimedOutTasks) so a dead grid cannot hang the simulation.
 func RunStrategy(g *Grid, spec StrategySpec, tasks, maxRounds int, runtime float64) (StrategyOutcome, error) {
+	_, out, err := RunStrategyDetailed(g, spec, tasks, maxRounds, runtime)
+	return out, err
+}
+
+// RunStrategyDetailed is RunStrategy returning the per-task outcomes
+// alongside the aggregate — the raw material for SLO verdicts, where
+// a class target is a quantile of the per-task latency law rather than
+// a mean. The aggregate is computed exactly as RunStrategy always has.
+func RunStrategyDetailed(g *Grid, spec StrategySpec, tasks, maxRounds int, runtime float64) ([]TaskOutcome, StrategyOutcome, error) {
 	if err := spec.Validate(); err != nil {
-		return StrategyOutcome{}, err
+		return nil, StrategyOutcome{}, err
 	}
 	if tasks <= 0 || maxRounds <= 0 {
-		return StrategyOutcome{}, fmt.Errorf("gridsim: tasks and maxRounds must be positive")
+		return nil, StrategyOutcome{}, fmt.Errorf("gridsim: tasks and maxRounds must be positive")
 	}
+	outcomes := make([]TaskOutcome, 0, tasks)
 	var out StrategyOutcome
 	var sum, sum2, subs, par float64
 	for i := 0; i < tasks; i++ {
 		res, ok := runOneTask(g, spec, maxRounds, runtime)
+		outcomes = append(outcomes, TaskOutcome{TaskResult: res, Started: ok})
 		if !ok {
 			out.TimedOutTasks++
 			continue
@@ -118,7 +138,7 @@ func RunStrategy(g *Grid, spec StrategySpec, tasks, maxRounds int, runtime float
 		out.MeanSubmissions = subs / n
 		out.MeanParallel = par / n
 	}
-	return out, nil
+	return outcomes, out, nil
 }
 
 // runOneTask drives a single task to its first start.

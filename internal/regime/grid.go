@@ -1,0 +1,127 @@
+package regime
+
+import (
+	"math"
+
+	"gridstrat/internal/core"
+	"gridstrat/internal/gridsim"
+	"gridstrat/internal/stats"
+	"gridstrat/internal/trace"
+)
+
+// neverStartFactor: a copy whose draw says "never starts" is given a
+// finite dispatch delay far beyond any strategy timeout (timeouts are
+// bounded by the trace timeout), so the event engine never carries an
+// infinite timestamp while the client still only recovers the copy by
+// cancelling it.
+const neverStartFactor = 4
+
+// GridSites is the replay grid's CE count. The grid is deliberately
+// latency-process-dominated: plenty of slots per site and light
+// background load, so a probe's observed latency is the regime law
+// itself (plus outage queueing), matching the model's view of latency
+// as an exogenous process rather than re-deriving it from emergent
+// queueing the law was not calibrated to.
+const GridSites = 4
+
+// Grid builds a replay grid driven by the regime: probe-facing latency
+// follows the same seeded state path as the generated trace (storms,
+// outages, diurnal phase) with an independent draw stream, background
+// arrivals follow the regime's rate factor through the event engine,
+// and synchronized outage windows take every CE down for real so
+// queued jobs wait them out.
+func (s Spec) Grid() (*gridsim.Grid, *Process, error) {
+	p, err := NewProcess(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := p.NewGrid()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, p, nil
+}
+
+// NewGrid instantiates the replay grid for an existing process (see
+// Spec.Grid).
+func (p *Process) NewGrid() (*gridsim.Grid, error) {
+	spec := p.spec
+	draw := core.NewSeededRand(spec.Seed + saltReplay)
+	cfg := gridsim.GridConfig{
+		// The latency process replaces the stationary WMS delay; the
+		// closure owns its stream, so the grid's internal randomness
+		// (background arrivals) cannot shift the regime draws.
+		WMSLatency: func(now float64) float64 {
+			lat, st := p.Draw(now, draw)
+			if st != trace.StatusCompleted {
+				return neverStartFactor * trace.DefaultTimeout
+			}
+			return lat
+		},
+		RateModulator: p.RateFactor,
+		InfoStaleness: 300,
+		Seed:          int64(spec.Seed + saltGrid),
+	}
+	for i := 0; i < GridSites; i++ {
+		cfg.Sites = append(cfg.Sites, gridsim.SiteConfig{
+			Name:  "ce" + string(rune('a'+i)),
+			Slots: 64,
+			// Light background churn: the event engine stays busy and
+			// the rate modulator is exercised, but queue waits stay
+			// negligible next to the regime latency itself.
+			BackgroundInterArrival: 240,
+			BackgroundRuntime:      stats.NewShifted(stats.NewLogNormal(5.5, 1.0), 30),
+		})
+	}
+	g, err := gridsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Correlated downtime: every site fails together for each window
+	// of the precomputed path, so queued work genuinely stalls.
+	for _, iv := range p.outages {
+		if err := g.ScheduleGridOutage(iv.Start, iv.End-iv.Start); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ReplaySLO runs a parameterized strategy against a fresh replay grid
+// of the regime and scores it against a per-task latency deadline: the
+// achieved hit rate counts a task as meeting the SLO only if it
+// started within the deadline, with abandoned tasks counted as misses.
+type ReplayResult struct {
+	Outcome  gridsim.StrategyOutcome
+	HitRate  float64 // fraction of tasks with J <= deadline
+	Tasks    int     // tasks replayed (started + abandoned)
+	MaxJ     float64 // slowest started task
+	Deadline float64
+}
+
+// Replay executes the strategy on a fresh grid built from the process
+// and scores per-task outcomes against the deadline.
+func (p *Process) Replay(spec gridsim.StrategySpec, tasks, maxRounds int, runtime, deadline float64) (ReplayResult, error) {
+	g, err := p.NewGrid()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	outcomes, agg, err := gridsim.RunStrategyDetailed(g, spec, tasks, maxRounds, runtime)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res := ReplayResult{Outcome: agg, Tasks: len(outcomes), Deadline: deadline}
+	hits := 0
+	for _, o := range outcomes {
+		if o.Started && o.J <= deadline {
+			hits++
+		}
+		if o.Started {
+			res.MaxJ = math.Max(res.MaxJ, o.J)
+		}
+	}
+	if res.Tasks > 0 {
+		res.HitRate = float64(hits) / float64(res.Tasks)
+	}
+	return res, nil
+}

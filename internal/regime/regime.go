@@ -1,0 +1,439 @@
+// Package regime generates adversarial, non-stationary latency
+// regimes for the planner to be validated against. The paper's 12
+// EGEE datasets are static snapshots; production grids exhibit the
+// regimes this package synthesizes deliberately: heavy-tailed latency
+// bodies, diurnal load swings, bursty regime switching between calm
+// and storm states, and correlated outages where every CE fails at
+// once.
+//
+// A Spec is fully seeded and deterministic. It yields two coupled
+// products:
+//
+//   - Trace() — a probe-measurement trace drawn from the regime's
+//     time-varying latency law, byte-identical for a given seed, for
+//     the model-ingestion path;
+//   - Grid() — a gridsim instance whose probe-facing latency follows
+//     the *same* seeded regime path (same storm intervals, same outage
+//     windows, same diurnal phase) with an independent draw stream,
+//     for replaying a planned strategy against the regime the model
+//     was fitted on.
+//
+// Randomness follows the PR 2 sharded-RNG convention: every use site
+// gets its own SplitMix64 stream derived from the master seed plus a
+// distinct stream salt, so the trace stream, the regime state path,
+// and the replay draw stream never couple, and generating traces
+// concurrently is race-free by construction.
+package regime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridstrat/internal/core"
+	"gridstrat/internal/stats"
+	"gridstrat/internal/trace"
+)
+
+// Kind enumerates the adversarial workload regimes.
+type Kind int
+
+const (
+	// Stationary is the control: the dataset's calibrated latency law,
+	// unchanged over time. The planner's i.i.d. assumption holds.
+	Stationary Kind = iota
+	// HeavyTail mixes a Pareto tail into the latency body: a fraction
+	// of probes pay a power-law price, fattening high quantiles far
+	// beyond the lognormal calibration.
+	HeavyTail
+	// Diurnal modulates latency scale and background arrival rate with
+	// a 24 h sinusoid — the paper's §3.1 "fast-evolving" load pattern.
+	Diurnal
+	// Switching is a two-state Markov-modulated regime: exponential
+	// sojourns alternate between a calm state (the calibrated law) and
+	// a storm state with scaled latencies, boosted outlier probability
+	// and boosted background arrivals.
+	Switching
+	// Outage injects correlated CE downtime bursts: during a window,
+	// every site is down at once and no submission can start, so
+	// client-side redundancy is useless until the grid recovers.
+	Outage
+	numKinds
+)
+
+var kindNames = map[Kind]string{
+	Stationary: "stationary",
+	HeavyTail:  "heavytail",
+	Diurnal:    "diurnal",
+	Switching:  "switching",
+	Outage:     "outage",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind maps a regime name back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("regime: unknown regime %q", s)
+}
+
+// Kinds returns all regimes in declaration order (the conformance
+// harness's row order).
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stream salts: every random stream the package consumes is derived
+// as core.NewSeededRand(spec.Seed + salt). SplitMix64 decorrelates
+// adjacent seeds, so nearby salts are fine; what matters is that each
+// use site owns a distinct stream.
+const (
+	saltStates = 0x51a7e5 // regime state path (storm + outage intervals)
+	saltTrace  = 0x7eace  // trace-generation draws
+	saltReplay = 0x3e91a  // grid-replay latency draws
+	saltGrid   = 0x6e1d   // gridsim internal randomness (background load)
+)
+
+// faultShare is the fraction of non-starting probes recorded as
+// middleware faults (detected before the timeout) rather than silent
+// outliers — same convention as the calibrated dataset synthesizer.
+const faultShare = 0.3
+
+// probeSlots is the constant in-flight probe count of the monitoring
+// campaign the trace generator replays.
+const probeSlots = 25
+
+// Spec fully parameterizes one regime over one calibration dataset.
+// The zero value of every knob selects the per-kind default.
+type Spec struct {
+	Kind    Kind
+	Dataset trace.DatasetSpec // calibration anchor (body moments, ρ)
+	Probes  int               // trace length; 0 → Dataset.Probes
+	Seed    uint64            // master seed; all streams derive from it
+
+	// Horizon bounds the precomputed regime state path (seconds).
+	// Beyond it the regime is calm with no outages. 0 → 14 days.
+	Horizon float64
+
+	// HeavyTail knobs.
+	TailFrac  float64 // mixture weight of the Pareto tail; 0 → 0.12
+	TailAlpha float64 // Pareto shape; 0 → 1.4 (infinite variance)
+
+	// Diurnal knobs.
+	DiurnalAmp float64 // relative amplitude of the sinusoid; 0 → 0.6
+
+	// Switching knobs.
+	CalmMean   float64 // mean calm sojourn (s); 0 → 6 h
+	StormMean  float64 // mean storm sojourn (s); 0 → 2 h
+	StormScale float64 // storm latency multiplier; 0 → 3
+	StormRho   float64 // additive storm outlier probability; 0 → 0.15
+
+	// Outage knobs.
+	OutageGap float64 // mean gap between synchronized outages (s); 0 → 4 h
+	OutageDur float64 // mean outage duration (s); 0 → 25 min
+}
+
+// withDefaults returns the spec with zero knobs replaced by the
+// per-kind defaults.
+func (s Spec) withDefaults() Spec {
+	if s.Probes == 0 {
+		s.Probes = s.Dataset.Probes
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 14 * 86400
+	}
+	if s.TailFrac == 0 {
+		s.TailFrac = 0.12
+	}
+	if s.TailAlpha == 0 {
+		s.TailAlpha = 1.4
+	}
+	if s.DiurnalAmp == 0 {
+		s.DiurnalAmp = 0.6
+	}
+	if s.CalmMean == 0 {
+		s.CalmMean = 6 * 3600
+	}
+	if s.StormMean == 0 {
+		s.StormMean = 2 * 3600
+	}
+	if s.StormScale == 0 {
+		s.StormScale = 3
+	}
+	if s.StormRho == 0 {
+		s.StormRho = 0.15
+	}
+	if s.OutageGap == 0 {
+		s.OutageGap = 4 * 3600
+	}
+	if s.OutageDur == 0 {
+		s.OutageDur = 25 * 60
+	}
+	return s
+}
+
+// Validate checks the spec (after defaulting).
+func (s Spec) Validate() error {
+	d := s.withDefaults()
+	if d.Kind < 0 || d.Kind >= numKinds {
+		return fmt.Errorf("regime: unknown kind %d", int(d.Kind))
+	}
+	if d.Probes <= 0 {
+		return fmt.Errorf("regime: non-positive probe count %d", d.Probes)
+	}
+	if d.Dataset.MeanBody <= 0 || d.Dataset.StdBody <= 0 {
+		return fmt.Errorf("regime: dataset %q has no calibration moments", d.Dataset.Name)
+	}
+	if d.Horizon <= 0 {
+		return fmt.Errorf("regime: non-positive horizon %v", d.Horizon)
+	}
+	if d.TailFrac < 0 || d.TailFrac >= 1 {
+		return fmt.Errorf("regime: tail fraction %v outside [0, 1)", d.TailFrac)
+	}
+	if d.TailAlpha <= 1 {
+		return fmt.Errorf("regime: Pareto shape %v must exceed 1 (finite mean)", d.TailAlpha)
+	}
+	if d.DiurnalAmp < 0 || d.DiurnalAmp >= 1 {
+		return fmt.Errorf("regime: diurnal amplitude %v outside [0, 1)", d.DiurnalAmp)
+	}
+	if d.CalmMean <= 0 || d.StormMean <= 0 || d.StormScale < 1 {
+		return fmt.Errorf("regime: invalid switching knobs calm=%v storm=%v scale=%v",
+			d.CalmMean, d.StormMean, d.StormScale)
+	}
+	if d.StormRho < 0 || d.StormRho >= 1 {
+		return fmt.Errorf("regime: storm outlier boost %v outside [0, 1)", d.StormRho)
+	}
+	if d.OutageGap <= 0 || d.OutageDur <= 0 {
+		return fmt.Errorf("regime: invalid outage knobs gap=%v dur=%v", d.OutageGap, d.OutageDur)
+	}
+	rho := d.Dataset.Rho()
+	if rho < 0 || rho >= 1 {
+		return fmt.Errorf("regime: dataset %q implies invalid outlier ratio %v", d.Dataset.Name, rho)
+	}
+	return nil
+}
+
+// Name returns the canonical cell label, e.g. "2006-IX+switching".
+func (s Spec) Name() string { return s.Dataset.Name + "+" + s.Kind.String() }
+
+// interval is one half-open [Start, End) window of the state path.
+type interval struct{ Start, End float64 }
+
+func inAny(ivs []interval, t float64) bool {
+	for _, iv := range ivs {
+		if t >= iv.Start && t < iv.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Process is an instantiated regime: the calibrated latency law plus
+// the precomputed, seed-determined state path. Both the trace
+// generator and the replay grid are built from the same Process, so
+// they share storm intervals, outage windows and diurnal phase while
+// drawing latencies from independent streams.
+type Process struct {
+	spec Spec
+	body stats.Distribution // calibrated body law (below-timeout moments)
+	tail stats.Distribution // Pareto tail (HeavyTail only)
+	rho  float64            // baseline outlier probability
+
+	storms  []interval // Switching: storm windows
+	outages []interval // Outage: synchronized downtime windows
+}
+
+// NewProcess calibrates and instantiates the regime.
+func NewProcess(spec Spec) (*Process, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	body, err := trace.BodyDistribution(spec.Dataset.MeanBody, spec.Dataset.StdBody, trace.DefaultTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("regime: %s: %w", spec.Name(), err)
+	}
+	p := &Process{spec: spec, body: body, rho: spec.Dataset.Rho()}
+	if spec.Kind == HeavyTail {
+		// Tail draws start at the body mean: a tail event is never
+		// cheaper than a typical probe, and with α < 2 the excess has
+		// infinite variance.
+		p.tail = stats.NewShifted(stats.NewPareto(spec.Dataset.MeanBody, spec.TailAlpha), trace.LatencyFloor)
+	}
+
+	// The state path consumes its own stream, so traces and replays
+	// built from the same seed see the same storms and outages.
+	rng := core.NewSeededRand(spec.Seed + saltStates)
+	switch spec.Kind {
+	case Switching:
+		t := rng.ExpFloat64() * spec.CalmMean // start calm
+		for t < spec.Horizon {
+			storm := rng.ExpFloat64() * spec.StormMean
+			p.storms = append(p.storms, interval{Start: t, End: t + storm})
+			t += storm + rng.ExpFloat64()*spec.CalmMean
+		}
+	case Outage:
+		t := rng.ExpFloat64() * spec.OutageGap
+		for t < spec.Horizon {
+			dur := 120 + rng.ExpFloat64()*spec.OutageDur
+			p.outages = append(p.outages, interval{Start: t, End: t + dur})
+			t += dur + rng.ExpFloat64()*spec.OutageGap
+		}
+	}
+	return p, nil
+}
+
+// Spec returns the defaulted spec the process was built from.
+func (p *Process) Spec() Spec { return p.spec }
+
+// InStorm reports whether the switching regime is in its storm state
+// at time t.
+func (p *Process) InStorm(t float64) bool { return inAny(p.storms, t) }
+
+// InOutage reports whether a synchronized outage covers time t.
+func (p *Process) InOutage(t float64) bool { return inAny(p.outages, t) }
+
+// Outages returns the synchronized downtime windows (nil for regimes
+// without them).
+func (p *Process) Outages() []struct{ Start, End float64 } {
+	out := make([]struct{ Start, End float64 }, len(p.outages))
+	for i, iv := range p.outages {
+		out[i] = struct{ Start, End float64 }{iv.Start, iv.End}
+	}
+	return out
+}
+
+// scale is the latency multiplier applied to the above-floor part of a
+// draw at time t: diurnal sinusoid or storm boost, 1 elsewhere.
+func (p *Process) scale(t float64) float64 {
+	switch p.spec.Kind {
+	case Diurnal:
+		return 1 + p.spec.DiurnalAmp*math.Sin(2*math.Pi*t/86400)
+	case Switching:
+		if p.InStorm(t) {
+			return p.spec.StormScale
+		}
+	}
+	return 1
+}
+
+// outlierProb is the probability that a submission at time t never
+// starts (silent loss or terminal fault).
+func (p *Process) outlierProb(t float64) float64 {
+	rho := p.rho
+	if p.spec.Kind == Switching && p.InStorm(t) {
+		rho += p.spec.StormRho
+		if rho > 0.9 {
+			rho = 0.9
+		}
+	}
+	return rho
+}
+
+// RateFactor is the background arrival-rate multiplier the regime
+// imposes on the grid at time t: load swings with the diurnal phase
+// and surges during storms. It is the GridConfig.RateModulator of the
+// replay grid.
+func (p *Process) RateFactor(t float64) float64 {
+	switch p.spec.Kind {
+	case Diurnal:
+		return 1 + p.spec.DiurnalAmp*math.Sin(2*math.Pi*t/86400)
+	case Switching:
+		if p.InStorm(t) {
+			return p.spec.StormScale
+		}
+	}
+	return 1
+}
+
+// Draw samples one probe's fate at submission time t from the stream
+// rng: its latency and terminal status, censored at the trace timeout
+// exactly like a real monitoring campaign.
+func (p *Process) Draw(t float64, rng *rand.Rand) (lat float64, st trace.Status) {
+	// During a synchronized outage nothing starts: the probe is lost
+	// (client timeout) or surfaces as a middleware fault.
+	if p.InOutage(t) {
+		if rng.Float64() < faultShare {
+			return trace.LatencyFloor + rng.Float64()*(trace.DefaultTimeout-trace.LatencyFloor), trace.StatusFault
+		}
+		return trace.DefaultTimeout, trace.StatusOutlier
+	}
+	if rng.Float64() < p.outlierProb(t) {
+		if rng.Float64() < faultShare {
+			return trace.LatencyFloor + rng.Float64()*(trace.DefaultTimeout-trace.LatencyFloor), trace.StatusFault
+		}
+		return trace.DefaultTimeout, trace.StatusOutlier
+	}
+	x := p.body.Rand(rng)
+	if p.spec.Kind == HeavyTail && rng.Float64() < p.spec.TailFrac {
+		x = p.tail.Rand(rng)
+	}
+	// Scale the above-floor part: the middleware round trip itself is
+	// incompressible, load only stretches the queueing on top of it.
+	if s := p.scale(t); s != 1 {
+		x = trace.LatencyFloor + (x-trace.LatencyFloor)*s
+	}
+	if x < trace.LatencyFloor {
+		x = trace.LatencyFloor
+	}
+	if x >= trace.DefaultTimeout {
+		return trace.DefaultTimeout, trace.StatusOutlier
+	}
+	return x, trace.StatusCompleted
+}
+
+// Trace synthesizes the regime's probe-measurement trace: a constant
+// in-flight campaign whose per-probe fate is drawn from the
+// time-varying law at each probe's actual submission instant. For a
+// fixed Spec the result is byte-identical across runs — the campaign
+// replay is sequential and consumes only the spec-derived streams.
+func (s Spec) Trace() (*trace.Trace, error) {
+	p, err := NewProcess(s)
+	if err != nil {
+		return nil, err
+	}
+	return p.GenerateTrace()
+}
+
+// GenerateTrace runs the probe campaign against the instantiated
+// process (see Spec.Trace).
+func (p *Process) GenerateTrace() (*trace.Trace, error) {
+	spec := p.spec
+	rng := core.NewSeededRand(spec.Seed + saltTrace)
+	records := make([]trace.ProbeRecord, spec.Probes)
+	free := make([]float64, probeSlots) // next instant each slot frees
+	for i := range records {
+		slot := 0
+		for s := 1; s < len(free); s++ {
+			if free[s] < free[slot] {
+				slot = s
+			}
+		}
+		submit := free[slot]
+		lat, st := p.Draw(submit, rng)
+		records[i] = trace.ProbeRecord{ID: i, Submit: submit, Latency: lat, Status: st}
+		occupancy := lat
+		if st == trace.StatusOutlier {
+			occupancy = trace.DefaultTimeout
+		}
+		free[slot] += occupancy
+	}
+	t := &trace.Trace{Name: spec.Name(), Timeout: trace.DefaultTimeout, Records: records}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

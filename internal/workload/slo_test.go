@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassParseAndOrder(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("bulk"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	cs := Classes()
+	if len(cs) != 3 || cs[0] != ClassCritical || cs[2] != ClassSheddable {
+		t.Errorf("Classes() = %v, want critical..sheddable in priority order", cs)
+	}
+}
+
+func TestClassPolicyValidate(t *testing.T) {
+	good := ClassPolicy{Class: ClassStandard, Deadline: 1000, Target: 0.9, MaxParallel: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	bad := []ClassPolicy{
+		{Class: numClasses, Deadline: 1000, Target: 0.9, MaxParallel: 2},
+		{Class: ClassCritical, Deadline: 0, Target: 0.9, MaxParallel: 2},
+		{Class: ClassCritical, Deadline: math.Inf(1), Target: 0.9, MaxParallel: 2},
+		{Class: ClassCritical, Deadline: 1000, Target: 0, MaxParallel: 2},
+		{Class: ClassCritical, Deadline: 1000, Target: 1, MaxParallel: 2},
+		{Class: ClassCritical, Deadline: 1000, Target: 0.9, MaxParallel: 0.5},
+		{Class: ClassCritical, Deadline: 1000, Target: 0.9, MaxParallel: 2, Budget: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: invalid policy %+v accepted", i, p)
+		}
+	}
+}
+
+func TestDefaultPoliciesShape(t *testing.T) {
+	ps := DefaultPolicies(500)
+	if len(ps) != 3 {
+		t.Fatalf("got %d policies", len(ps))
+	}
+	for i, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("default policy %d invalid: %v", i, err)
+		}
+	}
+	if ps[0].Class != ClassCritical || ps[1].Class != ClassStandard || ps[2].Class != ClassSheddable {
+		t.Error("default policies out of priority order")
+	}
+	// Deadlines loosen and targets relax down the priority ladder.
+	if !(ps[0].Deadline < ps[1].Deadline && ps[1].Deadline < ps[2].Deadline) {
+		t.Error("deadlines do not loosen with priority")
+	}
+	if !(ps[0].Target >= ps[1].Target && ps[1].Target >= ps[2].Target) {
+		t.Error("targets do not relax with priority")
+	}
+	if !(ps[0].MaxParallel > ps[2].MaxParallel) {
+		t.Error("critical does not get the larger copy budget")
+	}
+}
+
+func TestContendedAllocationPriorityOrder(t *testing.T) {
+	m := testModel(t)
+	app := Application{Tasks: 50, WaveWidth: 10, Runtime: 60}
+	// Generous deadline so every class is individually feasible at b=1;
+	// capacity 25 covers only the first two wave widths at b=1.
+	pols := DefaultPolicies(1e6)
+	demands := []ClassDemand{
+		{Policy: pols[2], App: app}, // deliberately out of order:
+		{Policy: pols[0], App: app}, // the planner must sort by class
+		{Policy: pols[1], App: app},
+	}
+	allocs, left, err := SmallestMeetingDeadlineContended(m, demands, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 3 {
+		t.Fatalf("got %d allocations", len(allocs))
+	}
+	for i, want := range []Class{ClassCritical, ClassStandard, ClassSheddable} {
+		if allocs[i].Class != want {
+			t.Fatalf("allocation %d is %s, want %s", i, allocs[i].Class, want)
+		}
+	}
+	if !allocs[0].Feasible || !allocs[1].Feasible {
+		t.Fatalf("critical/standard infeasible under generous deadline: %+v", allocs[:2])
+	}
+	// The sheddable class found no capacity left (25 - 10 - 10 < 10)
+	// and must be refused without consuming anything.
+	if allocs[2].Feasible {
+		t.Errorf("sheddable feasible with %v capacity left before it", 25-allocs[0].GridLoad-allocs[1].GridLoad)
+	}
+	if allocs[2].GridLoad != 0 {
+		t.Errorf("infeasible class consumed %v capacity", allocs[2].GridLoad)
+	}
+	if left < 0 {
+		t.Errorf("capacity over-committed: %v left", left)
+	}
+}
+
+func TestContendedAllocationTightDeadlineReportsInfeasible(t *testing.T) {
+	m := testModel(t)
+	app := Application{Tasks: 20, WaveWidth: 5, Runtime: 1}
+	pol := ClassPolicy{Class: ClassCritical, Deadline: 1, Target: 0.9, MaxParallel: 4}
+	allocs, left, err := SmallestMeetingDeadlineContended(m, []ClassDemand{{Policy: pol, App: app}}, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[0].Feasible {
+		t.Fatal("1-second application deadline reported feasible")
+	}
+	if allocs[0].Est.Makespan <= 1 {
+		t.Errorf("diagnostic estimate %v not populated", allocs[0].Est.Makespan)
+	}
+	if left != 100 {
+		t.Errorf("infeasible class consumed capacity: %v left", left)
+	}
+}
+
+func TestContendedAllocationValidation(t *testing.T) {
+	m := testModel(t)
+	app := Application{Tasks: 10, WaveWidth: 5, Runtime: 1}
+	pol := ClassPolicy{Class: ClassCritical, Deadline: 1000, Target: 0.9, MaxParallel: 2}
+	if _, _, err := SmallestMeetingDeadlineContended(m, nil, 0, 4); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, _, err := SmallestMeetingDeadlineContended(m, nil, 10, 0); err == nil {
+		t.Error("maxB 0 accepted")
+	}
+	badPol := pol
+	badPol.Target = 2
+	if _, _, err := SmallestMeetingDeadlineContended(m, []ClassDemand{{Policy: badPol, App: app}}, 10, 4); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	badApp := app
+	badApp.Tasks = 0
+	if _, _, err := SmallestMeetingDeadlineContended(m, []ClassDemand{{Policy: pol, App: badApp}}, 10, 4); err == nil {
+		t.Error("invalid application accepted")
+	}
+}

@@ -287,6 +287,111 @@ func (p *Planner) Recommend() (Recommendation, error) {
 	return best, nil
 }
 
+// classMaxB caps the collection sizes RecommendForClass enumerates —
+// beyond this, extra copies buy vanishing deadline probability while
+// the cost grows linearly.
+const classMaxB = 8
+
+// RecommendForClass plans one SLO class: among the configurations
+// compatible with the class's parallel-copy and Δcost budgets (the
+// optimized single baseline, multiple submission at every affordable
+// collection size, and the budget-compatible delayed ratio sweep), it
+// returns the cheapest one whose modeled deadline-hit probability
+// P(J <= Policy.Deadline) reaches Policy.Target. When no candidate
+// reaches the target, the planner reports infeasibility explicitly
+// (Feasible = false) and returns the closest miss — it never silently
+// recommends a configuration that misses the class SLO.
+func (p *Planner) RecommendForClass(pol ClassPolicy) (ClassRecommendation, error) {
+	if err := pol.Validate(); err != nil {
+		return ClassRecommendation{}, fmt.Errorf("gridstrat: %w", err)
+	}
+	cc, err := p.costContext()
+	if err != nil {
+		return ClassRecommendation{}, err
+	}
+	inBudget := func(delta float64) bool { return pol.Budget <= 0 || delta <= pol.Budget }
+
+	candidates := []Recommendation{p.singleBaseline(cc)}
+	maxB := affordableB(pol.MaxParallel)
+	if maxB > classMaxB {
+		maxB = classMaxB
+	}
+	for b := 2; b <= maxB; b++ {
+		tInf, ev, err := core.OptimizeMultipleCtx(p.cfg.ctx, p.model, b, p.cfg.parallelism)
+		if err != nil {
+			return ClassRecommendation{}, err
+		}
+		candidates = append(candidates, Recommendation{
+			Strategy: StrategyMultiple, TInf: tInf, B: b, Eval: ev, Delta: cc.Delta(ev.EJ, float64(b))})
+	}
+	for _, ratio := range delayedRatioGrid {
+		dp, ev, err := core.OptimizeDelayedRatioCtx(p.cfg.ctx, p.model, ratio, p.cfg.parallelism)
+		if err != nil {
+			return ClassRecommendation{}, err
+		}
+		if math.IsInf(ev.EJ, 1) || ev.Parallel > pol.MaxParallel {
+			continue
+		}
+		candidates = append(candidates, Recommendation{
+			Strategy: StrategyDelayed, Delayed: dp, Eval: ev, Delta: cc.Delta(ev.EJ, ev.Parallel)})
+	}
+
+	out := ClassRecommendation{Policy: pol, PHit: math.Inf(-1)}
+	bestDelta := math.Inf(1)
+	for _, cand := range candidates {
+		if cand.Eval.Parallel > pol.MaxParallel || !inBudget(cand.Delta) {
+			continue
+		}
+		cdf := cand.AsStrategy().CDF(p.model)
+		if cdf == nil {
+			continue
+		}
+		pHit := cdf(pol.Deadline)
+		switch {
+		case pHit >= pol.Target && (!out.Feasible ||
+			cand.Delta < bestDelta ||
+			(cand.Delta == bestDelta && cand.Eval.EJ < out.Rec.Eval.EJ)):
+			// Cheapest configuration meeting the SLO; expected latency
+			// breaks Δcost ties.
+			out.Feasible = true
+			out.Rec, out.PHit, bestDelta = cand, pHit, cand.Delta
+		case !out.Feasible && (pHit > out.PHit ||
+			(pHit == out.PHit && cand.Delta < bestDelta)):
+			// Track the closest miss until something feasible shows up.
+			out.Rec, out.PHit, bestDelta = cand, pHit, cand.Delta
+		}
+	}
+	if math.IsInf(out.PHit, -1) {
+		return ClassRecommendation{}, fmt.Errorf(
+			"gridstrat: no configuration fits class %s budgets (parallel <= %v, Δcost <= %v)",
+			pol.Class, pol.MaxParallel, pol.Budget)
+	}
+	return out, nil
+}
+
+// RecommendForClasses plans every policy (see RecommendForClass) and
+// returns the per-class recommendations in input order.
+func (p *Planner) RecommendForClasses(policies []ClassPolicy) ([]ClassRecommendation, error) {
+	out := make([]ClassRecommendation, 0, len(policies))
+	for _, pol := range policies {
+		cr, err := p.RecommendForClass(pol)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+// PlanClasses allocates collection sizes to per-class application
+// demands in priority order under a shared parallel-copy capacity —
+// the class-aware SmallestMeetingDeadline (see
+// workload.SmallestMeetingDeadlineContended). It returns the
+// allocations (critical first) and the unused capacity.
+func (p *Planner) PlanClasses(demands []ClassDemand, capacity float64, maxB int) ([]ClassAllocation, float64, error) {
+	return workload.SmallestMeetingDeadlineContended(p.model, demands, capacity, maxB)
+}
+
 // RecommendCheapest returns the configuration minimizing Δcost — the
 // infrastructure-friendly choice of the paper's §7: usually a delayed
 // strategy with Δcost < 1 when the latency law rewards it, otherwise

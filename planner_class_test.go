@@ -1,0 +1,138 @@
+package gridstrat
+
+import (
+	"strings"
+	"testing"
+)
+
+func classTestPlanner(t *testing.T) *Planner {
+	t.Helper()
+	tr, err := SynthesizeDataset("2006-IX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ModelFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecommendForClassFeasible(t *testing.T) {
+	p := classTestPlanner(t)
+	// A loose deadline every strategy can hit: the pick must be
+	// feasible and respect the class budgets.
+	pol := ClassPolicy{Class: ClassStandard, Deadline: 50000, Target: 0.85, MaxParallel: 2, Budget: 3}
+	cr, err := p.RecommendForClass(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Feasible {
+		t.Fatalf("loose deadline infeasible: %v", cr)
+	}
+	if cr.PHit < pol.Target {
+		t.Errorf("feasible with PHit %.3f < target %.2f", cr.PHit, pol.Target)
+	}
+	if cr.Rec.Eval.Parallel > pol.MaxParallel {
+		t.Errorf("recommendation burns %.2f parallel copies, budget %.1f", cr.Rec.Eval.Parallel, pol.MaxParallel)
+	}
+	if pol.Budget > 0 && cr.Rec.Delta > pol.Budget {
+		t.Errorf("recommendation Δcost %.2f over budget %.2f", cr.Rec.Delta, pol.Budget)
+	}
+	if !strings.Contains(cr.String(), "meets SLO") {
+		t.Errorf("String() = %q, want SLO verdict", cr.String())
+	}
+}
+
+func TestRecommendForClassInfeasibleIsExplicit(t *testing.T) {
+	p := classTestPlanner(t)
+	// Below the latency floor nothing can complete: the planner must
+	// report infeasibility with its closest miss, never claim success.
+	pol := ClassPolicy{Class: ClassCritical, Deadline: 50, Target: 0.9, MaxParallel: 5}
+	cr, err := p.RecommendForClass(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Feasible {
+		t.Fatalf("sub-floor deadline reported feasible: %v", cr)
+	}
+	if cr.PHit != 0 {
+		t.Errorf("modeled PHit %.3f, want 0 below the floor", cr.PHit)
+	}
+	if !strings.Contains(cr.String(), "INFEASIBLE") {
+		t.Errorf("String() = %q, want INFEASIBLE verdict", cr.String())
+	}
+}
+
+func TestRecommendForClassTighterBudgetNeverBeatsLooser(t *testing.T) {
+	p := classTestPlanner(t)
+	loose := ClassPolicy{Class: ClassCritical, Deadline: 2000, Target: 0.9, MaxParallel: 5}
+	tight := loose
+	tight.Class = ClassSheddable
+	tight.MaxParallel = 1
+	crLoose, err := p.RecommendForClass(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crTight, err := p.RecommendForClass(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crTight.PHit > crLoose.PHit+1e-9 {
+		t.Errorf("single-copy budget got PHit %.3f above 5-copy budget's %.3f", crTight.PHit, crLoose.PHit)
+	}
+	if crTight.Rec.Eval.Parallel > 1 {
+		t.Errorf("sheddable recommendation uses %.2f parallel copies", crTight.Rec.Eval.Parallel)
+	}
+}
+
+func TestRecommendForClassesOrderAndValidation(t *testing.T) {
+	p := classTestPlanner(t)
+	crs, err := p.RecommendForClasses(DefaultClassPolicies(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs) != 3 {
+		t.Fatalf("got %d recommendations", len(crs))
+	}
+	for i, want := range SLOClasses() {
+		if crs[i].Policy.Class != want {
+			t.Errorf("recommendation %d for class %s, want %s (input order)", i, crs[i].Policy.Class, want)
+		}
+	}
+	if _, err := p.RecommendForClass(ClassPolicy{Class: ClassCritical, Deadline: -1, Target: 0.9, MaxParallel: 2}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestPlanClassesMatchesWorkloadPlanner(t *testing.T) {
+	p := classTestPlanner(t)
+	app := Application{Tasks: 40, WaveWidth: 10, Runtime: 60}
+	demands := []ClassDemand{
+		{Policy: ClassPolicy{Class: ClassCritical, Deadline: 1e6, Target: 0.9, MaxParallel: 4}, App: app},
+		{Policy: ClassPolicy{Class: ClassSheddable, Deadline: 1e6, Target: 0.75, MaxParallel: 1}, App: app},
+	}
+	allocs, left, err := p.PlanClasses(demands, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 || allocs[0].Class != ClassCritical {
+		t.Fatalf("unexpected allocations %+v", allocs)
+	}
+	want, wantLeft, err := SmallestMeetingDeadlineByClass(p.Model(), demands, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != wantLeft || len(allocs) != len(want) {
+		t.Fatalf("PlanClasses diverges from workload planner: left %v vs %v", left, wantLeft)
+	}
+	for i := range want {
+		if allocs[i] != want[i] {
+			t.Errorf("allocation %d: %+v vs %+v", i, allocs[i], want[i])
+		}
+	}
+}

@@ -54,6 +54,32 @@ func (r Recommendation) String() string {
 	}
 }
 
+// ClassRecommendation is the outcome of SLO-class-aware planning: the
+// configuration chosen for one class, the modeled probability that a
+// task meets the class deadline under it, and whether that probability
+// reaches the class target. When Feasible is false the planner is
+// explicitly reporting that no configuration within the class's
+// parallel-copy and Δcost budgets meets the SLO — the recommendation
+// is then the closest miss (highest modeled hit probability), so the
+// caller can degrade deliberately instead of discovering the miss in
+// production.
+type ClassRecommendation struct {
+	Policy   ClassPolicy
+	Rec      Recommendation
+	PHit     float64 // modeled P(J <= Policy.Deadline) under Rec
+	Feasible bool    // PHit >= Policy.Target
+}
+
+// String renders a one-line summary.
+func (c ClassRecommendation) String() string {
+	verdict := "meets SLO"
+	if !c.Feasible {
+		verdict = "INFEASIBLE"
+	}
+	return fmt.Sprintf("%s: %v — P(J<=%.0fs)=%.3f (target %.2f, %s)",
+		c.Policy.Class, c.Rec, c.Policy.Deadline, c.PHit, c.Policy.Target, verdict)
+}
+
 // Recommend picks the strategy with the smallest expected total
 // latency among those whose average parallel-copy count stays within
 // maxParallel (≥ 1).

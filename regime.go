@@ -1,0 +1,203 @@
+package gridstrat
+
+import (
+	"fmt"
+
+	"gridstrat/internal/regime"
+	"gridstrat/internal/trace"
+)
+
+// --- Adversarial workload regimes ---
+
+// RegimeKind selects one of the seeded adversarial latency regimes.
+type RegimeKind = regime.Kind
+
+// The regime taxonomy (see internal/regime for each one's semantics).
+const (
+	RegimeStationary RegimeKind = regime.Stationary
+	RegimeHeavyTail  RegimeKind = regime.HeavyTail
+	RegimeDiurnal    RegimeKind = regime.Diurnal
+	RegimeSwitching  RegimeKind = regime.Switching
+	RegimeOutage     RegimeKind = regime.Outage
+)
+
+// RegimeKinds returns every regime kind in declaration order.
+func RegimeKinds() []RegimeKind { return regime.Kinds() }
+
+// ParseRegimeKind maps a regime name ("stationary", "heavytail",
+// "diurnal", "switching", "outage") to its kind.
+func ParseRegimeKind(s string) (RegimeKind, error) { return regime.ParseKind(s) }
+
+// RegimeSpec parameterizes one seeded regime over a dataset's
+// calibrated latency law.
+type RegimeSpec = regime.Spec
+
+// RegimeProcess is an instantiated regime: the precomputed state path
+// plus the latency law, shared by trace generation and grid replay.
+type RegimeProcess = regime.Process
+
+// RegimeReplayResult scores one strategy replay against a per-task
+// deadline.
+type RegimeReplayResult = regime.ReplayResult
+
+// NewRegimeSpec builds the spec for a named paper dataset (e.g.
+// "2006-IX") under a regime kind, with all knobs at their per-kind
+// defaults. Everything downstream — trace, model, replay grid — is a
+// pure function of the returned spec, so one (dataset, kind, seed)
+// triple pins an entire conformance cell.
+func NewRegimeSpec(dataset string, kind RegimeKind, seed uint64) (RegimeSpec, error) {
+	ds, err := trace.LookupDataset(dataset)
+	if err != nil {
+		return RegimeSpec{}, err
+	}
+	return RegimeSpec{Kind: kind, Dataset: ds, Seed: seed}, nil
+}
+
+// SynthesizeRegime generates the probe trace of a regime over a named
+// dataset — the adversarial counterpart of SynthesizeDataset.
+func SynthesizeRegime(dataset string, kind RegimeKind, seed uint64) (*Trace, error) {
+	spec, err := NewRegimeSpec(dataset, kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Trace()
+}
+
+// --- Replay conformance harness ---
+
+// RegimeVerdict is one regime × dataset × class cell of the replay
+// conformance harness: what the planner promised for the class, and
+// what the seeded grid replay delivered.
+type RegimeVerdict struct {
+	Regime  string `json:"regime"`
+	Dataset string `json:"dataset"`
+	Class   string `json:"class"`
+	Rec     string `json:"recommendation"`
+	Diag    string `json:"diag,omitempty"` // replay diagnostics
+
+	Deadline float64 `json:"deadline_s"`
+	Target   float64 `json:"target"`
+	PHit     float64 `json:"p_hit_modeled"`
+	Feasible bool    `json:"feasible"` // the planner's claim
+	HitRate  float64 `json:"hit_rate_replayed"`
+	Tasks    int     `json:"tasks"`
+
+	// SilentMiss is the harness failure condition: the planner claimed
+	// the class SLO feasible, but the replayed hit rate fell below
+	// Target − Slack. Infeasible-reported cells assert nothing — an
+	// explicit miss report is the planner doing its job.
+	SilentMiss bool `json:"silent_miss"`
+}
+
+// String renders a one-line verdict row.
+func (v RegimeVerdict) String() string {
+	claim := "infeasible"
+	if v.Feasible {
+		claim = "feasible"
+	}
+	mark := "ok"
+	if v.SilentMiss {
+		mark = "SILENT MISS"
+	}
+	return fmt.Sprintf("%-10s %-8s %-9s %-10s P=%.3f/%.2f replay=%.3f (%d tasks) %s",
+		v.Regime, v.Dataset, v.Class, claim, v.PHit, v.Target, v.HitRate, v.Tasks, mark)
+}
+
+// RegimeConformanceConfig tunes one harness cell.
+type RegimeConformanceConfig struct {
+	// Seed is the cell's master seed; every stream (state path, trace
+	// draws, replay draws, grid background) derives from it.
+	Seed uint64
+	// Tasks per class replay. 0 → 32.
+	Tasks int
+	// MaxRounds bounds strategy resubmission rounds per task. 0 → 64.
+	MaxRounds int
+	// Slack is subtracted from each class target before judging the
+	// replayed hit rate, absorbing finite-sample noise. 0 → 0.12.
+	Slack float64
+	// Deadline is the critical-class deadline in seconds;
+	// DefaultClassPolicies scales the other classes from it. 0 derives
+	// 4× the generated trace's mean body latency.
+	Deadline float64
+}
+
+func (c RegimeConformanceConfig) withDefaults() RegimeConformanceConfig {
+	if c.Tasks == 0 {
+		c.Tasks = 32
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 64
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.12
+	}
+	return c
+}
+
+// RunRegimeConformance executes one conformance cell: generate the
+// regime's probe trace, fit the empirical model, plan every SLO class
+// on it, then replay each class's recommended strategy against the
+// seeded grid driven by the same regime state path (independent draw
+// stream) and compare achieved hit rate with the planner's claim. The
+// returned verdicts carry one row per class; a row with SilentMiss set
+// means the planner promised an SLO the grid did not deliver.
+func RunRegimeConformance(spec RegimeSpec, cfg RegimeConformanceConfig) ([]RegimeVerdict, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Seed != 0 {
+		spec.Seed = cfg.Seed
+	}
+
+	proc, err := regime.NewProcess(spec)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := proc.GenerateTrace()
+	if err != nil {
+		return nil, err
+	}
+	m, err := ModelFromTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlanner(m)
+	if err != nil {
+		return nil, err
+	}
+
+	deadline := cfg.Deadline
+	if deadline == 0 {
+		deadline = 4 * tr.ComputeStats().MeanBody
+	}
+
+	verdicts := make([]RegimeVerdict, 0, 3)
+	for _, pol := range DefaultClassPolicies(deadline) {
+		cr, err := p.RecommendForClass(pol)
+		if err != nil {
+			return nil, fmt.Errorf("%s class %s: %w", spec.Name(), pol.Class, err)
+		}
+		simSpec, err := SimSpec(cr.Rec.AsStrategy())
+		if err != nil {
+			return nil, fmt.Errorf("%s class %s: %w", spec.Name(), pol.Class, err)
+		}
+		res, err := proc.Replay(simSpec, cfg.Tasks, cfg.MaxRounds, 1, pol.Deadline)
+		if err != nil {
+			return nil, fmt.Errorf("%s class %s replay: %w", spec.Name(), pol.Class, err)
+		}
+		verdicts = append(verdicts, RegimeVerdict{
+			Regime:   spec.Kind.String(),
+			Dataset:  spec.Dataset.Name,
+			Class:    pol.Class.String(),
+			Rec:      cr.Rec.String(),
+			Diag:     fmt.Sprintf("maxJ=%.0fs abandoned=%d", res.MaxJ, res.Outcome.TimedOutTasks),
+			Deadline: pol.Deadline,
+			Target:   pol.Target,
+			PHit:     cr.PHit,
+			Feasible: cr.Feasible,
+			HitRate:  res.HitRate,
+			Tasks:    res.Tasks,
+			SilentMiss: cr.Feasible &&
+				res.HitRate < pol.Target-cfg.Slack,
+		})
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,157 @@
+package gridstrat
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"gridstrat/internal/trace"
+)
+
+// regimeMasterSeed pins the whole conformance matrix: every stream in
+// every cell — regime state path, trace draws, replay draws, grid
+// background — derives from it, so the matrix is bit-reproducible.
+const regimeMasterSeed = 20090611
+
+// regimeShortDatasets is the -short subset: the densest trace of each
+// campaign era.
+var regimeShortDatasets = []string{"2006-IX", "2007-51", "2007-36", "2008-02"}
+
+// TestRegimeReplayConformance is the closing harness of the regime
+// subsystem: for every regime × dataset cell it generates the regime's
+// probe trace, fits the planner on it, asks for a per-class
+// recommendation, replays that recommendation through the event-driven
+// grid simulator against the same seeded regime, and requires that
+// every class either met its SLO in replay (within slack) or was
+// explicitly reported infeasible by the planner. A silent miss — the
+// planner claiming feasibility the grid did not deliver — fails the
+// cell.
+func TestRegimeReplayConformance(t *testing.T) {
+	datasets := make([]string, 0, len(trace.PaperDatasets))
+	if testing.Short() {
+		datasets = append(datasets, regimeShortDatasets...)
+	} else {
+		for _, ds := range trace.PaperDatasets {
+			datasets = append(datasets, ds.Name)
+		}
+	}
+
+	var (
+		tableMu sync.Mutex
+		table   []RegimeVerdict
+	)
+	for _, kind := range RegimeKinds() {
+		for _, name := range datasets {
+			kind, name := kind, name
+			t.Run(kind.String()+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				spec, err := NewRegimeSpec(name, kind, regimeMasterSeed)
+				if err != nil {
+					t.Fatalf("NewRegimeSpec: %v", err)
+				}
+				verdicts, err := RunRegimeConformance(spec, RegimeConformanceConfig{})
+				if err != nil {
+					t.Fatalf("RunRegimeConformance: %v", err)
+				}
+				if len(verdicts) != len(SLOClasses()) {
+					t.Fatalf("got %d verdicts, want one per class (%d)", len(verdicts), len(SLOClasses()))
+				}
+				for _, v := range verdicts {
+					t.Log(v)
+					if v.SilentMiss {
+						t.Errorf("silent SLO miss: planner claimed class %s feasible (P=%.3f >= %.2f) but replay hit rate was %.3f",
+							v.Class, v.PHit, v.Target, v.HitRate)
+					}
+					if !v.Feasible && v.PHit >= v.Target {
+						t.Errorf("class %s: infeasible verdict with modeled P=%.3f >= target %.2f", v.Class, v.PHit, v.Target)
+					}
+					if v.Tasks == 0 {
+						t.Errorf("class %s: replay ran zero tasks", v.Class)
+					}
+				}
+				tableMu.Lock()
+				table = append(table, verdicts...)
+				tableMu.Unlock()
+			})
+		}
+	}
+
+	// CI artifact: the full verdict table as JSON when requested.
+	t.Cleanup(func() {
+		out := os.Getenv("GRIDSTRAT_REGIME_OUT")
+		if out == "" || t.Failed() {
+			return
+		}
+		buf, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			t.Errorf("marshal verdict table: %v", err)
+			return
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			t.Errorf("write verdict table: %v", err)
+		}
+	})
+}
+
+// TestRegimeConformanceReportsInfeasible drives the harness into a
+// deadline no strategy can meet — below the latency floor, nothing
+// ever completes in time — and requires the planner to say so rather
+// than promise the impossible.
+func TestRegimeConformanceReportsInfeasible(t *testing.T) {
+	spec, err := NewRegimeSpec("2007-51", RegimeSwitching, regimeMasterSeed)
+	if err != nil {
+		t.Fatalf("NewRegimeSpec: %v", err)
+	}
+	verdicts, err := RunRegimeConformance(spec, RegimeConformanceConfig{
+		Deadline: trace.LatencyFloor - 20, // unreachable: below every possible latency
+	})
+	if err != nil {
+		t.Fatalf("RunRegimeConformance: %v", err)
+	}
+	// The critical class (deadline = base) can never be met; looser
+	// classes (2x, 4x base) may or may not be. At minimum the critical
+	// verdict must be an explicit infeasibility, never a silent miss.
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts")
+	}
+	crit := verdicts[0]
+	if crit.Class != ClassCritical.String() {
+		t.Fatalf("first verdict is %s, want critical", crit.Class)
+	}
+	if crit.Feasible {
+		t.Errorf("critical class with sub-floor deadline reported feasible (P=%.3f)", crit.PHit)
+	}
+	if crit.PHit != 0 {
+		t.Errorf("modeled P(J <= %v) = %.3f, want 0 below the latency floor", crit.Deadline, crit.PHit)
+	}
+	for _, v := range verdicts {
+		t.Log(v)
+		if v.SilentMiss {
+			t.Errorf("class %s: silent miss under unreachable deadline", v.Class)
+		}
+	}
+}
+
+// TestRegimeConformanceDeterminism reruns one full cell and requires
+// verdict-for-verdict identical output: the harness is a pure function
+// of (dataset, kind, seed).
+func TestRegimeConformanceDeterminism(t *testing.T) {
+	spec, err := NewRegimeSpec("2008-01", RegimeOutage, regimeMasterSeed)
+	if err != nil {
+		t.Fatalf("NewRegimeSpec: %v", err)
+	}
+	run := func() []RegimeVerdict {
+		v, err := RunRegimeConformance(spec, RegimeConformanceConfig{})
+		if err != nil {
+			t.Fatalf("RunRegimeConformance: %v", err)
+		}
+		return v
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("two runs of the same cell diverged:\n%s\n%s", aj, bj)
+	}
+}

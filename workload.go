@@ -67,6 +67,49 @@ func SmallestMeetingDeadline(m Model, a Application, deadline float64, maxB int)
 	return workload.SmallestMeetingDeadline(m, a, deadline, maxB)
 }
 
+// --- SLO-class planning ---
+
+// SLOClass is a planning-side SLO class, mirroring the admission
+// tiers the daemon enforces (critical | standard | sheddable).
+type SLOClass = workload.Class
+
+// Planning-side SLO classes in priority order.
+const (
+	ClassCritical  SLOClass = workload.ClassCritical
+	ClassStandard  SLOClass = workload.ClassStandard
+	ClassSheddable SLOClass = workload.ClassSheddable
+)
+
+// ParseSLOClass maps a class name ("critical", "standard",
+// "sheddable") to its value.
+func ParseSLOClass(s string) (SLOClass, error) { return workload.ParseClass(s) }
+
+// SLOClasses returns the three classes in priority order.
+func SLOClasses() []SLOClass { return workload.Classes() }
+
+// ClassPolicy is one class's planning SLO: deadline, required hit
+// probability, parallel-copy budget, Δcost ceiling.
+type ClassPolicy = workload.ClassPolicy
+
+// ClassDemand is one class's application demand under contended
+// capacity.
+type ClassDemand = workload.ClassDemand
+
+// ClassAllocation is the contended planner's per-class verdict.
+type ClassAllocation = workload.ClassAllocation
+
+// DefaultClassPolicies derives the three class policies from the
+// deadline the critical class must meet.
+func DefaultClassPolicies(deadline float64) []ClassPolicy { return workload.DefaultPolicies(deadline) }
+
+// SmallestMeetingDeadlineByClass allocates collection sizes to
+// per-class demands in priority order under a shared parallel-copy
+// capacity — the class-aware SmallestMeetingDeadline. Prefer
+// Planner.PlanClasses, which shares the Planner's memoized model.
+func SmallestMeetingDeadlineByClass(m Model, demands []ClassDemand, capacity float64, maxB int) ([]ClassAllocation, float64, error) {
+	return workload.SmallestMeetingDeadlineContended(m, demands, capacity, maxB)
+}
+
 // --- Strategy CDFs and order statistics ---
 
 // SingleCDF returns the distribution function of the total latency J
