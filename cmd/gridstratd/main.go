@@ -52,6 +52,9 @@
 //	-chaos string     deterministic fault-injection scenario, JSON
 //	                  inline or @path to a file (default "", disabled;
 //	                  the CI chaos drill arms it)
+//	-pprof string     expose net/http/pprof on a separate debug
+//	                  listener at this address, e.g. "127.0.0.1:6060"
+//	                  (default "", off)
 //	-shutdown-timeout duration
 //	                  grace period for in-flight requests on
 //	                  SIGINT/SIGTERM (default 10s)
@@ -74,6 +77,7 @@ import (
 	"time"
 
 	"gridstrat/internal/chaos"
+	"gridstrat/internal/debuglisten"
 	"gridstrat/internal/server"
 )
 
@@ -96,6 +100,7 @@ func main() {
 		maxInflight     = flag.Int("max-inflight", 0, "hard cap on concurrently admitted /v1/models* requests; sheds by SLO class past it (0 = no admission control)")
 		degradedPending = flag.Int("degraded-pending", 4096, `queued-observation threshold past which responses are marked degraded: "backlog"`)
 		chaosSpec       = flag.String("chaos", "", "fault-injection scenario: inline JSON or @path (empty = disabled)")
+		pprofAddr       = flag.String("pprof", "", "expose net/http/pprof on this separate debug address (empty = off)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		quiet           = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -162,6 +167,8 @@ func main() {
 		}
 		logger.Printf("preloaded %d model(s) in %v", srv.Registry().Len(), time.Since(start).Round(time.Millisecond))
 	}
+
+	debuglisten.Serve(*pprofAddr, logger)
 
 	hs := &http.Server{
 		Addr:              *addr,

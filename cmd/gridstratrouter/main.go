@@ -36,6 +36,9 @@
 //	                  retry-budget earn rate: tokens earned per primary
 //	                  request, one spent per failover retry or hedge
 //	                  (default 0.1)
+//	-pprof string     expose net/http/pprof on a separate debug
+//	                  listener at this address, e.g. "127.0.0.1:6061"
+//	                  (default "", off)
 //	-shutdown-timeout duration
 //	                  grace period for in-flight requests on
 //	                  SIGINT/SIGTERM (default 10s)
@@ -58,6 +61,7 @@ import (
 	"time"
 
 	"gridstrat/internal/cluster"
+	"gridstrat/internal/debuglisten"
 )
 
 func main() {
@@ -71,6 +75,7 @@ func main() {
 		breakerCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
 		hedgeDelay       = flag.Duration("hedge-delay", 0, "hedge idempotent reads after this delay (0 = rolling p95, negative = off)")
 		retryBudget      = flag.Float64("retry-budget", 0.1, "retry-budget tokens earned per primary request")
+		pprofAddr        = flag.String("pprof", "", "expose net/http/pprof on this separate debug address (empty = off)")
 		shutdownTimeout  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		quiet            = flag.Bool("quiet", false, "disable placement/transition logging")
 	)
@@ -106,6 +111,8 @@ func main() {
 	}
 	rt.Start()
 	defer rt.Close()
+
+	debuglisten.Serve(*pprofAddr, logger)
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,158 @@
+// Loadgen is gridstrat's wire-level soak driver: it pushes a mixed
+// planning workload (single recommends, batch plans, observation
+// ingests) at a gridstratd daemon or gridstratrouter front, open-loop
+// (target QPS) or closed-loop (fixed workers), and reports
+// p50/p95/p99 latency and throughput as one JSON document.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8372 -model 2006-IX [flags]
+//
+// Flags:
+//
+//	-addr string      target base URL (default "http://127.0.0.1:8372")
+//	-model string     model ID every operation targets (required)
+//	-create string    register the model from this paper dataset first
+//	                  (default "", assume it exists)
+//	-duration duration
+//	                  measured interval (default 5s)
+//	-warmup duration  unrecorded warmup traffic first (default 1s)
+//	-workers int      concurrency degree (default 8)
+//	-qps float        open-loop target arrival rate; 0 = closed loop
+//	                  (default 0)
+//	-batch int        items per batch operation (default 64)
+//	-mix string       scenario weights "single=1,batch=0,ingest=0"
+//	-class-mix string SLO-class weights "critical=0,standard=1,sheddable=0"
+//	-ingest int       records per ingest operation (default 64)
+//	-seed int         scenario draw seed (default 1)
+//	-out string       write the JSON report here (default "-", stdout)
+//
+// A run exits non-zero if no traffic completed (see Report.Validate),
+// so CI can use a short run as a serving smoke test.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridstrat/internal/loadgen"
+	"gridstrat/internal/server"
+)
+
+// parseWeights parses "a=0.5,b=0.3" against the allowed keys.
+func parseWeights(spec string, into map[string]*float64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("bad weight %q (want key=value)", part)
+		}
+		dst, known := into[strings.TrimSpace(k)]
+		if !known {
+			return fmt.Errorf("unknown weight key %q", k)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("bad weight value %q", v)
+		}
+		*dst = f
+	}
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8372", "target base URL")
+		model    = flag.String("model", "", "model ID every operation targets (required)")
+		create   = flag.String("create", "", "register the model from this paper dataset first")
+		duration = flag.Duration("duration", 5*time.Second, "measured interval")
+		warmup   = flag.Duration("warmup", time.Second, "unrecorded warmup traffic first")
+		workers  = flag.Int("workers", 8, "concurrency degree")
+		qps      = flag.Float64("qps", 0, "open-loop target arrival rate (0 = closed loop)")
+		batch    = flag.Int("batch", 64, "items per batch operation")
+		mixSpec  = flag.String("mix", "single=1", `scenario weights, e.g. "single=0.8,batch=0.1,ingest=0.1"`)
+		classes  = flag.String("class-mix", "standard=1", `SLO-class weights, e.g. "critical=0.1,standard=0.8,sheddable=0.1"`)
+		ingest   = flag.Int("ingest", 64, "records per ingest operation")
+		seed     = flag.Int64("seed", 1, "scenario draw seed")
+		out      = flag.String("out", "-", `write the JSON report here ("-" = stdout)`)
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags)
+	if *model == "" {
+		logger.Fatal("missing -model")
+	}
+	var mix loadgen.Mix
+	if err := parseWeights(*mixSpec, map[string]*float64{
+		"single": &mix.Single, "batch": &mix.Batch, "ingest": &mix.Ingest,
+	}); err != nil {
+		logger.Fatalf("-mix: %v", err)
+	}
+	var classMix loadgen.ClassMix
+	if err := parseWeights(*classes, map[string]*float64{
+		"critical": &classMix.Critical, "standard": &classMix.Standard, "sheddable": &classMix.Sheddable,
+	}); err != nil {
+		logger.Fatalf("-class-mix: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *create != "" {
+		c := server.NewClient(*addr, nil).WithRetry(server.DefaultRetryPolicy)
+		if _, err := c.CreateModel(ctx, server.CreateModelRequest{ID: *model, Dataset: *create}); err != nil {
+			// 409 is benign: the model is simply already registered.
+			var apiErr *server.APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+				logger.Fatalf("create %q from dataset %q: %v", *model, *create, err)
+			}
+		}
+	}
+
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     *addr,
+		Model:       *model,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Workers:     *workers,
+		TargetQPS:   *qps,
+		BatchSize:   *batch,
+		Mix:         mix,
+		ClassMix:    classMix,
+		IngestBatch: *ingest,
+		Seed:        *seed,
+	})
+	if err != nil {
+		logger.Fatalf("run: %v", err)
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		logger.Fatalf("encode report: %v", err)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(doc)
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		logger.Fatalf("write %s: %v", *out, err)
+	}
+
+	if err := report.Validate(); err != nil {
+		logger.Fatalf("smoke check failed: %v", err)
+	}
+	logger.Printf("done: %d requests, %.0f req/s, p50 %.2fms p99 %.2fms (errors %d, shed %d)",
+		report.Requests, report.ThroughputRPS, report.P50Ms, report.P99Ms, report.Errors, report.Shed)
+}

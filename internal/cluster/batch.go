@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"gridstrat/internal/server"
+)
+
+// This file is the router's model-aware batch fan-out: one client
+// batch is partitioned by ring owner, each backend receives exactly
+// one sub-batch of the items it serves, and the sub-responses are
+// merged back in the client's item order. The batch keeps its
+// single-daemon semantics through the router — per-item error
+// envelopes, partial-admission sheds with Retry-After — with two
+// router-origin item errors added: "no_backend" (no routable owner
+// for the item's model) and "bad_gateway" (the owner's sub-batch
+// failed in transport after the failover retry).
+
+// proxyBufPool recycles the buffers the router reads proxied write
+// bodies into (handleModel, handleCreate, handleBatchPlan): bodies
+// must be buffered so a failover retry can resend them, and the
+// scratch is recycled instead of re-allocated per request.
+var proxyBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledProxyBuf caps the capacity returned to the pool, so one
+// trace-upload-sized body does not pin megabytes in it.
+const maxPooledProxyBuf = 1 << 18
+
+func getProxyBuf() *bytes.Buffer {
+	b := proxyBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putProxyBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledProxyBuf {
+		proxyBufPool.Put(b)
+	}
+}
+
+// batchSlot is one item of a client batch paired with its position in
+// the client's order.
+type batchSlot struct {
+	item server.BatchItem
+	pos  int
+}
+
+// handleBatchPlan serves POST /v1/batch/plan at the router: partition
+// the items by ring owner, post one sub-batch per backend
+// concurrently, merge preserving order. A sub-batch that fails in
+// transport drops its models' placements and its items are
+// re-partitioned for one failover round (budget permitting) — the
+// batch analogue of handleModel's single retry — before answering
+// "bad_gateway" per item.
+func (rt *Router) handleBatchPlan(w http.ResponseWriter, r *http.Request) {
+	buf := getProxyBuf()
+	defer putProxyBuf(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)); err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large", err.Error())
+		return
+	}
+	var req server.BatchPlanRequest
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch: provide items")
+		return
+	}
+
+	rt.budget.earn()
+	resp := server.BatchPlanResponse{
+		Results: make([]server.BatchItemResult, len(req.Items)),
+	}
+	pending := make([]batchSlot, 0, len(req.Items))
+	for i, it := range req.Items {
+		pending = append(pending, batchSlot{item: it, pos: i})
+	}
+	var retryAfter string
+	for round := 0; len(pending) > 0 && round < 2; round++ {
+		retry := round == 0 // failed groups re-partition once
+		pending, retryAfter = rt.batchRound(r, pending, &resp, retryAfter, retry)
+	}
+	for _, sl := range pending { // transport failure after the retry round
+		resp.Results[sl.pos] = server.BatchItemResult{Error: &server.BatchItemError{
+			Status:  http.StatusBadGateway,
+			Code:    "bad_gateway",
+			Message: fmt.Sprintf("sub-batch for model %q failed in transport", sl.item.Model),
+		}}
+	}
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRound partitions the slots by owner, posts every group's
+// sub-batch concurrently and merges the outcomes into resp. It
+// returns the slots whose group failed in transport (empty unless
+// retry granted them another round) and the strongest Retry-After
+// hint seen so far.
+func (rt *Router) batchRound(r *http.Request, slots []batchSlot, resp *server.BatchPlanResponse, retryAfter string, retry bool) ([]batchSlot, string) {
+	groups := make(map[string][]batchSlot)
+	for _, sl := range slots {
+		member := rt.ownerFor(sl.item.Model)
+		if member == "" {
+			resp.Results[sl.pos] = server.BatchItemResult{Error: &server.BatchItemError{
+				Status:  http.StatusServiceUnavailable,
+				Code:    "no_backend",
+				Message: fmt.Sprintf("no ready backend for model %q", sl.item.Model),
+			}}
+			continue
+		}
+		groups[member] = append(groups[member], sl)
+	}
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		failed []batchSlot
+	)
+	for member, g := range groups {
+		wg.Add(1)
+		go func(member string, g []batchSlot) {
+			defer wg.Done()
+			sub, ra, err := rt.sendSubBatch(r, member, g)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				// Transport failure: this backend answered nothing. Drop
+				// every placement routed onto it so the next round (and
+				// the next request) re-picks, and queue the items for the
+				// failover round if it is still open and the budget pays.
+				for _, sl := range g {
+					rt.dropPlacement(sl.item.Model, member)
+				}
+				if retry && rt.budget.take() {
+					failed = append(failed, g...)
+				} else {
+					if retry {
+						rt.retriesDenied.Add(1)
+					}
+					for _, sl := range g {
+						resp.Results[sl.pos] = server.BatchItemResult{Error: &server.BatchItemError{
+							Status:  http.StatusBadGateway,
+							Code:    "bad_gateway",
+							Message: fmt.Sprintf("backend %s: %v", member, err),
+						}}
+					}
+				}
+				return
+			}
+			if ra != "" {
+				retryAfter = ra
+			}
+			resp.Admitted += sub.Admitted
+			resp.Shed += sub.Shed
+			for k, res := range sub.Results {
+				resp.Results[g[k].pos] = res
+			}
+		}(member, g)
+	}
+	wg.Wait()
+	return failed, retryAfter
+}
+
+// sendSubBatch posts one backend's sub-batch and decodes its outcome
+// as positional results (len == len(g)):
+//   - 200: the backend's per-item envelopes pass through (its shed
+//     tail included, surfacing the Retry-After hint).
+//   - whole-batch 429: every item becomes a "shed" envelope, again
+//     with the Retry-After hint.
+//   - any other HTTP error: the backend's envelope is replicated onto
+//     each item.
+//
+// Only transport failures return a non-nil error — HTTP-level errors
+// are per-item results, never a failed sub-batch.
+func (rt *Router) sendSubBatch(r *http.Request, member string, g []batchSlot) (server.BatchPlanResponse, string, error) {
+	items := make([]server.BatchItem, len(g))
+	for i, sl := range g {
+		items[i] = sl.item
+	}
+	body, err := json.Marshal(server.BatchPlanRequest{Items: items})
+	if err != nil {
+		return failSubBatch(len(g), http.StatusInternalServerError, "internal", err.Error()), "", nil
+	}
+	resp, err := rt.send(r.Context(), r, member, body)
+	if err != nil {
+		return server.BatchPlanResponse{}, "", err
+	}
+	defer resp.Body.Close()
+	ra := resp.Header.Get("Retry-After")
+	if resp.StatusCode == http.StatusOK {
+		var sub server.BatchPlanResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || len(sub.Results) != len(g) {
+			return failSubBatch(len(g), http.StatusBadGateway, "bad_gateway",
+				fmt.Sprintf("malformed sub-batch response from %s (%d results for %d items)",
+					member, len(sub.Results), len(g))), "", nil
+		}
+		return sub, ra, nil
+	}
+	// Non-200: replicate the backend's envelope onto every item. A
+	// whole-batch 429 keeps its "shed" code so clients see the same
+	// vocabulary they would against a single daemon.
+	code, msg := "unknown", resp.Status
+	var env server.ErrorEnvelope
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env); err == nil && env.Error.Code != "" {
+		code, msg = env.Error.Code, env.Error.Message
+	}
+	out := failSubBatch(len(g), resp.StatusCode, code, msg)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		out.Shed = len(g)
+	}
+	return out, ra, nil
+}
+
+// failSubBatch renders one error envelope onto n positional items.
+func failSubBatch(n, status int, code, msg string) server.BatchPlanResponse {
+	e := &server.BatchItemError{Status: status, Code: code, Message: msg}
+	out := server.BatchPlanResponse{Results: make([]server.BatchItemResult, n)}
+	for i := range out.Results {
+		out.Results[i] = server.BatchItemResult{Error: e}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gridstrat/internal/server"
+)
+
+// TestRouterBatchFanout: a batch through the router is split by ring
+// owner, one sub-batch per backend, and the merged response preserves
+// positional order and stays bit-identical to single calls — with a
+// bad item answered in place, not failing its neighbours.
+func TestRouterBatchFanout(t *testing.T) {
+	_, _, c := newTestCluster(t, 3)
+	ctx := context.Background()
+	ids := createModels(t, c, 6)
+
+	// Interleave ops across models so every sub-batch carries a mix
+	// and the positional merge is actually exercised; park an unknown
+	// model in the middle.
+	var items []server.BatchItem
+	for _, id := range ids[:3] {
+		items = append(items,
+			server.BatchItem{Model: id, Op: "recommend"},
+			server.BatchItem{Model: id, Op: "rank"},
+		)
+	}
+	items = append(items, server.BatchItem{Model: "ghost", Op: "recommend"})
+	for _, id := range ids[3:] {
+		items = append(items, server.BatchItem{Model: id, Op: "recommend", Cheapest: true})
+	}
+
+	resp, err := c.PlanBatch(ctx, server.BatchPlanRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(items) || resp.Admitted != len(items) || resp.Shed != 0 {
+		t.Fatalf("envelope: %d results, admitted %d, shed %d (want %d/%d/0)",
+			len(resp.Results), resp.Admitted, resp.Shed, len(items), len(items))
+	}
+	for i, it := range items {
+		r := resp.Results[i]
+		if it.Model == "ghost" {
+			if r.Error == nil || r.Error.Status != 404 || r.Error.Code != "not_found" {
+				t.Fatalf("item %d (ghost): want a 404 not_found envelope, got %+v", i, r)
+			}
+			continue
+		}
+		// Positional integrity: the result must name the model the
+		// item asked for, whatever backend answered it.
+		var gotModel string
+		switch {
+		case r.Recommend != nil:
+			gotModel = r.Recommend.Model
+		case r.Rank != nil:
+			gotModel = r.Rank.Model
+		default:
+			t.Fatalf("item %d (%s %s): no result: %+v", i, it.Op, it.Model, r.Error)
+		}
+		if gotModel != it.Model {
+			t.Fatalf("item %d: merged out of order — asked %s, got %s", i, it.Model, gotModel)
+		}
+		// Parity with the single endpoint through the same router.
+		var single any
+		switch it.Op {
+		case "recommend":
+			s, err := c.Recommend(ctx, it.Model, server.RecommendRequest{Cheapest: it.Cheapest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			single = s
+		case "rank":
+			s, err := c.Rank(ctx, it.Model, server.RankRequest{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			single = s
+		}
+		var batched any = r.Recommend
+		if it.Op == "rank" {
+			batched = r.Rank
+		}
+		sj, _ := json.Marshal(single)
+		bj, _ := json.Marshal(batched)
+		if !bytes.Equal(sj, bj) {
+			t.Fatalf("item %d (%s %s) diverges through the router:\n single: %s\n batch:  %s",
+				i, it.Op, it.Model, sj, bj)
+		}
+	}
+
+	// The router's /v1/stats sums the fleet's batch counters: every
+	// item of the one batch shows up, whichever backends served it.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batch.Items != uint64(len(items)) || stats.Batch.Requests == 0 {
+		t.Fatalf("fleet batch counters = %+v, want %d items over >=1 requests", stats.Batch, len(items))
+	}
+}
+
+// TestRouterBatchAllBackendsDown: with no routable backend every item
+// comes back as a per-item no_backend envelope — the batch itself
+// still answers 200, mirroring the single-path 503 semantics item by
+// item.
+func TestRouterBatchAllBackendsDown(t *testing.T) {
+	backends, rt, c := newTestCluster(t, 1)
+	ctx := context.Background()
+	ids := createModels(t, c, 2)
+	backends[0].kill()
+	rt.CheckNow()
+
+	resp, err := c.PlanBatch(ctx, server.BatchPlanRequest{Items: []server.BatchItem{
+		{Model: ids[0], Op: "recommend"},
+		{Model: ids[1], Op: "rank"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if r.Error == nil || r.Error.Status != 503 || r.Error.Code != "no_backend" {
+			t.Fatalf("item %d: want a 503 no_backend envelope with the fleet down, got %+v", i, r)
+		}
+	}
+}
+
+// TestRouterBatchBackendDiesMidBatch: kill one backend without giving
+// the health checker a chance to notice, so the first sub-batch round
+// hits a live transport error. The router must re-partition that
+// group's items (dropping the dead placement) and answer every item —
+// successes from live owners, per-item envelopes (404 from a
+// successor that never held the model, 502/503 if no candidate
+// remains) for the orphaned ones. One dead backend never fails the
+// batch.
+func TestRouterBatchBackendDiesMidBatch(t *testing.T) {
+	backends, rt, c := newTestCluster(t, 3)
+	ctx := context.Background()
+	ids := createModels(t, c, 8)
+
+	// Find each model's owner so the assertion can distinguish
+	// orphaned items from live ones.
+	owner := map[string]string{}
+	for _, id := range ids {
+		owner[id] = rt.ring.Owner(id)
+	}
+	victim := backends[0].url()
+	backends[0].kill()
+	// No CheckNow: the router still believes the victim is healthy.
+
+	var items []server.BatchItem
+	for _, id := range ids {
+		items = append(items, server.BatchItem{Model: id, Op: "recommend"})
+	}
+	resp, err := c.PlanBatch(ctx, server.BatchPlanRequest{Items: items})
+	if err != nil {
+		t.Fatalf("batch must survive a dead backend: %v", err)
+	}
+	if len(resp.Results) != len(items) {
+		t.Fatalf("got %d results for %d items", len(resp.Results), len(items))
+	}
+	liveOK := 0
+	for i, it := range items {
+		r := resp.Results[i]
+		if owner[it.Model] == victim {
+			// Orphaned: the model's state died with its owner. The
+			// item must carry an error envelope, not poison the batch.
+			if r.Error == nil {
+				t.Fatalf("item %d (%s, dead owner): expected an error envelope, got %+v", i, it.Model, r)
+			}
+			switch r.Error.Status {
+			case 404, 502, 503: // successor miss / transport / unroutable
+			default:
+				t.Fatalf("item %d (%s, dead owner): unexpected envelope %+v", i, it.Model, r.Error)
+			}
+			continue
+		}
+		if r.Recommend == nil || r.Recommend.Model != it.Model {
+			t.Fatalf("item %d (%s, live owner): %+v", i, it.Model, r)
+		}
+		liveOK++
+	}
+	if liveOK == 0 {
+		t.Fatal("every model hashed to the victim; widen the model set")
+	}
+}

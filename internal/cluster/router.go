@@ -19,7 +19,7 @@ import (
 )
 
 // RouterVersion identifies the router build, reported by its healthz.
-const RouterVersion = "0.6.0"
+const RouterVersion = "0.7.0"
 
 // Config tunes a Router.
 type Config struct {
@@ -189,6 +189,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /v1/models", rt.handleList)
 	rt.mux.HandleFunc("POST /v1/models", rt.handleCreate)
+	rt.mux.HandleFunc("POST /v1/batch/plan", rt.handleBatchPlan)
 	// Every model-scoped route forwards to the model's owner; the
 	// backend enforces methods and sub-route shapes.
 	rt.mux.HandleFunc("/v1/models/{id}", rt.handleModel)
@@ -507,12 +508,13 @@ func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
 	// upload, so this stays cheap.
 	var body []byte
 	if r.Body != nil && !isRead {
-		var err error
-		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
-		if err != nil {
+		buf := getProxyBuf()
+		defer putProxyBuf(buf)
+		if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)); err != nil {
 			writeError(w, http.StatusRequestEntityTooLarge, "too_large", err.Error())
 			return
 		}
+		body = buf.Bytes()
 	}
 	rt.budget.earn()
 	for attempt := 0; ; attempt++ {
@@ -557,11 +559,13 @@ func (rt *Router) handleModel(w http.ResponseWriter, r *http.Request) {
 // so the router buffers the body far enough to learn it (JSON bodies
 // carry it inline; raw trace uploads carry it in ?id=).
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
-	if err != nil {
+	buf := getProxyBuf()
+	defer putProxyBuf(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)); err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "too_large", err.Error())
 		return
 	}
+	body := buf.Bytes()
 	id := r.URL.Query().Get("id")
 	if id == "" {
 		var probe struct {
@@ -692,6 +696,7 @@ type BackendStats struct {
 	Models             int                    `json:"models"`
 	Totals             server.ShardStats      `json:"totals"`
 	Resilience         server.ResilienceStats `json:"resilience"`
+	Batch              server.BatchStats      `json:"batch"`
 }
 
 // StatsResponse is the router's GET /v1/stats body: per-backend router
@@ -705,6 +710,7 @@ type StatsResponse struct {
 	Backends      map[string]BackendStats `json:"backends"`
 	Totals        server.ShardStats       `json:"totals"`
 	Resilience    server.ResilienceStats  `json:"resilience"`
+	Batch         server.BatchStats       `json:"batch"`
 	Hedged        uint64                  `json:"hedged_requests"`
 	HedgeWins     uint64                  `json:"hedge_wins"`
 	RetriesDenied uint64                  `json:"retries_denied"`
@@ -736,9 +742,11 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			bs.Models = sr.Models
 			bs.Totals = sr.Totals
 			bs.Resilience = sr.Resilience
+			bs.Batch = sr.Batch
 			resp.Models += sr.Models
 			addShardStats(&resp.Totals, sr.Totals)
 			server.AddResilienceStats(&resp.Resilience, sr.Resilience)
+			server.AddBatchStats(&resp.Batch, sr.Batch)
 		}
 		resp.Backends[b] = bs
 	}

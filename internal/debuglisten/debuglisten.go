@@ -1,0 +1,42 @@
+// Package debuglisten exposes net/http/pprof on a dedicated debug
+// listener, separate from the serving port: profiling endpoints never
+// share the production mux (they bypass admission control and leak
+// operational detail), and an empty address keeps them entirely off —
+// the default for both daemons' -pprof flag.
+package debuglisten
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts the pprof handler on addr in a background goroutine
+// and returns immediately. An empty addr is a no-op. Listener errors
+// are logged, not fatal: a daemon must not die because its debug port
+// is taken.
+func Serve(addr string, logger *log.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if logger != nil {
+		logger.Printf("pprof debug listener on %s", addr)
+	}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && logger != nil {
+			logger.Printf("pprof: %v", err)
+		}
+	}()
+}

@@ -1,0 +1,391 @@
+// Package loadgen is gridstrat's wire-level load driver: a concurrent
+// open- or closed-loop generator of mixed planning traffic (single
+// recommends, batch plans, observation ingests) against a gridstratd
+// or gridstratrouter address, recording latency in an HDR-style
+// log-bucketed histogram and reporting p50/p95/p99/throughput as a
+// JSON-ready Report. cmd/loadgen is the CLI wrapper; the wire bench
+// snapshot (bench_wire_test.go) drives it in-process.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridstrat/internal/server"
+)
+
+// Mix weighs the scenario blend; zero-sum defaults to singles only.
+type Mix struct {
+	Single float64 `json:"single"`
+	Batch  float64 `json:"batch"`
+	Ingest float64 `json:"ingest"`
+}
+
+// ClassMix weighs the SLO-class blend stamped on requests; zero-sum
+// defaults to all-standard.
+type ClassMix struct {
+	Critical  float64 `json:"critical"`
+	Standard  float64 `json:"standard"`
+	Sheddable float64 `json:"sheddable"`
+}
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL targets the daemon or router (e.g. "http://127.0.0.1:8372").
+	BaseURL string
+	// HTTPClient issues the traffic (default: pooled transport, 30s
+	// timeout).
+	HTTPClient *http.Client
+	// Model is the model every operation targets (required).
+	Model string
+	// Duration is the measured interval (default 5s).
+	Duration time.Duration
+	// Warmup runs traffic without recording first (default 0).
+	Warmup time.Duration
+	// Workers is the concurrency degree (default 8). Closed loop:
+	// each worker issues back-to-back requests. Open loop: workers
+	// drain the paced arrival queue.
+	Workers int
+	// TargetQPS > 0 switches to open-loop arrivals at that rate;
+	// 0 (default) is closed-loop.
+	TargetQPS float64
+	// BatchSize is the item count of each batch operation (default 64).
+	BatchSize int
+	// Mix weighs single/batch/ingest operations (default all-single).
+	Mix Mix
+	// ClassMix weighs the SLO classes (default all-standard).
+	ClassMix ClassMix
+	// IngestBatch is the records per ingest operation (default 64).
+	IngestBatch int
+	// Seed makes the scenario/class draws reproducible (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 64
+	}
+	if c.Mix.Single+c.Mix.Batch+c.Mix.Ingest <= 0 {
+		c.Mix = Mix{Single: 1}
+	}
+	if c.ClassMix.Critical+c.ClassMix.Standard+c.ClassMix.Sheddable <= 0 {
+		c.ClassMix = ClassMix{Standard: 1}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// OpStats is one scenario's slice of the report.
+type OpStats struct {
+	Requests uint64  `json:"requests"`
+	Items    uint64  `json:"items"` // batch: items admitted; others: == requests
+	Errors   uint64  `json:"errors"`
+	Shed     uint64  `json:"shed"` // 429 responses + shed batch items
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Report is the JSON document a run emits.
+type Report struct {
+	Target        string             `json:"target"`
+	Model         string             `json:"model"`
+	Mode          string             `json:"mode"` // "open" or "closed"
+	Workers       int                `json:"workers"`
+	TargetQPS     float64            `json:"target_qps,omitempty"`
+	BatchSize     int                `json:"batch_size"`
+	Mix           Mix                `json:"mix"`
+	ClassMix      ClassMix           `json:"class_mix"`
+	WarmupS       float64            `json:"warmup_s"`
+	DurationS     float64            `json:"duration_s"` // measured wall clock
+	Requests      uint64             `json:"requests"`
+	Items         uint64             `json:"items"`
+	Errors        uint64             `json:"errors"`
+	Shed          uint64             `json:"shed"`
+	ThroughputRPS float64            `json:"throughput_rps"`
+	ItemsPerS     float64            `json:"items_per_s"`
+	P50Ms         float64            `json:"p50_ms"`
+	P95Ms         float64            `json:"p95_ms"`
+	P99Ms         float64            `json:"p99_ms"`
+	MeanMs        float64            `json:"mean_ms"`
+	Ops           map[string]OpStats `json:"ops"`
+}
+
+const (
+	opSingle = iota
+	opBatch
+	opIngest
+	numOps
+)
+
+var opNames = [numOps]string{"single", "batch", "ingest"}
+
+// runState is the shared recording state of one run.
+type runState struct {
+	cfg       Config
+	clients   [3]*server.Client // critical, standard, sheddable
+	all       *hist
+	ops       [numOps]*hist
+	reqs      [numOps]atomic.Uint64
+	items     [numOps]atomic.Uint64
+	errs      [numOps]atomic.Uint64
+	shed      [numOps]atomic.Uint64
+	recording atomic.Bool
+}
+
+// Run drives one load run and reports it. The context bounds the
+// whole run (warmup included); cancelling it ends the run early with
+// the traffic measured so far.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return Report{}, errors.New("loadgen: BaseURL required")
+	}
+	if cfg.Model == "" {
+		return Report{}, errors.New("loadgen: Model required")
+	}
+	st := &runState{cfg: cfg, all: newHist()}
+	for i := range st.ops {
+		st.ops[i] = newHist()
+	}
+	base := server.NewClient(cfg.BaseURL, cfg.HTTPClient)
+	st.clients = [3]*server.Client{
+		base.WithClass("critical"),
+		base, // standard: omit the header, the server default
+		base.WithClass("sheddable"),
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Warmup+cfg.Duration)
+	defer cancel()
+
+	if cfg.Warmup > 0 {
+		warmTimer := time.AfterFunc(cfg.Warmup, func() { st.recording.Store(true) })
+		defer warmTimer.Stop()
+	} else {
+		st.recording.Store(true)
+	}
+	measuredStart := time.Now().Add(cfg.Warmup)
+
+	var wg sync.WaitGroup
+	mode := "closed"
+	if cfg.TargetQPS > 0 {
+		mode = "open"
+		arrivals := make(chan struct{}, cfg.Workers*4)
+		wg.Add(1)
+		go func() { // pacer: one token per 1/QPS interval
+			defer wg.Done()
+			defer close(arrivals)
+			interval := time.Duration(float64(time.Second) / cfg.TargetQPS)
+			next := time.Now()
+			for {
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-runCtx.Done():
+						return
+					case <-time.After(d):
+					}
+				} else if runCtx.Err() != nil {
+					return
+				}
+				select {
+				case arrivals <- struct{}{}:
+				default: // workers saturated: the arrival is dropped, not queued unboundedly
+				}
+			}
+		}()
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+				for range arrivals {
+					st.issue(runCtx, rng)
+				}
+			}(w)
+		}
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+				for runCtx.Err() == nil {
+					st.issue(runCtx, rng)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	measured := time.Since(measuredStart).Seconds()
+	if measured <= 0 {
+		measured = cfg.Duration.Seconds()
+	}
+
+	return st.report(mode, measured), nil
+}
+
+// pickOp draws a scenario from the mix.
+func (st *runState) pickOp(rng *rand.Rand) int {
+	m := st.cfg.Mix
+	r := rng.Float64() * (m.Single + m.Batch + m.Ingest)
+	switch {
+	case r < m.Single:
+		return opSingle
+	case r < m.Single+m.Batch:
+		return opBatch
+	default:
+		return opIngest
+	}
+}
+
+// pickClient draws an SLO class from the mix.
+func (st *runState) pickClient(rng *rand.Rand) *server.Client {
+	m := st.cfg.ClassMix
+	r := rng.Float64() * (m.Critical + m.Standard + m.Sheddable)
+	switch {
+	case r < m.Critical:
+		return st.clients[0]
+	case r < m.Critical+m.Standard:
+		return st.clients[1]
+	default:
+		return st.clients[2]
+	}
+}
+
+// issue runs one operation and records it.
+func (st *runState) issue(ctx context.Context, rng *rand.Rand) {
+	op := st.pickOp(rng)
+	c := st.pickClient(rng)
+	var (
+		items uint64
+		shed  uint64
+		err   error
+	)
+	start := time.Now()
+	switch op {
+	case opSingle:
+		_, err = c.Recommend(ctx, st.cfg.Model, server.RecommendRequest{})
+		items = 1
+	case opBatch:
+		req := server.BatchPlanRequest{Items: make([]server.BatchItem, st.cfg.BatchSize)}
+		for i := range req.Items {
+			req.Items[i] = server.BatchItem{Model: st.cfg.Model, Op: "recommend"}
+		}
+		var resp server.BatchPlanResponse
+		resp, err = c.PlanBatch(ctx, req)
+		if err == nil {
+			items = uint64(resp.Admitted)
+			shed = uint64(resp.Shed)
+		}
+	case opIngest:
+		lats := make([]float64, st.cfg.IngestBatch)
+		for i := range lats {
+			lats[i] = 30 + 60*rng.Float64()
+		}
+		_, err = c.Observe(ctx, st.cfg.Model, server.ObserveRequest{Latencies: lats})
+		items = uint64(st.cfg.IngestBatch)
+	}
+	elapsed := time.Since(start)
+
+	if !st.recording.Load() || ctx.Err() != nil {
+		return // warmup traffic, or a request cut short by the run ending
+	}
+	st.reqs[op].Add(1)
+	st.items[op].Add(items)
+	st.shed[op].Add(shed)
+	if err != nil {
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+			st.shed[op].Add(1)
+		} else {
+			st.errs[op].Add(1)
+		}
+		return
+	}
+	st.all.record(elapsed)
+	st.ops[op].record(elapsed)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (st *runState) report(mode string, measuredS float64) Report {
+	r := Report{
+		Target:    st.cfg.BaseURL,
+		Model:     st.cfg.Model,
+		Mode:      mode,
+		Workers:   st.cfg.Workers,
+		TargetQPS: st.cfg.TargetQPS,
+		BatchSize: st.cfg.BatchSize,
+		Mix:       st.cfg.Mix,
+		ClassMix:  st.cfg.ClassMix,
+		WarmupS:   st.cfg.Warmup.Seconds(),
+		DurationS: measuredS,
+		P50Ms:     ms(st.all.quantile(0.50)),
+		P95Ms:     ms(st.all.quantile(0.95)),
+		P99Ms:     ms(st.all.quantile(0.99)),
+		MeanMs:    ms(st.all.mean()),
+		Ops:       make(map[string]OpStats, numOps),
+	}
+	for op := 0; op < numOps; op++ {
+		reqs := st.reqs[op].Load()
+		if reqs == 0 {
+			continue
+		}
+		r.Requests += reqs
+		r.Items += st.items[op].Load()
+		r.Errors += st.errs[op].Load()
+		r.Shed += st.shed[op].Load()
+		r.Ops[opNames[op]] = OpStats{
+			Requests: reqs,
+			Items:    st.items[op].Load(),
+			Errors:   st.errs[op].Load(),
+			Shed:     st.shed[op].Load(),
+			P50Ms:    ms(st.ops[op].quantile(0.50)),
+			P95Ms:    ms(st.ops[op].quantile(0.95)),
+			P99Ms:    ms(st.ops[op].quantile(0.99)),
+			MeanMs:   ms(st.ops[op].mean()),
+		}
+	}
+	if measuredS > 0 {
+		r.ThroughputRPS = float64(r.Requests) / measuredS
+		r.ItemsPerS = float64(r.Items) / measuredS
+	}
+	return r
+}
+
+// Validate sanity-checks a report for the CI smoke: traffic flowed
+// and it was not all errors.
+func (r Report) Validate() error {
+	if r.Requests == 0 {
+		return errors.New("loadgen: no requests completed")
+	}
+	if r.Errors == r.Requests {
+		return fmt.Errorf("loadgen: all %d requests errored", r.Requests)
+	}
+	if r.ThroughputRPS <= 0 {
+		return errors.New("loadgen: zero throughput")
+	}
+	return nil
+}

@@ -87,6 +87,15 @@ type admission struct {
 	inflight atomic.Int64
 	admitted atomic.Uint64
 	shed     [numClasses]atomic.Uint64
+
+	// Batch-plan counters (server-wide, reported as the stats "batch"
+	// block): requests and items served, and items shed by partial or
+	// whole-batch refusal. Item-level shedding is tracked here rather
+	// than in the per-class request counters so a 64-item batch losing
+	// its tail does not read as 64 refused requests.
+	batchRequests atomic.Uint64
+	batchItems    atomic.Uint64
+	batchSheds    atomic.Uint64
 }
 
 // newAdmission builds the gate. The class ceilings are fixed fractions
@@ -137,6 +146,47 @@ func (a *admission) release() {
 	}
 }
 
+// acquireN is the batch-aware cost model: a batch of want items
+// charges want units against the class ceiling, and admission may be
+// partial — when only part of the budget is free, the head of the
+// batch is admitted and the tail shed. Returns the granted unit count
+// (0 means the whole batch was refused) and the inflight total
+// observed at the decision. The caller must releaseN(granted) once
+// the granted items finish. Whole-batch refusal counts one shed
+// request against the class (matching the single-request counters);
+// item-level shed accounting is the batchSheds counter, which the
+// handler increments per dropped item.
+func (a *admission) acquireN(c Class, want int64) (granted, observed int64) {
+	a.admitted.Add(1)
+	if a.max <= 0 {
+		return want, 0
+	}
+	limit := a.limits[c]
+	for {
+		cur := a.inflight.Load()
+		free := limit - cur
+		if free <= 0 {
+			a.admitted.Add(^uint64(0)) // undo: the request was not admitted
+			a.shed[c].Add(1)
+			return 0, cur + want
+		}
+		g := want
+		if g > free {
+			g = free
+		}
+		if a.inflight.CompareAndSwap(cur, cur+g) {
+			return g, cur + g
+		}
+	}
+}
+
+// releaseN returns n admission units taken by acquireN.
+func (a *admission) releaseN(n int64) {
+	if a.max > 0 && n > 0 {
+		a.inflight.Add(-n)
+	}
+}
+
 // retryAfterS estimates how long a shed caller should wait before
 // retrying. The gate has no queue to measure, so the hint is the
 // coarse one operators expect: one second.
@@ -163,7 +213,12 @@ func RequestClass(ctx context.Context) Class {
 // see while the daemon is shedding.
 func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !strings.HasPrefix(r.URL.Path, "/v1/models") {
+		// Batch-plan requests are class-parsed and deadline-propagated
+		// here, but their admission units are charged per item by the
+		// handler (acquireN) — one slot for the envelope would let a
+		// 64-item batch slip past a nearly-full gate.
+		batch := strings.HasPrefix(r.URL.Path, "/v1/batch/")
+		if !batch && !strings.HasPrefix(r.URL.Path, "/v1/models") {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -174,18 +229,30 @@ func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
 					ClassHeader, r.Header.Get(ClassHeader)))
 			return
 		}
-		ctx := context.WithValue(r.Context(), classKey{}, class)
-		if h := r.Header.Get(DeadlineHeader); h != "" {
-			ms, err := strconv.ParseInt(h, 10, 64)
-			if err != nil || ms <= 0 || ms > maxDeadlineMs {
-				writeError(w, http.StatusBadRequest, "bad_request",
-					fmt.Sprintf("bad %s %q (want integer milliseconds in (0, %d])",
-						DeadlineHeader, h, int64(maxDeadlineMs)))
-				return
+		deadline := r.Header.Get(DeadlineHeader)
+		// The overwhelmingly common request — standard class, no
+		// deadline — needs no context derivation at all (RequestClass
+		// defaults to standard), so the hot path skips the WithValue
+		// and request-clone allocations entirely.
+		if class != ClassStandard || deadline != "" {
+			ctx := context.WithValue(r.Context(), classKey{}, class)
+			if deadline != "" {
+				ms, err := strconv.ParseInt(deadline, 10, 64)
+				if err != nil || ms <= 0 || ms > maxDeadlineMs {
+					writeError(w, http.StatusBadRequest, "bad_request",
+						fmt.Sprintf("bad %s %q (want integer milliseconds in (0, %d])",
+							DeadlineHeader, deadline, int64(maxDeadlineMs)))
+					return
+				}
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+				defer cancel()
 			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
-			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if batch {
+			next.ServeHTTP(w, r)
+			return
 		}
 		if n, ok := s.adm.acquire(class); !ok {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
@@ -195,7 +262,7 @@ func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
 			return
 		}
 		defer s.adm.release()
-		next.ServeHTTP(w, r.WithContext(ctx))
+		next.ServeHTTP(w, r)
 	})
 }
 
@@ -219,6 +286,32 @@ func (s *Server) resilienceStats() ResilienceStats {
 		ShedSheddable:     s.adm.shed[ClassSheddable].Load(),
 		DegradedResponses: s.degradedCount.Load(),
 	}
+}
+
+// BatchStats is the batch-plan slice of /v1/stats — server-wide
+// counters like ResilienceStats (the batch gate is one front door).
+// The cluster router sums each backend's block into its fleet totals.
+type BatchStats struct {
+	Requests uint64 `json:"batch_requests"`
+	Items    uint64 `json:"batch_items"`
+	Sheds    uint64 `json:"batch_sheds"`
+}
+
+// batchStats snapshots the counters.
+func (s *Server) batchStats() BatchStats {
+	return BatchStats{
+		Requests: s.adm.batchRequests.Load(),
+		Items:    s.adm.batchItems.Load(),
+		Sheds:    s.adm.batchSheds.Load(),
+	}
+}
+
+// AddBatchStats accumulates b into a, field by field (the router uses
+// it to sum fleet totals).
+func AddBatchStats(a *BatchStats, b BatchStats) {
+	a.Requests += b.Requests
+	a.Items += b.Items
+	a.Sheds += b.Sheds
 }
 
 // AddResilienceStats accumulates b into a, field by field (the router

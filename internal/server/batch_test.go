@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBatchPlanParity holds batch items bit-identical to the single
+// endpoints: the same (model, op, options) tuple answered through
+// POST /v1/batch/plan must marshal to exactly the bytes the dedicated
+// handler would have produced — the batch path is an amortization, not
+// a second implementation.
+func TestBatchPlanParity(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "a", 1e6)
+	mustCreateUpload(t, c, "b", 1e6)
+
+	opts := &Options{Workers: 3, DeadlineS: 900}
+	strat := &StrategySpec{Strategy: "multiple", B: 2, TInfS: 300}
+	strats := []StrategySpec{
+		{Strategy: "single", TInfS: 200},
+		{Strategy: "delayed", TInfS: 300, T0S: 200},
+	}
+
+	items := []BatchItem{
+		{Model: "a", Op: "recommend"},                 // cached default fast path
+		{Model: "b", Op: "recommend", Options: opts},  // explicit-options slow path
+		{Model: "a", Op: "recommend", Cheapest: true}, // cheapest variant
+		{Model: "b", Op: "rank", Strategies: strats},  // explicit candidate set
+		{Model: "a", Op: "rank", Options: opts},       // default candidate set
+		{Model: "b", Op: "optimize", Strategy: strat}, // tuned strategy
+		{Model: "a", Op: "optimize", Strategy: strat, Options: opts},
+	}
+
+	batch, err := c.PlanBatch(ctx, BatchPlanRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Admitted != len(items) || batch.Shed != 0 || len(batch.Results) != len(items) {
+		t.Fatalf("unexpected envelope: admitted %d shed %d results %d",
+			batch.Admitted, batch.Shed, len(batch.Results))
+	}
+
+	// Answer every item through its single endpoint and compare the
+	// marshaled wire forms (struct equality via JSON catches any field
+	// the batch path forgot to populate).
+	for i, it := range items {
+		var single, batched any
+		switch it.Op {
+		case "recommend":
+			r, err := c.Recommend(ctx, it.Model, RecommendRequest{Options: it.Options, Cheapest: it.Cheapest})
+			if err != nil {
+				t.Fatalf("item %d single recommend: %v", i, err)
+			}
+			single, batched = r, batch.Results[i].Recommend
+		case "rank":
+			r, err := c.Rank(ctx, it.Model, RankRequest{Options: it.Options, Strategies: it.Strategies})
+			if err != nil {
+				t.Fatalf("item %d single rank: %v", i, err)
+			}
+			single, batched = r, batch.Results[i].Rank
+		case "optimize":
+			r, err := c.Optimize(ctx, it.Model, OptimizeRequest{Strategy: *it.Strategy, Options: it.Options})
+			if err != nil {
+				t.Fatalf("item %d single optimize: %v", i, err)
+			}
+			single, batched = r, batch.Results[i].Optimize
+		}
+		if batched == nil || reflect.ValueOf(batched).IsNil() {
+			t.Fatalf("item %d (%s %s): missing result, error %+v", i, it.Op, it.Model, batch.Results[i].Error)
+		}
+		sj, _ := json.Marshal(single)
+		bj, _ := json.Marshal(batched)
+		if !bytes.Equal(sj, bj) {
+			t.Fatalf("item %d (%s %s) diverges from the single endpoint:\n single: %s\n batch:  %s",
+				i, it.Op, it.Model, sj, bj)
+		}
+	}
+}
+
+// TestRecommendDefaultByteParity pins the cached-default fast path to
+// the encoder's exact output: POST {} rides the snapshot's pre-marshaled
+// bytes while POST {"options":{}} recomputes through the planner and
+// json.Encoder — the two bodies must be byte-identical, trailing
+// newline included.
+func TestRecommendDefaultByteParity(t *testing.T) {
+	_, hs, c := newTestServer(t)
+	mustCreateUpload(t, c, "m", 1e6)
+
+	post := func(body string) []byte {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/models/m/recommend", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %q: status %d body %s", body, resp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	fast := post(`{}`)
+	again := post(`{}`)
+	slow := post(`{"options":{}}`)
+	if !bytes.Equal(fast, again) {
+		t.Fatalf("cached fast path is not stable:\n first:  %s\n second: %s", fast, again)
+	}
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("fast path diverges from the computed path:\n cached:   %s\n computed: %s", fast, slow)
+	}
+	if fast[len(fast)-1] != '\n' {
+		t.Fatalf("cached body lost the encoder's trailing newline: %q", fast)
+	}
+}
+
+// TestSeededSimulateParityPooled holds seeded Monte Carlo replays
+// bit-identical through the pooled request/response buffers: the same
+// seed must yield the same wire bytes on every call, and a different
+// seed must not (guarding against a pooled buffer leaking state
+// between decodes).
+func TestSeededSimulateParityPooled(t *testing.T) {
+	_, hs, c := newTestServer(t)
+	mustCreateUpload(t, c, "m", 1e6)
+
+	post := func(body string) []byte {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/models/m/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate: status %d body %s", resp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	body := `{"strategy":{"strategy":"single","t_inf_s":300},"runs":2000,"options":{"seed":42}}`
+	first := post(body)
+	second := post(body)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("seeded simulate is not reproducible over the pooled path:\n first:  %s\n second: %s", first, second)
+	}
+	other := post(`{"strategy":{"strategy":"single","t_inf_s":300},"runs":2000,"options":{"seed":43}}`)
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical replays — seed is being ignored")
+	}
+}
+
+// TestBatchItemErrorIsolation checks that a bad item fails alone: its
+// envelope carries the status/code the single endpoint would have
+// answered, and every other item still succeeds.
+func TestBatchItemErrorIsolation(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+	mustCreateUpload(t, c, "good", 1e6)
+
+	resp, err := c.PlanBatch(ctx, BatchPlanRequest{Items: []BatchItem{
+		{Model: "good", Op: "recommend"},
+		{Model: "ghost", Op: "recommend"},                                // unknown model
+		{Model: "good", Op: "teleport"},                                  // unknown op
+		{Model: "good", Op: "optimize"},                                  // missing strategy
+		{Model: "good", Op: "rank", Cheapest: true},                      // stray recommend field
+		{Model: "good", Op: "recommend", Options: &Options{Workers: -4}}, // invalid option
+		{Model: "good", Op: "recommend", Cheapest: true},
+	}})
+	if err != nil {
+		t.Fatalf("a batch with bad items must still answer 200: %v", err)
+	}
+	if resp.Admitted != 7 || resp.Shed != 0 {
+		t.Fatalf("unexpected envelope: %+v", resp)
+	}
+
+	wantErr := func(i, status int, code string) {
+		t.Helper()
+		e := resp.Results[i].Error
+		if e == nil {
+			t.Fatalf("item %d: expected an error envelope, got %+v", i, resp.Results[i])
+		}
+		if e.Status != status || e.Code != code {
+			t.Fatalf("item %d: got status %d code %q (%s), want %d %q", i, e.Status, e.Code, e.Message, status, code)
+		}
+	}
+	if resp.Results[0].Recommend == nil || resp.Results[0].Recommend.Model != "good" {
+		t.Fatalf("item 0 should have succeeded: %+v", resp.Results[0])
+	}
+	wantErr(1, http.StatusNotFound, "not_found")
+	wantErr(2, http.StatusBadRequest, "bad_request")
+	wantErr(3, http.StatusBadRequest, "bad_request")
+	wantErr(4, http.StatusBadRequest, "bad_request")
+	wantErr(5, http.StatusBadRequest, "bad_request")
+	if resp.Results[6].Recommend == nil {
+		t.Fatalf("item 6 should have succeeded despite its bad neighbours: %+v", resp.Results[6])
+	}
+}
+
+// TestBatchEnvelopeValidation covers the request-level rejections that
+// never reach per-item execution.
+func TestBatchEnvelopeValidation(t *testing.T) {
+	_, _, c := newTestServer(t)
+	ctx := context.Background()
+
+	_, err := c.PlanBatch(ctx, BatchPlanRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("empty batch: got %v, want 400", err)
+	}
+	_, err = c.PlanBatch(ctx, BatchPlanRequest{Items: make([]BatchItem, maxBatchItems+1)})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("oversized batch: got %v, want 400", err)
+	}
+}
+
+// TestBatchPartialAdmission exercises the batch-aware cost model: a
+// 10-item standard batch against MaxInflight 8 (standard ceiling 7)
+// executes the 7-item head and sheds the 3-item tail with per-item
+// shed envelopes, a Retry-After header, and matching stats counters.
+func TestBatchPartialAdmission(t *testing.T) {
+	s, hs, c := newTestServerCfg(t, Config{MaxInflight: 8})
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 1e6)
+
+	items := make([]BatchItem, 10)
+	for i := range items {
+		items[i] = BatchItem{Model: "m", Op: "recommend"}
+	}
+	body, _ := json.Marshal(BatchPlanRequest{Items: items})
+	hr, err := http.Post(hs.URL+"/v1/batch/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(hr.Body)
+		t.Fatalf("partial admission must still answer 200: %d %s", hr.StatusCode, raw)
+	}
+	if ra := hr.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("partially shed batch is missing the Retry-After header")
+	}
+	var resp BatchPlanResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Admitted != 7 || resp.Shed != 3 {
+		t.Fatalf("got admitted %d shed %d, want 7/3 against the standard ceiling", resp.Admitted, resp.Shed)
+	}
+	for i := 0; i < 7; i++ {
+		if resp.Results[i].Recommend == nil {
+			t.Fatalf("admitted head item %d failed: %+v", i, resp.Results[i])
+		}
+	}
+	for i := 7; i < 10; i++ {
+		e := resp.Results[i].Error
+		if e == nil || e.Status != http.StatusTooManyRequests || e.Code != "shed" {
+			t.Fatalf("shed tail item %d: got %+v, want a 429 shed envelope", i, resp.Results[i])
+		}
+	}
+
+	// The gate must be fully released: a follow-up batch of exactly the
+	// ceiling is admitted whole.
+	follow, err := c.PlanBatch(ctx, BatchPlanRequest{Items: items[:7]})
+	if err != nil || follow.Admitted != 7 || follow.Shed != 0 {
+		t.Fatalf("follow-up batch after release: %+v, %v", follow, err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batch.Requests != 2 || stats.Batch.Items != 14 || stats.Batch.Sheds != 3 {
+		t.Fatalf("batch counters = %+v, want requests 2, items 14, sheds 3", stats.Batch)
+	}
+	_ = s
+}
+
+// TestBatchWholeRefusal pins the full-refusal contract: with the
+// class budget already consumed, a batch answers a top-level 429 shed
+// envelope with Retry-After, counts one shed request for the class
+// (the single-request convention) plus every item in batch_sheds, and
+// executes nothing.
+func TestBatchWholeRefusal(t *testing.T) {
+	s, hs, c := newTestServerCfg(t, Config{MaxInflight: 8})
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 1e6)
+
+	// Occupy the whole standard budget (ceiling 7 of cap 8).
+	granted, _ := s.adm.acquireN(ClassStandard, 7)
+	if granted != 7 {
+		t.Fatalf("setup: granted %d of the standard ceiling", granted)
+	}
+	defer s.adm.releaseN(granted)
+
+	items := make([]BatchItem, 5)
+	for i := range items {
+		items[i] = BatchItem{Model: "m", Op: "recommend"}
+	}
+	body, _ := json.Marshal(BatchPlanRequest{Items: items})
+	hr, err := http.Post(hs.URL+"/v1/batch/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: got %d %s, want 429", hr.StatusCode, raw)
+	}
+	if hr.Header.Get("Retry-After") == "" {
+		t.Fatal("whole-batch refusal is missing the Retry-After header")
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code != "shed" {
+		t.Fatalf("refusal envelope: %s (%v)", raw, err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batch.Requests != 0 || stats.Batch.Items != 0 || stats.Batch.Sheds != 5 {
+		t.Fatalf("batch counters after whole refusal = %+v, want requests 0, items 0, sheds 5", stats.Batch)
+	}
+	if stats.Resilience.ShedStandard != 1 {
+		t.Fatalf("whole refusal must count one shed standard request, got %d", stats.Resilience.ShedStandard)
+	}
+	_ = ctx
+}
+
+// TestBatchCriticalBypassesStandardCeiling checks that the batch cost
+// model respects SLO classes: the same batch that standard traffic
+// cannot fully land is admitted whole at critical.
+func TestBatchCriticalBypassesStandardCeiling(t *testing.T) {
+	_, _, c := newTestServerCfg(t, Config{MaxInflight: 8})
+	ctx := context.Background()
+	mustCreateUpload(t, c, "m", 1e6)
+
+	items := make([]BatchItem, 8)
+	for i := range items {
+		items[i] = BatchItem{Model: "m", Op: "recommend"}
+	}
+	std, err := c.PlanBatch(ctx, BatchPlanRequest{Items: items})
+	if err != nil || std.Admitted != 7 || std.Shed != 1 {
+		t.Fatalf("standard batch of 8: %+v, %v (want 7 admitted, 1 shed)", std, err)
+	}
+	crit, err := c.WithClass("critical").PlanBatch(ctx, BatchPlanRequest{Items: items})
+	if err != nil || crit.Admitted != 8 || crit.Shed != 0 {
+		t.Fatalf("critical batch of 8: %+v, %v (want all admitted)", crit, err)
+	}
+}

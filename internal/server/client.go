@@ -111,15 +111,25 @@ func (c *Client) WithClass(class string) *Client {
 }
 
 // do issues one JSON request and decodes the response into out (when
-// non-nil). Non-2xx responses are returned as *APIError.
+// non-nil). Non-2xx responses are returned as *APIError. The request
+// body is marshaled through the package's pooled encoders (pool.go)
+// rather than a fresh json.Marshal slice per call — do is synchronous,
+// so the buffer is safely back in the pool once the round trip
+// returns.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		e := respEncPool.Get().(*respEncoder)
+		e.buf.Reset()
+		defer func() {
+			if e.buf.Cap() <= maxPooledBuf {
+				respEncPool.Put(e)
+			}
+		}()
+		if err := e.enc.Encode(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
+		body = bytes.NewReader(e.buf.Bytes())
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -330,6 +340,17 @@ func (c *Client) Simulate(ctx context.Context, id string, req SimulateRequest) (
 func (c *Client) Makespan(ctx context.Context, id string, req MakespanRequest) (MakespanResponse, error) {
 	var out MakespanResponse
 	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(id)+"/makespan", req, &out)
+	return out, err
+}
+
+// PlanBatch fetches POST /v1/batch/plan: many (model, op) planning
+// queries in one exchange, with per-item error envelopes (the call
+// only errors on transport failures, malformed batches or a
+// whole-batch 429 shed; inspect each BatchItemResult for its own
+// outcome).
+func (c *Client) PlanBatch(ctx context.Context, req BatchPlanRequest) (BatchPlanResponse, error) {
+	var out BatchPlanResponse
+	err := c.do(ctx, http.MethodPost, "/v1/batch/plan", req, &out)
 	return out, err
 }
 

@@ -408,8 +408,9 @@ type HealthResponse struct {
 	WAL     string  `json:"wal"`
 }
 
-// StatsResponse is the body of GET /v1/stats. Resilience is
-// server-wide (the admission gate is one front door, not per-shard).
+// StatsResponse is the body of GET /v1/stats. Resilience and Batch
+// are server-wide (the admission gate is one front door, not
+// per-shard).
 type StatsResponse struct {
 	UptimeS    float64         `json:"uptime_s"`
 	Models     int             `json:"models"`
@@ -417,4 +418,54 @@ type StatsResponse struct {
 	Shards     []ShardStats    `json:"shards"`
 	Totals     ShardStats      `json:"totals"`
 	Resilience ResilienceStats `json:"resilience"`
+	Batch      BatchStats      `json:"batch"`
+}
+
+// BatchItem is one operation of a POST /v1/batch/plan request: a
+// model, an op ∈ {recommend, rank, optimize} and that op's
+// parameters. Cheapest applies to recommend, Strategies to rank,
+// Strategy to optimize; fields for other ops are rejected per item.
+type BatchItem struct {
+	Model      string         `json:"model"`
+	Op         string         `json:"op"`
+	Options    *Options       `json:"options,omitempty"`
+	Cheapest   bool           `json:"cheapest,omitempty"`
+	Strategies []StrategySpec `json:"strategies,omitempty"`
+	Strategy   *StrategySpec  `json:"strategy,omitempty"`
+}
+
+// BatchPlanRequest is the body of POST /v1/batch/plan.
+type BatchPlanRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItemResult is the per-item envelope of a batch response:
+// exactly one of Recommend/Rank/Optimize/Error is set, positionally
+// matching the request item. A shed tail (partial admission) carries
+// Error{code: "shed"} items; any other per-item failure is isolated
+// to its envelope so one bad item never fails the batch.
+type BatchItemResult struct {
+	Recommend *RecommendResponse `json:"recommend,omitempty"`
+	Rank      *RankResponse      `json:"rank,omitempty"`
+	Optimize  *OptimizeResponse  `json:"optimize,omitempty"`
+	Error     *BatchItemError    `json:"error,omitempty"`
+}
+
+// BatchItemError is the per-item error envelope: the same code/message
+// vocabulary as top-level errors, plus the HTTP status the item would
+// have answered as a single request.
+type BatchItemError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// BatchPlanResponse answers POST /v1/batch/plan. Admitted counts the
+// items executed; Shed counts the tail refused by partial admission
+// (those results carry Error{code: "shed"} and the response carries a
+// Retry-After header).
+type BatchPlanResponse struct {
+	Results  []BatchItemResult `json:"results"`
+	Admitted int               `json:"admitted"`
+	Shed     int               `json:"shed,omitempty"`
 }

@@ -44,15 +44,11 @@ const maxSpacing = 1e6
 // point.
 const maxStationarityWindows = 100_000
 
-// writeJSON serializes v with the given status. Encoding errors are
-// ignored: the header is already out, and the likely cause is the
-// client hanging up.
+// writeJSON serializes v with the given status through the pooled
+// response encoder (see pool.go): the body is framed with an explicit
+// Content-Length and written in one call.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	writeJSONBody(w, status, v)
 }
 
 // writeError emits the uniform error envelope.
@@ -60,28 +56,36 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
 }
 
-// failCompute maps an error from planning/simulation work to an
-// envelope: context cancellation becomes 499 (client closed) or 504
-// (deadline), registry misses 404, everything else 422 — the request
-// was well-formed but the computation rejected it (unparameterized
-// strategy, no strategy within budget, no success mass, …).
-func failCompute(w http.ResponseWriter, r *http.Request, err error) {
+// computeErrEnvelope maps an error from planning/simulation work to
+// its envelope parts: context cancellation becomes 499 (client closed)
+// or 504 (deadline), registry misses 404, refused durable acks 503,
+// everything else 422 — the request was well-formed but the
+// computation rejected it (unparameterized strategy, no strategy
+// within budget, no success mass, …). failCompute writes it as a
+// response; the batch endpoint embeds it per item.
+func computeErrEnvelope(err error) (status int, code, msg string) {
 	switch {
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusClientClosedRequest, "cancelled", "request cancelled: "+err.Error())
+		return statusClientClosedRequest, "cancelled", "request cancelled: " + err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+		return http.StatusGatewayTimeout, "deadline_exceeded", err.Error()
 	case errors.Is(err, ErrNotFound):
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return http.StatusNotFound, "not_found", err.Error()
 	case errors.Is(err, ErrDurability):
 		// The ack was refused because the durable log could not take
 		// the batch (disk full, fsync failure, poisoned segment); the
 		// records were NOT acknowledged, so the caller may retry once
 		// the storage recovers.
-		writeError(w, http.StatusServiceUnavailable, "storage_error", err.Error())
+		return http.StatusServiceUnavailable, "storage_error", err.Error()
 	default:
-		writeError(w, http.StatusUnprocessableEntity, "unprocessable", err.Error())
+		return http.StatusUnprocessableEntity, "unprocessable", err.Error()
 	}
+}
+
+// failCompute writes the envelope computeErrEnvelope maps err to.
+func failCompute(w http.ResponseWriter, r *http.Request, err error) {
+	status, code, msg := computeErrEnvelope(err)
+	writeError(w, status, code, msg)
 }
 
 // decodeJSON decodes the request body into v under the configured
@@ -215,6 +219,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:     shards,
 		Totals:     totals,
 		Resilience: s.resilienceStats(),
+		Batch:      s.batchStats(),
 	})
 }
 
@@ -333,7 +338,7 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	// two different windows.
 	st := e.State()
 	info := modelInfoAt(e, st)
-	if ws := r.URL.Query().Get("window_s"); ws != "" {
+	if ws, _ := queryValue(r.URL.RawQuery, "window_s"); ws != "" {
 		width, err := strconv.ParseFloat(ws, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request", "bad window_s: "+err.Error())
@@ -383,16 +388,53 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRecommend serves POST /v1/models/{id}/recommend.
+//
+// The option-free request — the serving hot path — is answered from
+// the snapshot's cached default recommendation: the first hit on a
+// fresh snapshot computes it through the snapshot's shared Planner and
+// caches the complete response bytes, and every later hit replays them
+// without building a Planner, running the advisor, or encoding JSON.
+// Requests with options (or cheapest, or a degraded snapshot) take the
+// full per-request path.
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.entryFor(w, r)
 	if !ok {
 		return
 	}
 	var req RecommendRequest
-	if err := s.decodeJSON(w, r, &req, true); err != nil {
+	if err := s.decodeJSONPooled(w, r, &req, true); err != nil {
 		return
 	}
 	st := e.State()
+	if req.Options == nil && !req.Cheapest {
+		// The cached answer is computed under a background context, so
+		// honor the request's cancellation explicitly — an abandoned
+		// request must still map to the 499/504 envelope.
+		if err := r.Context().Err(); err != nil {
+			failCompute(w, r, err)
+			return
+		}
+		_, body, err := st.defaultRecommend(e.ID)
+		if err != nil {
+			failCompute(w, r, err)
+			return
+		}
+		if reason, degraded := s.degradedOf(e, st); degraded {
+			// Degraded answers carry per-request fields the cached
+			// bytes cannot; re-render around the cached computation.
+			resp := RecommendResponse{
+				Model:          e.ID,
+				Version:        st.Version,
+				Recommendation: st.recEnvelope,
+				Degraded:       degraded,
+				DegradedReason: reason,
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
 	p, err := s.plannerFor(r, st, req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -424,7 +466,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RankRequest
-	if err := s.decodeJSON(w, r, &req, true); err != nil {
+	if err := s.decodeJSONPooled(w, r, &req, true); err != nil {
 		return
 	}
 	var strategies []gridstrat.Strategy
@@ -468,7 +510,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req OptimizeRequest
-	if err := s.decodeJSON(w, r, &req, false); err != nil {
+	if err := s.decodeJSONPooled(w, r, &req, false); err != nil {
 		return
 	}
 	strat, err := req.Strategy.toStrategy()
@@ -505,7 +547,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SimulateRequest
-	if err := s.decodeJSON(w, r, &req, false); err != nil {
+	if err := s.decodeJSONPooled(w, r, &req, false); err != nil {
 		return
 	}
 	if req.Runs <= 0 {
@@ -643,7 +685,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ObserveRequest
-	if err := s.decodeJSON(w, r, &req, false); err != nil {
+	if err := s.decodeJSONPooled(w, r, &req, false); err != nil {
 		return
 	}
 	if len(req.Latencies)+req.Outliers == 0 {

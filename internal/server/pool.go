@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file holds the allocation-avoidance plumbing of the serving hot
+// path: pooled response encoders, pooled request-body buffers, and a
+// map-free query-parameter scanner. The recommend/batch endpoints are
+// the service's wire-speed paths — every per-request allocation here is
+// paid millions of times under load, so the scratch space is recycled
+// through sync.Pools instead of being re-allocated per request. The
+// allocation budget per route is pinned by alloc_test.go.
+
+// maxPooledBuf caps the capacity of a buffer returned to a pool: one
+// pathological response (a huge rank, a trace upload echo) must not pin
+// megabytes inside the pool forever.
+const maxPooledBuf = 1 << 18 // 256 KiB
+
+// respEncoder is a pooled response serializer: a bytes.Buffer with a
+// json.Encoder permanently wired to it, so neither is re-allocated per
+// response.
+type respEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var respEncPool = sync.Pool{
+	New: func() any {
+		e := &respEncoder{}
+		e.enc = json.NewEncoder(&e.buf)
+		e.enc.SetEscapeHTML(false)
+		return e
+	},
+}
+
+// writeJSONBody serializes v through a pooled encoder and writes it as
+// one body with an explicit Content-Length. Encoding errors after the
+// header would be unrecoverable mid-stream; here the encode happens
+// before any byte is committed, so a failed encode still produces a
+// clean 500 envelope.
+func writeJSONBody(w http.ResponseWriter, status int, v any) {
+	e := respEncPool.Get().(*respEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		respEncPool.Put(e)
+		writeRawJSON(w, http.StatusInternalServerError,
+			[]byte(`{"error":{"code":"internal","message":"response encoding failed"}}`+"\n"))
+		return
+	}
+	writeRawJSON(w, status, e.buf.Bytes())
+	if e.buf.Cap() <= maxPooledBuf {
+		respEncPool.Put(e)
+	}
+}
+
+// writeRawJSON writes pre-serialized JSON bytes — the cached-response
+// fast path and the tail of writeJSONBody.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// bodyBufPool recycles the scratch buffers request bodies are read
+// into before json.Unmarshal (a pooled read + Unmarshal allocates far
+// less than a fresh json.Decoder per request, and the buffer survives
+// to the next request).
+var bodyBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// getBodyBuf leases a reset scratch buffer.
+func getBodyBuf() *bytes.Buffer {
+	b := bodyBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// putBodyBuf returns a scratch buffer unless it grew past the pool cap.
+func putBodyBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bodyBufPool.Put(b)
+	}
+}
+
+// decodeJSONPooled decodes the request body into v through a pooled
+// read buffer, enforcing the configured size cap. It mirrors
+// decodeJSON's error contract (same envelopes, allowEmpty semantics)
+// while allocating no per-request decoder or read buffer. An entirely
+// absent body (ContentLength 0) short-circuits before touching the
+// pool at all.
+func (s *Server) decodeJSONPooled(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) error {
+	if r.ContentLength == 0 {
+		if allowEmpty {
+			return nil
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: EOF")
+		return io.EOF
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := getBodyBuf()
+	defer putBodyBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return err
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return err
+	}
+	if buf.Len() == 0 {
+		if allowEmpty {
+			return nil
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: EOF")
+		return io.EOF
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return err
+	}
+	return nil
+}
+
+// queryValue scans a raw query string for one key without building the
+// url.Values map (r.URL.Query() allocates a map plus a slice per key on
+// every call — churn the per-route option parsing avoids by asking for
+// exactly the parameter it was compiled to accept). Keys and values
+// are expected in their encoded form; values containing %-escapes or
+// '+' fall back to url.QueryUnescape via the caller when needed — the
+// service's numeric parameters (window_s) never carry either.
+func queryValue(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		var pair string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		if len(pair) < len(key)+1 || pair[:len(key)] != key || pair[len(key)] != '=' {
+			continue
+		}
+		return pair[len(key)+1:], true
+	}
+	return "", false
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression ceilings in alloc_test.go only hold for plain
+// builds: race instrumentation adds its own heap traffic, so those
+// tests skip themselves under -race.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package server
+
+// See race_off_test.go.
+const raceEnabled = true

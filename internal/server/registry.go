@@ -15,6 +15,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -91,6 +92,57 @@ type ModelState struct {
 
 	// sketch is the quantile-sketch backend of a sketch-tier Model.
 	sketch *stats.Sketch
+
+	// planner is the snapshot's shared default-options Planner — the
+	// same one assembleModelState builds to obtain the memo wrapper.
+	// Option-default queries reuse it instead of constructing a fresh
+	// Planner (and a fresh cost-context baseline) per request; requests
+	// carrying explicit options still get their own. It runs under a
+	// background context: the work it does is bounded and warms the
+	// snapshot-wide memo cache, so per-request cancellation is not
+	// worth a per-request Planner on the hot path.
+	planner *gridstrat.Planner
+
+	// Default-recommendation cache: the answer to an option-free
+	// recommend on this snapshot is deterministic, so it is computed
+	// once and the wire form (recJSON: the complete non-degraded
+	// RecommendResponse bytes, trailing newline included, byte-equal
+	// to what the uncached encoder produces) is replayed on every
+	// subsequent hit. recEnvelope keeps the per-item form batch items
+	// share without re-converting.
+	recOnce     sync.Once
+	rec         gridstrat.Recommendation
+	recEnvelope RecommendationJSON
+	recJSON     []byte
+	recErr      error
+}
+
+// defaultRecommend resolves the snapshot's option-free recommendation,
+// computing and caching it on first use. id is the owning entry's
+// model ID (a ModelState belongs to exactly one entry, so the cached
+// wire bytes embed it safely).
+func (st *ModelState) defaultRecommend(id string) (gridstrat.Recommendation, []byte, error) {
+	st.recOnce.Do(func() {
+		st.rec, st.recErr = st.planner.Recommend()
+		if st.recErr != nil {
+			return
+		}
+		st.recEnvelope = recToJSON(st.rec)
+		body, err := json.Marshal(RecommendResponse{
+			Model:          id,
+			Version:        st.Version,
+			Recommendation: st.recEnvelope,
+		})
+		if err != nil {
+			st.recErr = err
+			return
+		}
+		// json.Encoder (the streaming path) terminates with '\n';
+		// keeping the cached bytes identical makes cached and uncached
+		// responses indistinguishable on the wire.
+		st.recJSON = append(body, '\n')
+	})
+	return st.rec, st.recJSON, st.recErr
 }
 
 // MemBytes estimates the snapshot's resident heap footprint: the
@@ -178,6 +230,7 @@ func assembleModelState(tr *trace.Trace, dist stats.EmpiricalDistribution, rho f
 		Stats:   st,
 		Version: version,
 		Built:   time.Now(),
+		planner: p,
 	}
 	if e, ok := dist.(*stats.ECDF); ok {
 		out.ecdf = e

@@ -18,7 +18,7 @@ import (
 // Version identifies the service build; it is reported by /v1/healthz
 // so operators (and the cluster router) can tell heterogeneous
 // backends apart.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Config tunes a Server. The zero value is usable: every field falls
 // back to the default documented on it.
@@ -251,6 +251,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/models/{id}/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/models/{id}/makespan", s.handleMakespan)
 	s.mux.HandleFunc("POST /v1/models/{id}/observations", s.handleObservations)
+	s.mux.HandleFunc("POST /v1/batch/plan", s.handleBatchPlan)
 }
 
 // Handler returns the service's HTTP handler: the route mux wrapped
